@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Ablations of the LPSU design choices DESIGN.md calls out, beyond
+ * the paper's Figure 9 grid:
+ *
+ *  1. cross-lane store-load forwarding + value-based violation
+ *     filtering (the paper's "more aggressive implementation") on the
+ *     squash-dominated om/ua kernels;
+ *  2. lane-count sweep 1..8 on a uc kernel (scaling shape);
+ *  3. scan-phase cost sensitivity (0/1/4 cycles per scanned
+ *     instruction) on a short-trip-count loop nest;
+ *  4. LSQ capacity sweep on the LSQ-structural-hazard kernels.
+ */
+
+#include "asm/assembler.h"
+#include "bench_util.h"
+
+using namespace xloops;
+using namespace xloops::benchutil;
+
+namespace {
+
+struct SpecOutcome
+{
+    Cycle cycles;
+    u64 squashes;
+    u64 filtered;
+    bool passed;
+};
+
+SpecOutcome
+specialize(const std::string &kernel, const SysConfig &cfg)
+{
+    const Kernel &k = kernelByName(kernel);
+    const Program prog = assemble(k.source);
+    XloopsSystem sys(cfg);
+    sys.loadProgram(prog);
+    if (k.setup)
+        k.setup(sys.memory(), prog);
+    const SysResult res = sys.run(prog, ExecMode::Specialized);
+    const KernelRun check = runKernel(k, cfg, ExecMode::Specialized);
+    return {res.cycles, sys.lpsuModel().stats().get("squashes"),
+            sys.lpsuModel().stats().get("squashes_filtered"),
+            check.passed};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation 1: cross-lane forwarding + value-based "
+                "violation filtering (io+x vs io+xf)\n\n");
+    std::printf("%-14s %10s %9s | %10s %9s %9s %8s\n", "kernel",
+                "base cyc", "squashes", "fwd cyc", "squashes",
+                "filtered", "speedup");
+    bool ok = true;
+    for (const std::string name :
+         {"dynprog-om", "ksack-sm-om", "knn-om", "hsort-ua",
+          "rsort-ua", "war-om"}) {
+        const SpecOutcome base = specialize(name, configs::ioX());
+        const SpecOutcome fwd = specialize(name, configs::ioXf());
+        ok &= base.passed && fwd.passed;
+        std::printf("%-14s %10llu %9llu | %10llu %9llu %9llu %7.2fx\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(base.cycles),
+                    static_cast<unsigned long long>(base.squashes),
+                    static_cast<unsigned long long>(fwd.cycles),
+                    static_cast<unsigned long long>(fwd.squashes),
+                    static_cast<unsigned long long>(fwd.filtered),
+                    ratio(base.cycles, fwd.cycles));
+    }
+
+    std::printf("\nAblation 2: lane-count sweep, rgb2cmyk-uc "
+                "(speedup vs serial GP on io)\n\n  lanes: ");
+    const Cell g = gpBaseline("rgb2cmyk-uc", configs::io());
+    for (const unsigned lanes : {1u, 2u, 3u, 4u, 6u, 8u}) {
+        SysConfig cfg = configs::ioX();
+        cfg.lpsu.lanes = lanes;
+        const Cell s = runCell("rgb2cmyk-uc", cfg, ExecMode::Specialized);
+        ok &= s.passed;
+        std::printf("%u=%.2fx  ", lanes, ratio(g.cycles, s.cycles));
+    }
+
+    std::printf("\n\nAblation 3: scan cost sensitivity, war-uc "
+                "(inner xloop re-specialized every outer iteration)\n\n"
+                "  scan cycles/inst: ");
+    const Cell gw = gpBaseline("war-uc", configs::io());
+    for (const unsigned cost : {0u, 1u, 4u}) {
+        SysConfig cfg = configs::ioX();
+        cfg.lpsu.scanCyclesPerInst = cost;
+        const Cell s = runCell("war-uc", cfg, ExecMode::Specialized);
+        ok &= s.passed;
+        std::printf("%u=%.2fx  ", cost, ratio(gw.cycles, s.cycles));
+    }
+
+    std::printf("\n\nAblation 4: LSQ capacity sweep, btree-ua and "
+                "war-om (speedup vs serial GP on io)\n\n");
+    for (const std::string name : {"btree-ua", "war-om"}) {
+        const Cell gb = gpBaseline(name, configs::io());
+        std::printf("  %-10s: ", name.c_str());
+        for (const unsigned entries : {4u, 8u, 16u, 32u}) {
+            SysConfig cfg = configs::ioX();
+            cfg.lpsu.lsqLoadEntries = entries;
+            cfg.lpsu.lsqStoreEntries = entries;
+            const Cell s = runCell(name, cfg, ExecMode::Specialized);
+            ok &= s.passed;
+            std::printf("%u+%u=%.2fx  ", entries, entries,
+                        ratio(gb.cycles, s.cycles));
+        }
+        std::printf("\n");
+    }
+    std::printf("\nvalidation: %s\n", ok ? "ALL PASSED" : "FAILED");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses (one binary per paper
+ * table/figure). Each helper runs a kernel on a configuration and
+ * validates the result; harnesses only format rows.
+ */
+
+#ifndef XLOOPS_BENCH_BENCH_UTIL_H
+#define XLOOPS_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+
+#include "energy/energy.h"
+#include "kernels/kernel.h"
+
+namespace xloops::benchutil {
+
+/** Cycles + validation + stats for one (kernel, config, mode) cell. */
+struct Cell
+{
+    Cycle cycles = 0;
+    bool passed = false;
+    double energyNj = 0;
+    StatGroup stats;
+};
+
+inline Cell
+runCell(const std::string &kernel, const SysConfig &cfg, ExecMode mode,
+        bool gp_binary = false)
+{
+    const KernelRun run =
+        runKernel(kernelByName(kernel), cfg, mode, gp_binary);
+    Cell cell;
+    cell.cycles = run.result.cycles;
+    cell.passed = run.passed;
+    cell.stats = run.result.stats;
+    const EnergyModel model;
+    cell.energyNj = model.dynamicEnergy(cfg, run.result.stats).totalNj();
+    if (!run.passed)
+        std::fprintf(stderr, "VALIDATION FAILED: %s\n", run.error.c_str());
+    return cell;
+}
+
+/** GP-ISA serial binary on a baseline GPP (the normalization basis). */
+inline Cell
+gpBaseline(const std::string &kernel, const SysConfig &cfg)
+{
+    return runCell(kernel, cfg, ExecMode::Traditional, true);
+}
+
+inline double
+ratio(Cycle base, Cycle other)
+{
+    return other == 0 ? 0.0
+                      : static_cast<double>(base) /
+                            static_cast<double>(other);
+}
+
+} // namespace xloops::benchutil
+
+#endif // XLOOPS_BENCH_BENCH_UTIL_H

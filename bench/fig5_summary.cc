@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Reproduces Figure 5: for every kernel, the speedup of the serial GP
+ * binary on ooo/2 and ooo/4 (normalized to the in-order GPP) next to
+ * specialized execution on ooo/2+x (normalized to ooo/2). Shows where
+ * a simple GPP plus an LPSU is complexity-effective against wider
+ * out-of-order machines.
+ */
+
+#include "bench_util.h"
+
+using namespace xloops;
+using namespace xloops::benchutil;
+
+int
+main()
+{
+    std::printf("Figure 5: speedup summary (bars, one group per "
+                "kernel)\n\n");
+    std::printf("%-14s %9s %9s %12s\n", "kernel", "ooo2/io", "ooo4/io",
+                "ooo2+x:S/o2");
+    bool ok = true;
+    for (const auto &name : tableIIKernelNames()) {
+        const Cell io = gpBaseline(name, configs::io());
+        const Cell o2 = gpBaseline(name, configs::ooo2());
+        const Cell o4 = gpBaseline(name, configs::ooo4());
+        const Cell sx =
+            runCell(name, configs::ooo2X(), ExecMode::Specialized);
+        ok &= io.passed && o2.passed && o4.passed && sx.passed;
+        std::printf("%-14s %9.2f %9.2f %12.2f\n", name.c_str(),
+                    ratio(io.cycles, o2.cycles),
+                    ratio(io.cycles, o4.cycles),
+                    ratio(o2.cycles, sx.cycles));
+    }
+    std::printf("\nvalidation: %s\n", ok ? "ALL PASSED" : "FAILED");
+    return ok ? 0 : 1;
+}

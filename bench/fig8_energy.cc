@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Reproduces Figure 8: dynamic energy efficiency vs. performance
+ * scatter for specialized and adaptive execution on io+x, ooo/2+x,
+ * and ooo/4+x, each normalized to the serial GP binary on the
+ * corresponding baseline GPP (McPAT-class 45 nm event energies).
+ */
+
+#include "bench_util.h"
+
+using namespace xloops;
+using namespace xloops::benchutil;
+
+namespace {
+
+void
+panel(const char *title, const SysConfig &base, const SysConfig &xcfg)
+{
+    std::printf("--- %s (normalized to %s) ---\n", title,
+                base.name.c_str());
+    std::printf("%-14s %8s %8s %8s %8s\n", "kernel", "S perf", "S eff",
+                "A perf", "A eff");
+    for (const auto &name : xloops::tableIIKernelNames()) {
+        const Cell g = gpBaseline(name, base);
+        const Cell s = runCell(name, xcfg, ExecMode::Specialized);
+        const Cell a = runCell(name, xcfg, ExecMode::Adaptive);
+        std::printf("%-14s %8.2f %8.2f %8.2f %8.2f\n", name.c_str(),
+                    ratio(g.cycles, s.cycles),
+                    s.energyNj > 0 ? g.energyNj / s.energyNj : 0.0,
+                    ratio(g.cycles, a.cycles),
+                    a.energyNj > 0 ? g.energyNj / a.energyNj : 0.0);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 8: energy efficiency vs performance "
+                "(perf = speedup, eff = baseline_energy / energy)\n\n");
+    panel("io+x", configs::io(), configs::ioX());
+    panel("ooo/2+x", configs::ooo2(), configs::ooo2X());
+    panel("ooo/4+x", configs::ooo4(), configs::ooo4X());
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reproduces Figure 9: LPSU microarchitectural design space
+ * exploration on the ooo/4 host — baseline 4-lane LPSU, +t (2-way
+ * vertical multithreading), x8 (eight lanes), +r (2x shared memory
+ * ports and LLFUs), +m (16+16-entry LSQs) — on kernels representative
+ * of each dependence pattern (paper Section IV-F).
+ */
+
+#include "bench_util.h"
+
+using namespace xloops;
+using namespace xloops::benchutil;
+
+int
+main()
+{
+    const std::vector<std::string> kernels = {
+        "sgemm-uc", "viterbi-uc", "kmeans-or", "covar-or", "btree-ua"};
+    const std::vector<SysConfig> cfgs = {
+        configs::ooo4X(), configs::ooo4X4t(), configs::ooo4X8(),
+        configs::ooo4X8r(), configs::ooo4X8rm()};
+
+    std::printf("Figure 9: LPSU design-space exploration "
+                "(speedup vs serial GP binary on ooo/4)\n\n");
+    std::printf("%-12s", "kernel");
+    for (const auto &cfg : cfgs)
+        std::printf(" %13s", cfg.name.c_str());
+    std::printf("\n");
+
+    bool ok = true;
+    for (const auto &name : kernels) {
+        const Cell g = gpBaseline(name, configs::ooo4());
+        std::printf("%-12s", name.c_str());
+        for (const auto &cfg : cfgs) {
+            const Cell s = runCell(name, cfg, ExecMode::Specialized);
+            ok &= s.passed;
+            std::printf(" %13.2f", ratio(g.cycles, s.cycles));
+        }
+        std::printf("\n");
+    }
+    std::printf("\nvalidation: %s\n", ok ? "ALL PASSED" : "FAILED");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator substrates
+ * themselves: instruction encode/decode, assembly, functional
+ * execution rate, and LPSU cycle-loop throughput. Useful for keeping
+ * the experiment harnesses fast as the models grow.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "asm/assembler.h"
+#include "cpu/functional.h"
+#include "kernels/kernel.h"
+
+namespace {
+
+using namespace xloops;
+
+void
+BM_EncodeDecode(benchmark::State &state)
+{
+    const Instruction inst{.op = Op::ADD, .rd = 3, .rs1 = 4, .rs2 = 5};
+    for (auto _ : state) {
+        const u32 word = inst.encode();
+        benchmark::DoNotOptimize(Instruction::decode(word));
+    }
+}
+BENCHMARK(BM_EncodeDecode);
+
+void
+BM_AssembleKernel(benchmark::State &state)
+{
+    const Kernel &k = kernelByName("adpcm-or");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(assemble(k.source));
+}
+BENCHMARK(BM_AssembleKernel);
+
+void
+BM_FunctionalExecution(benchmark::State &state)
+{
+    const Kernel &k = kernelByName("viterbi-uc");
+    const Program prog = assemble(k.source);
+    u64 insts = 0;
+    for (auto _ : state) {
+        MainMemory mem;
+        prog.loadInto(mem);
+        k.setup(mem, prog);
+        FunctionalExecutor exec(mem);
+        insts += exec.run(prog).dynInsts;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(insts));
+}
+BENCHMARK(BM_FunctionalExecution);
+
+void
+BM_SpecializedExecution(benchmark::State &state)
+{
+    const Kernel &k = kernelByName("viterbi-uc");
+    const Program prog = assemble(k.source);
+    u64 cycles = 0;
+    for (auto _ : state) {
+        XloopsSystem sys(configs::ioX());
+        sys.loadProgram(prog);
+        k.setup(sys.memory(), prog);
+        cycles += sys.run(prog, ExecMode::Specialized).cycles;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(cycles));
+}
+BENCHMARK(BM_SpecializedExecution);
+
+} // namespace
+
+BENCHMARK_MAIN();

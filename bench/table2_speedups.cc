@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces Table II: traditional (T), specialized (S), and adaptive
+ * (A) speedups of the XLOOPS binary on io/ooo2/ooo4 (+x), each
+ * normalized to the serial GP-ISA binary on the same baseline GPP,
+ * plus the XLOOPS/GP dynamic instruction ratio (X/G).
+ */
+
+#include "bench_util.h"
+
+using namespace xloops;
+using namespace xloops::benchutil;
+
+int
+main()
+{
+    std::printf("Table II: XLOOPS application kernels, cycle-level "
+                "results\n");
+    std::printf("Speedups normalized to the serial GP-ISA binary on the "
+                "same baseline GPP.\n\n");
+    std::printf("%-14s %5s | %5s %5s %5s | %5s %5s %5s | %5s %5s %5s\n",
+                "kernel", "X/G", "io:T", "io:S", "io:A", "o2:T", "o2:S",
+                "o2:A", "o4:T", "o4:S", "o4:A");
+
+    const auto hosts = std::vector<std::pair<SysConfig, SysConfig>>{
+        {configs::io(), configs::ioX()},
+        {configs::ooo2(), configs::ooo2X()},
+        {configs::ooo4(), configs::ooo4X()},
+    };
+
+    bool allPassed = true;
+    for (const auto &name : tableIIKernelNames()) {
+        // Dynamic instruction ratio via the functional model.
+        const KernelRun xl = runKernel(kernelByName(name), configs::io(),
+                                       ExecMode::Traditional, false);
+        const KernelRun gp = runKernel(kernelByName(name), configs::io(),
+                                       ExecMode::Traditional, true);
+        const double xg = static_cast<double>(xl.xlDynInsts) /
+                          static_cast<double>(gp.xlDynInsts);
+
+        std::printf("%-14s %5.2f |", name.c_str(), xg);
+        for (const auto &[base, xcfg] : hosts) {
+            const Cell g = gpBaseline(name, base);
+            const Cell t = runCell(name, base, ExecMode::Traditional);
+            const Cell s = runCell(name, xcfg, ExecMode::Specialized);
+            const Cell a = runCell(name, xcfg, ExecMode::Adaptive);
+            allPassed &= g.passed && t.passed && s.passed && a.passed;
+            std::printf(" %5.2f %5.2f %5.2f |", ratio(g.cycles, t.cycles),
+                        ratio(g.cycles, s.cycles),
+                        ratio(g.cycles, a.cycles));
+        }
+        std::printf("\n");
+    }
+    std::printf("\nvalidation: %s\n", allPassed ? "ALL PASSED" : "FAILED");
+    return allPassed ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Adaptive execution (paper Section II-E): the same binary, the same
+ * hardware — the APT profiles traditional and specialized execution
+ * and migrates each xloop to whichever is faster.
+ *
+ * sha-or has a long inter-iteration register critical path, so the
+ * 4-way OoO host wins and adaptive execution migrates back to the
+ * GPP; viterbi-uc parallelizes cleanly, so it stays on the LPSU.
+ */
+
+#include <cstdio>
+
+#include "kernels/kernel.h"
+
+using namespace xloops;
+
+namespace {
+
+void
+show(const std::string &name)
+{
+    const Kernel &k = kernelByName(name);
+    const SysConfig base = configs::ooo4();
+    const SysConfig xcfg = configs::ooo4X();
+
+    const KernelRun gp = runKernel(k, base, ExecMode::Traditional, true);
+    const KernelRun spec = runKernel(k, xcfg, ExecMode::Specialized);
+    const KernelRun adapt = runKernel(k, xcfg, ExecMode::Adaptive);
+
+    const double sS = static_cast<double>(gp.result.cycles) /
+                      static_cast<double>(spec.result.cycles);
+    const double sA = static_cast<double>(gp.result.cycles) /
+                      static_cast<double>(adapt.result.cycles);
+    std::printf("%-12s specialized %.2fx | adaptive %.2fx  ->  %s\n",
+                name.c_str(), sS, sA,
+                sA > sS ? "APT migrated the loop back to the GPP"
+                        : "APT kept the loop on the LPSU");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Adaptive execution on ooo/4+x (speedups vs the serial "
+                "GP binary on ooo/4)\n\n");
+    show("sha-or");
+    show("stencil-om");
+    show("viterbi-uc");
+    show("rgb2cmyk-uc");
+    std::printf("\nAdaptive execution turns worst-case specialization "
+                "losses into modest wins\nwhile keeping most of the "
+                "specialization upside — the paper's Figure 7.\n");
+    return 0;
+}

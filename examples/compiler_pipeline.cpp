@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The xcc compiler pipeline end-to-end: annotate a Floyd-Warshall
+ * loop nest with pragmas (paper Figure 2), let dependence analysis
+ * pick the xloop encodings, generate XLOOPS assembly (including the
+ * xi instructions produced by loop strength reduction), and run the
+ * binary both traditionally and specialized.
+ */
+
+#include <cstdio>
+
+#include "asm/assembler.h"
+#include "compiler/codegen.h"
+#include "system/system.h"
+
+using namespace xloops;
+
+int
+main()
+{
+    constexpr i32 n = 12;
+
+    // #pragma xloops ordered   for (i ...)
+    // #pragma xloops unordered for (j ...)
+    //     path[i][j] = min(path[i][j], path[i][k] + path[k][j]);
+    const ExprPtr pij = add(mul(var("i"), var("n")), var("j"));
+    const ExprPtr pik = add(mul(var("i"), var("n")), var("k"));
+    const ExprPtr pkj = add(mul(var("k"), var("n")), var("j"));
+
+    Loop jL;
+    jL.iv = "j";
+    jL.lower = cst(0);
+    jL.upper = var("n");
+    jL.pragma = Pragma::Unordered;
+    jL.hintSpecialize = false;
+    jL.body.push_back(store("path", pij,
+                            bin(BinOp::Min, ld("path", pij),
+                                add(ld("path", pik), ld("path", pkj)))));
+    Loop iL;
+    iL.iv = "i";
+    iL.lower = cst(0);
+    iL.upper = var("n");
+    iL.pragma = Pragma::Ordered;
+    iL.body.push_back(nested(jL));
+    Loop kL;
+    kL.iv = "k";
+    kL.lower = cst(0);
+    kL.upper = var("n");
+    kL.body.push_back(nested(iL));
+
+    // Pattern selection (the paper's analysis passes).
+    const LoopSelection selI = selectPattern(iL);
+    const LoopSelection selJ = selectPattern(jL);
+    std::printf("pattern selection:\n");
+    std::printf("  i loop (ordered pragma)  -> xloop.%s  "
+                "(carried memory dependence: %s)\n",
+                patternName(selI.pattern),
+                selI.carriedMemDep ? "yes" : "no");
+    std::printf("  j loop (unordered pragma)-> xloop.%s\n\n",
+                patternName(selJ.pattern));
+
+    // Code generation.
+    CodeGen cg;
+    cg.declareArray("path", n * n);
+    std::vector<Stmt> top;
+    // Initialize path with a pseudo-random adjacency.
+    Loop init;
+    init.iv = "i";
+    init.lower = cst(0);
+    init.upper = cst(n * n);
+    init.body.push_back(store(
+        "path", var("i"),
+        add(bin(BinOp::Rem, mul(var("i"), cst(37)), cst(100)), cst(1))));
+    top.push_back(nested(init));
+    top.push_back(assign("n", cst(n)));
+    top.push_back(nested(kL));
+
+    const std::string text = cg.compile(top);
+    std::printf("generated assembly (first lines):\n");
+    size_t pos = 0;
+    for (int line = 0; line < 14 && pos != std::string::npos; line++) {
+        const size_t next = text.find('\n', pos);
+        std::printf("  %s\n", text.substr(pos, next - pos).c_str());
+        pos = next == std::string::npos ? next : next + 1;
+    }
+    std::printf("  ...\n\n");
+
+    const Program bin = assemble(text);
+    auto cyclesOf = [&](ExecMode mode) {
+        XloopsSystem sys(configs::ooo2X());
+        sys.loadProgram(bin);
+        return sys.run(bin, mode).cycles;
+    };
+    const Cycle trad = cyclesOf(ExecMode::Traditional);
+    const Cycle spec = cyclesOf(ExecMode::Specialized);
+    std::printf("compiled war kernel on ooo/2+x: traditional %llu "
+                "cycles, specialized %llu cycles (%.2fx)\n",
+                static_cast<unsigned long long>(trad),
+                static_cast<unsigned long long>(spec),
+                static_cast<double>(trad) / static_cast<double>(spec));
+    return 0;
+}

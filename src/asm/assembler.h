@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Two-pass text assembler for the xrisc ISA with XLOOPS extensions.
+ *
+ * Syntax overview:
+ *
+ *     .text                         # section switches
+ *   _start:
+ *     li    r4, 1000                # pseudo: addi / lui+ori
+ *     la    r5, src                 # pseudo: lui+ori (always 2 insns)
+ *   loop:
+ *     lw    r6, 0(r5)
+ *     addiu.xi r5, 4                # cross-iteration add
+ *     xloop.uc r1, r2, loop         # body = [loop, here)
+ *     xloop.or r1, r2, loop, nohint # suppress specialization hint
+ *     amoadd r3, r7, (r8)           # rd, operand, (addr)
+ *     halt
+ *     .data
+ *   src: .word 1, 2, 3, sym         # 32-bit words or symbol addresses
+ *   buf: .space 400                 # zero bytes
+ *     .byte 1, 2     .half 3, 4     .align 4
+ *
+ * Comments start with '#' or ';'. Pseudo-instructions: li, la, mov, j,
+ * beqz, bnez, bgt, ble, not, neg, sub-with-imm via addi of negative.
+ */
+
+#ifndef XLOOPS_ASM_ASSEMBLER_H
+#define XLOOPS_ASM_ASSEMBLER_H
+
+#include <string>
+
+#include "asm/program.h"
+
+namespace xloops {
+
+/**
+ * Assemble @p source into a program image.
+ *
+ * @param source  complete assembly text
+ * @param textBase base address for .text (entry = first text address)
+ * @param dataBase base address for .data
+ * @return the assembled program
+ * @throws FatalError with a line-numbered message on any syntax error,
+ *         undefined symbol, or out-of-range immediate.
+ */
+Program assemble(const std::string &source,
+                 Addr textBase = textBaseDefault,
+                 Addr dataBase = dataBaseDefault);
+
+} // namespace xloops
+
+#endif // XLOOPS_ASM_ASSEMBLER_H

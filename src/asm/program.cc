@@ -1,0 +1,35 @@
+#include "asm/program.h"
+
+#include "common/log.h"
+#include "mem/memory.h"
+
+namespace xloops {
+
+Addr
+Program::symbol(const std::string &name) const
+{
+    const auto it = symbols.find(name);
+    if (it == symbols.end())
+        fatal(strf("undefined symbol '", name, "'"));
+    return it->second;
+}
+
+void
+Program::loadInto(MainMemory &memory) const
+{
+    for (size_t i = 0; i < text.size(); i++)
+        memory.writeWord(textBase + static_cast<Addr>(4 * i), text[i]);
+    for (const auto &chunk : data)
+        memory.loadBytes(chunk.base, chunk.bytes);
+}
+
+Instruction
+Program::fetch(Addr pc) const
+{
+    if (!inText(pc) || pc % 4 != 0)
+        fatal(strf("instruction fetch outside text segment: 0x", std::hex,
+                   pc));
+    return Instruction::decode(text[(pc - textBase) / 4]);
+}
+
+} // namespace xloops

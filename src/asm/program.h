@@ -1,0 +1,73 @@
+/**
+ * @file
+ * An assembled xrisc program image: text segment, data segments, and a
+ * symbol table. Producible by the assembler or the compiler back end,
+ * loadable into a simulated memory.
+ */
+
+#ifndef XLOOPS_ASM_PROGRAM_H
+#define XLOOPS_ASM_PROGRAM_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/instruction.h"
+
+namespace xloops {
+
+class MainMemory;
+
+/** Default base address of the text segment. */
+constexpr Addr textBaseDefault = 0x1000;
+
+/** Default base address of the data segment. */
+constexpr Addr dataBaseDefault = 0x100000;
+
+/** An assembled program. */
+class Program
+{
+  public:
+    Addr textBase = textBaseDefault;
+    Addr entry = textBaseDefault;
+
+    /** Encoded instruction words, textBase + 4*i for word i. */
+    std::vector<u32> text;
+
+    struct DataChunk
+    {
+        Addr base;
+        std::vector<u8> bytes;
+    };
+    std::vector<DataChunk> data;
+
+    std::map<std::string, Addr> symbols;
+
+    /** Address of @p name; throws FatalError when undefined. */
+    Addr symbol(const std::string &name) const;
+
+    bool hasSymbol(const std::string &name) const
+    {
+        return symbols.count(name) != 0;
+    }
+
+    /** Copy text and data segments into @p memory. */
+    void loadInto(MainMemory &memory) const;
+
+    /** Decode the instruction at @p pc. Throws on out-of-text pc. */
+    Instruction fetch(Addr pc) const;
+
+    /** True when @p pc lies inside the text segment. */
+    bool inText(Addr pc) const
+    {
+        return pc >= textBase && pc < textBase + 4 * text.size();
+    }
+
+    /** Number of instructions in the text segment. */
+    size_t numInsts() const { return text.size(); }
+};
+
+} // namespace xloops
+
+#endif // XLOOPS_ASM_PROGRAM_H

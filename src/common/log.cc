@@ -1,0 +1,25 @@
+#include "common/log.h"
+
+#include <iostream>
+
+namespace xloops {
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError("panic: " + msg);
+}
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError("fatal: " + msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << "\n";
+}
+
+} // namespace xloops

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Error reporting in the gem5 tradition: panic() for simulator bugs,
+ * fatal() for user errors (bad programs, bad configs).
+ */
+
+#ifndef XLOOPS_COMMON_LOG_H
+#define XLOOPS_COMMON_LOG_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace xloops {
+
+/** Thrown when the simulated program or a configuration is invalid. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Thrown when the simulator itself reaches a state that should never
+ *  happen regardless of user input (i.e., an xloops bug). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+[[noreturn]] void panic(const std::string &msg);
+[[noreturn]] void fatal(const std::string &msg);
+void warn(const std::string &msg);
+
+/** Build a message from stream-style pieces: strf("x=", x, " y=", y). */
+template <typename... Args>
+std::string
+strf(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace xloops
+
+/** Assert an invariant of the simulator itself; throws PanicError. */
+#define XL_ASSERT(cond, ...)                                              \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::xloops::panic(::xloops::strf("assertion failed: ", #cond,   \
+                                           " at ", __FILE__, ":",         \
+                                           __LINE__, " ", __VA_ARGS__));  \
+        }                                                                 \
+    } while (0)
+
+#endif // XLOOPS_COMMON_LOG_H

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Deterministic xorshift RNG so kernels and property tests are
+ * reproducible across platforms (no std::mt19937 distribution skew).
+ */
+
+#ifndef XLOOPS_COMMON_RNG_H
+#define XLOOPS_COMMON_RNG_H
+
+#include "common/types.h"
+
+namespace xloops {
+
+/** xorshift64* generator; deterministic across platforms. */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x9e3779b97f4a7c15ull) : state(seed ? seed : 1) {}
+
+    u64
+    next()
+    {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        return state * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform value in [0, bound). @p bound must be nonzero. */
+    u32 nextBelow(u32 bound) { return static_cast<u32>(next() % bound); }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    i32
+    nextRange(i32 lo, i32 hi)
+    {
+        return lo + static_cast<i32>(next() % (static_cast<u32>(hi - lo) + 1));
+    }
+
+    /** Uniform float in [0, 1). */
+    float
+    nextFloat()
+    {
+        return static_cast<float>(next() >> 40) / static_cast<float>(1 << 24);
+    }
+
+  private:
+    u64 state;
+};
+
+} // namespace xloops
+
+#endif // XLOOPS_COMMON_RNG_H

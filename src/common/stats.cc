@@ -1,0 +1,30 @@
+#include "common/stats.h"
+
+#include <sstream>
+
+namespace xloops {
+
+u64
+StatGroup::get(const std::string &name) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+}
+
+void
+StatGroup::merge(const StatGroup &other)
+{
+    for (const auto &[name, value] : other.counters)
+        counters[name] += value;
+}
+
+std::string
+StatGroup::dump(const std::string &prefix) const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : counters)
+        os << prefix << name << " = " << value << "\n";
+    return os.str();
+}
+
+} // namespace xloops

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Lightweight named statistic counters, in the spirit of gem5's stats
+ * package but scoped per simulated component.
+ */
+
+#ifndef XLOOPS_COMMON_STATS_H
+#define XLOOPS_COMMON_STATS_H
+
+#include <map>
+#include <string>
+
+#include "common/types.h"
+
+namespace xloops {
+
+/** A bag of named u64 counters with string dumping for benches. */
+class StatGroup
+{
+  public:
+    /** Increment counter @p name by @p delta. */
+    void add(const std::string &name, u64 delta = 1) { counters[name] += delta; }
+
+    /** Set counter @p name to an absolute value. */
+    void set(const std::string &name, u64 value) { counters[name] = value; }
+
+    /** Read counter @p name (0 if never touched). */
+    u64 get(const std::string &name) const;
+
+    /** Merge all counters from @p other into this group. */
+    void merge(const StatGroup &other);
+
+    void clear() { counters.clear(); }
+
+    const std::map<std::string, u64> &all() const { return counters; }
+
+    /** Render "name = value" lines, one per counter. */
+    std::string dump(const std::string &prefix = "") const;
+
+  private:
+    std::map<std::string, u64> counters;
+};
+
+} // namespace xloops
+
+#endif // XLOOPS_COMMON_STATS_H

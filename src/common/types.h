@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fixed-width integer aliases and small helpers used across XLOOPS.
+ */
+
+#ifndef XLOOPS_COMMON_TYPES_H
+#define XLOOPS_COMMON_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xloops {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Simulation time unit: clock cycles. */
+using Cycle = u64;
+
+/** Byte address into the simulated memory space. */
+using Addr = u32;
+
+/** Architectural register specifier (0..31). */
+using RegId = u8;
+
+/** Number of architectural registers in the xrisc ISA. */
+constexpr unsigned numArchRegs = 32;
+
+/** Sign-extend the low @p bits of @p value to 32 bits. */
+constexpr i32
+signExtend(u32 value, unsigned bits)
+{
+    const u32 m = 1u << (bits - 1);
+    const u32 masked = value & ((bits >= 32) ? ~0u : ((1u << bits) - 1));
+    return static_cast<i32>((masked ^ m) - m);
+}
+
+/** True if @p value fits in a signed immediate of @p bits. */
+constexpr bool
+fitsSigned(i64 value, unsigned bits)
+{
+    const i64 lo = -(i64{1} << (bits - 1));
+    const i64 hi = (i64{1} << (bits - 1)) - 1;
+    return value >= lo && value <= hi;
+}
+
+/** Extract bit field [hi:lo] from @p word. */
+constexpr u32
+bits(u32 word, unsigned hi, unsigned lo)
+{
+    return (word >> lo) & ((hi - lo >= 31) ? ~0u : ((1u << (hi - lo + 1)) - 1));
+}
+
+} // namespace xloops
+
+#endif // XLOOPS_COMMON_TYPES_H

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * xcc back end: compile the loop IR to XLOOPS assembly.
+ *
+ * Mirrors the paper's compiler structure: loops annotated with
+ * pragmas are rotated into bottom-tested form and terminated with the
+ * xloop variant chosen by pattern selection; the loop-strength-
+ * reduction pass turns affine array subscripts into pointer mutual
+ * induction variables updated with addiu.xi so the LPSU can compute
+ * them in parallel. A `lsrEnabled(false)` build reproduces the RTL
+ * study's no-xi configuration (Section V).
+ */
+
+#ifndef XLOOPS_COMPILER_CODEGEN_H
+#define XLOOPS_COMPILER_CODEGEN_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "asm/program.h"
+#include "compiler/pattern_select.h"
+
+namespace xloops {
+
+/** Compiles one module (arrays + top-level statements) to assembly. */
+class CodeGen
+{
+  public:
+    /** Declare a word array; optional initial words (rest zero). */
+    void declareArray(const std::string &name, unsigned words,
+                      const std::vector<i32> &init = {});
+
+    /** Toggle the xi-generating loop strength reduction pass. */
+    void lsrEnabled(bool enabled) { lsr = enabled; }
+
+    /** Generate the full assembly module (ends with halt + .data). */
+    std::string compile(const std::vector<Stmt> &topLevel);
+
+    /** compile() + assemble() in one step. */
+    Program compileToProgram(const std::vector<Stmt> &topLevel);
+
+  private:
+    struct ArrayDecl
+    {
+        unsigned words;
+        std::vector<i32> init;
+    };
+
+    struct PointerMiv
+    {
+        std::string key;     ///< array + subscript shape
+        std::string reg;
+        i32 strideBytes;
+    };
+
+    // Register allocation.
+    std::string scalarReg(const std::string &name);
+    std::string arrayBaseReg(const std::string &name);
+    std::string tempReg();
+    void releaseTemp();
+
+    // Emission.
+    void emit(const std::string &line);
+    std::string newLabel(const std::string &stem);
+    std::string evalExpr(const ExprPtr &expr);
+    void evalInto(const ExprPtr &expr, const std::string &reg);
+    void genStmts(const std::vector<Stmt> &body);
+    void genStmt(const Stmt &stmt);
+    void genLoop(const Loop &loop);
+    std::string addressOf(const std::string &array, const ExprPtr &index);
+
+    std::string pointerKey(const std::string &array,
+                           const AffineForm &form) const;
+
+    bool lsr = true;
+    std::map<std::string, ArrayDecl> arrays;
+    std::map<std::string, std::string> scalarRegs;  // name -> "rN"
+    std::map<std::string, std::string> baseRegs;    // array -> "rN"
+    unsigned nextScalar = 8;
+    unsigned tempDepth = 0;
+    unsigned labelCounter = 0;
+    std::vector<std::string> lines;
+    // Active pointer MIVs for the innermost xloop being generated.
+    std::vector<PointerMiv> activeMivs;
+    std::string activeIv;
+    bool inXloopBody = false;
+    // Exit-flag register of the innermost data-dependent-exit loop.
+    std::string activeExitFlag;
+};
+
+} // namespace xloops
+
+#endif // XLOOPS_COMPILER_CODEGEN_H

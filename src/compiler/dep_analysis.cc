@@ -1,0 +1,123 @@
+#include "compiler/dep_analysis.h"
+
+namespace xloops {
+
+RegDepResult
+regDepAnalysis(const Loop &loop)
+{
+    RegDepResult out;
+    const RwSets rw = scalarRw(loop.body);
+    for (const auto &name : rw.readFirst) {
+        if (!rw.written.count(name))
+            continue;
+        if (name == loop.iv)
+            continue;
+        if (loop.upper->kind == Expr::Kind::Var &&
+            loop.upper->var == name) {
+            continue;  // bound updates are the *.db pattern, not a CIR
+        }
+        out.cirs.push_back(name);
+    }
+    return out;
+}
+
+namespace {
+
+/**
+ * Classify one (write, access) subscript pair with respect to @p iv.
+ * Implements the ZIV and strong-SIV tests; everything else is
+ * conservatively assumed carried (the MIV fallback).
+ */
+MemDepPair
+testPair(const std::string &array, const ExprPtr &w, const ExprPtr &r,
+         const std::string &iv)
+{
+    MemDepPair pair;
+    pair.array = array;
+
+    const auto aw = affineIn(w, iv);
+    const auto ar = affineIn(r, iv);
+    if (!aw || !ar) {
+        pair.verdict = MemDepVerdict::AssumedCarried;
+        return pair;
+    }
+
+    // ZIV: neither subscript involves the induction variable.
+    if (aw->coeff == 0 && ar->coeff == 0) {
+        if (aw->constOffset && ar->constOffset) {
+            pair.verdict = aw->constValue == ar->constValue
+                               ? MemDepVerdict::AssumedCarried  // same cell
+                               : MemDepVerdict::Independent;
+        } else {
+            pair.verdict = MemDepVerdict::AssumedCarried;
+        }
+        return pair;
+    }
+
+    // Strong SIV: both sides a*iv + c with the same coefficient.
+    if (aw->coeff == ar->coeff && aw->coeff != 0 && aw->constOffset &&
+        ar->constOffset) {
+        const i32 diff = ar->constValue - aw->constValue;
+        if (diff % aw->coeff != 0) {
+            pair.verdict = MemDepVerdict::Independent;
+        } else if (diff == 0) {
+            pair.verdict = MemDepVerdict::IntraIteration;
+        } else {
+            pair.verdict = MemDepVerdict::CarriedDistance;
+            pair.distance = diff / aw->coeff;
+        }
+        return pair;
+    }
+
+    // Weak SIV / MIV / symbolic offsets: conservative.
+    pair.verdict = MemDepVerdict::AssumedCarried;
+    return pair;
+}
+
+} // namespace
+
+MemDepResult
+memDepAnalysis(const Loop &loop)
+{
+    MemDepResult out;
+    std::vector<std::pair<std::string, ExprPtr>> writes;
+    std::vector<std::pair<std::string, ExprPtr>> reads;
+    collectArrayWrites(loop.body, writes);
+    collectArrayReads(loop.body, reads);
+
+    auto consider = [&](const std::string &array, const ExprPtr &w,
+                        const ExprPtr &other) {
+        MemDepPair pair = testPair(array, w, other, loop.iv);
+        if (pair.verdict == MemDepVerdict::CarriedDistance ||
+            pair.verdict == MemDepVerdict::AssumedCarried)
+            out.hasCarriedDep = true;
+        out.pairs.push_back(std::move(pair));
+    };
+
+    for (size_t i = 0; i < writes.size(); i++) {
+        const auto &[warr, widx] = writes[i];
+        for (const auto &[rarr, ridx] : reads)
+            if (warr == rarr)
+                consider(warr, widx, ridx);
+        // Output dependences, including a write against itself in a
+        // later iteration (irregular subscripts alias across
+        // iterations unless the subscript is injective in the iv).
+        for (size_t j = i; j < writes.size(); j++) {
+            const auto &[w2arr, w2idx] = writes[j];
+            if (warr == w2arr)
+                consider(warr, widx, w2idx);
+        }
+    }
+    return out;
+}
+
+bool
+boundUpdateAnalysis(const Loop &loop)
+{
+    if (loop.upper->kind != Expr::Kind::Var)
+        return false;
+    const RwSets rw = scalarRw(loop.body);
+    return rw.written.count(loop.upper->var) != 0;
+}
+
+} // namespace xloops

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * XLOOPS dependence analysis passes (paper Section II-B):
+ *
+ *  - register dependence testing via scalar use-definition chains:
+ *    scalars that are read before written AND written in the loop
+ *    body carry values between iterations (the CIRs);
+ *  - memory dependence testing via the classic zero-, single-, and
+ *    multiple-index-variable subscript tests (ZIV/SIV/MIV [9]);
+ *  - loop-bound update detection for *.db selection.
+ */
+
+#ifndef XLOOPS_COMPILER_DEP_ANALYSIS_H
+#define XLOOPS_COMPILER_DEP_ANALYSIS_H
+
+#include <string>
+#include <vector>
+
+#include "compiler/ir.h"
+
+namespace xloops {
+
+/** Result of register dependence testing. */
+struct RegDepResult
+{
+    std::vector<std::string> cirs;  ///< cross-iteration registers
+};
+
+/** How a memory pair was classified. */
+enum class MemDepVerdict
+{
+    Independent,        ///< proven no cross-iteration dependence
+    IntraIteration,     ///< same-iteration only (distance 0)
+    CarriedDistance,    ///< proven carried with constant distance
+    AssumedCarried,     ///< conservative (MIV / non-affine)
+};
+
+/** One tested subscript pair. */
+struct MemDepPair
+{
+    std::string array;
+    MemDepVerdict verdict = MemDepVerdict::Independent;
+    i32 distance = 0;   ///< iterations, for CarriedDistance
+};
+
+/** Result of memory dependence testing. */
+struct MemDepResult
+{
+    std::vector<MemDepPair> pairs;
+    bool hasCarriedDep = false;
+};
+
+/** Identify CIRs: scalars read-before-write and written in the body.
+ *  The induction variable and the bound variable are excluded. */
+RegDepResult regDepAnalysis(const Loop &loop);
+
+/** ZIV/SIV/MIV subscript testing over every (write, access) pair. */
+MemDepResult memDepAnalysis(const Loop &loop);
+
+/** True when the body assigns the loop's (variable) upper bound. */
+bool boundUpdateAnalysis(const Loop &loop);
+
+} // namespace xloops
+
+#endif // XLOOPS_COMPILER_DEP_ANALYSIS_H

@@ -1,0 +1,209 @@
+#include "compiler/expr.h"
+
+#include "common/log.h"
+
+namespace xloops {
+
+ExprPtr
+cst(i32 value)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = Expr::Kind::Const;
+    e->cval = value;
+    return e;
+}
+
+ExprPtr
+var(const std::string &name)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = Expr::Kind::Var;
+    e->var = name;
+    return e;
+}
+
+ExprPtr
+ld(const std::string &array, ExprPtr index)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = Expr::Kind::Load;
+    e->array = array;
+    e->index = std::move(index);
+    return e;
+}
+
+ExprPtr
+bin(BinOp op, ExprPtr lhs, ExprPtr rhs)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = Expr::Kind::Bin;
+    e->op = op;
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    return e;
+}
+
+void
+Expr::collectVars(std::set<std::string> &out) const
+{
+    switch (kind) {
+      case Kind::Const:
+        break;
+      case Kind::Var:
+        out.insert(var);
+        break;
+      case Kind::Load:
+        index->collectVars(out);
+        break;
+      case Kind::Bin:
+        lhs->collectVars(out);
+        rhs->collectVars(out);
+        break;
+    }
+}
+
+void
+Expr::collectLoads(std::vector<std::pair<std::string, ExprPtr>> &out) const
+{
+    switch (kind) {
+      case Kind::Const:
+      case Kind::Var:
+        break;
+      case Kind::Load:
+        out.emplace_back(array, index);
+        index->collectLoads(out);
+        break;
+      case Kind::Bin:
+        lhs->collectLoads(out);
+        rhs->collectLoads(out);
+        break;
+    }
+}
+
+namespace {
+
+bool
+usesVar(const ExprPtr &expr, const std::string &iv)
+{
+    std::set<std::string> vars;
+    expr->collectVars(vars);
+    return vars.count(iv) != 0;
+}
+
+} // namespace
+
+std::optional<AffineForm>
+affineIn(const ExprPtr &expr, const std::string &iv)
+{
+    AffineForm out;
+    switch (expr->kind) {
+      case Expr::Kind::Const:
+        out.coeff = 0;
+        out.invariant = expr;
+        out.constOffset = true;
+        out.constValue = expr->cval;
+        return out;
+      case Expr::Kind::Var:
+        if (expr->var == iv) {
+            out.coeff = 1;
+            out.invariant = cst(0);
+            out.constOffset = true;
+            out.constValue = 0;
+        } else {
+            out.coeff = 0;
+            out.invariant = expr;
+        }
+        return out;
+      case Expr::Kind::Load:
+        if (usesVar(expr, iv))
+            return std::nullopt;  // subscripted load of the iv: not affine
+        out.coeff = 0;
+        out.invariant = expr;
+        return out;
+      case Expr::Kind::Bin: {
+        const auto a = affineIn(expr->lhs, iv);
+        const auto b = affineIn(expr->rhs, iv);
+        if (!a || !b)
+            return std::nullopt;
+        auto combineInv = [&](BinOp op) -> ExprPtr {
+            if (a->constOffset && b->constOffset) {
+                switch (op) {
+                  case BinOp::Add: return cst(a->constValue + b->constValue);
+                  case BinOp::Sub: return cst(a->constValue - b->constValue);
+                  case BinOp::Mul: return cst(a->constValue * b->constValue);
+                  default: break;
+                }
+            }
+            return bin(op, a->invariant, b->invariant);
+        };
+        switch (expr->op) {
+          case BinOp::Add:
+            out.coeff = a->coeff + b->coeff;
+            out.invariant = combineInv(BinOp::Add);
+            break;
+          case BinOp::Sub:
+            out.coeff = a->coeff - b->coeff;
+            out.invariant = combineInv(BinOp::Sub);
+            break;
+          case BinOp::Mul:
+            // Affine only when one side is iv-free.
+            if (a->coeff != 0 && b->coeff != 0)
+                return std::nullopt;
+            if (a->coeff != 0) {
+                if (!b->constOffset)
+                    return std::nullopt;  // coeff must be a constant
+                out.coeff = a->coeff * b->constValue;
+                if (a->constOffset) {
+                    out.invariant = cst(a->constValue * b->constValue);
+                } else {
+                    out.invariant =
+                        bin(BinOp::Mul, a->invariant, b->invariant);
+                }
+            } else if (b->coeff != 0) {
+                if (!a->constOffset)
+                    return std::nullopt;
+                out.coeff = b->coeff * a->constValue;
+                if (b->constOffset) {
+                    out.invariant = cst(a->constValue * b->constValue);
+                } else {
+                    out.invariant =
+                        bin(BinOp::Mul, a->invariant, b->invariant);
+                }
+            } else {
+                out.coeff = 0;
+                out.invariant = combineInv(BinOp::Mul);
+            }
+            break;
+          case BinOp::Shl:
+            if (b->coeff == 0 && b->constOffset) {
+                out.coeff = a->coeff << b->constValue;
+                if (a->constOffset) {
+                    out.invariant = cst(a->constValue << b->constValue);
+                } else if (a->coeff == 0) {
+                    out.invariant = bin(BinOp::Shl, a->invariant,
+                                        b->invariant);
+                } else {
+                    return std::nullopt;
+                }
+                break;
+            }
+            return std::nullopt;
+          default:
+            // Non-linear operator involving the iv: not affine.
+            if (a->coeff != 0 || b->coeff != 0)
+                return std::nullopt;
+            out.coeff = 0;
+            out.invariant = expr;
+            break;
+        }
+        out.constOffset =
+            out.invariant->kind == Expr::Kind::Const;
+        if (out.constOffset)
+            out.constValue = out.invariant->cval;
+        return out;
+      }
+    }
+    return std::nullopt;
+}
+
+} // namespace xloops

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Expression trees for the xcc loop IR: integer expressions over
+ * constants, scalar variables (including loop induction variables),
+ * array reads, and binary operators. Value-semantic via shared_ptr to
+ * immutable nodes, with factory helpers for terse test/kernel code.
+ */
+
+#ifndef XLOOPS_COMPILER_EXPR_H
+#define XLOOPS_COMPILER_EXPR_H
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace xloops {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/** Binary operators understood by the code generator. */
+enum class BinOp
+{
+    Add, Sub, Mul, Div, Rem,
+    And, Or, Xor, Shl, Shr,
+    Lt, Le, Gt, Ge, Eq, Ne,
+    Min, Max,
+};
+
+/** An immutable expression node. */
+class Expr
+{
+  public:
+    enum class Kind { Const, Var, Load, Bin };
+
+    Kind kind;
+    i32 cval = 0;            ///< Const
+    std::string var;         ///< Var: scalar / induction variable name
+    std::string array;       ///< Load: array name
+    ExprPtr index;           ///< Load: element index (word granularity)
+    BinOp op = BinOp::Add;   ///< Bin
+    ExprPtr lhs, rhs;        ///< Bin
+
+    /** All scalar variables read anywhere in this expression. */
+    void collectVars(std::set<std::string> &out) const;
+
+    /** All (array, index) reads anywhere in this expression. */
+    void collectLoads(std::vector<std::pair<std::string, ExprPtr>> &out)
+        const;
+};
+
+// Factory helpers.
+ExprPtr cst(i32 value);
+ExprPtr var(const std::string &name);
+ExprPtr ld(const std::string &array, ExprPtr index);
+ExprPtr bin(BinOp op, ExprPtr lhs, ExprPtr rhs);
+inline ExprPtr add(ExprPtr a, ExprPtr b) { return bin(BinOp::Add, a, b); }
+inline ExprPtr sub(ExprPtr a, ExprPtr b) { return bin(BinOp::Sub, a, b); }
+inline ExprPtr mul(ExprPtr a, ExprPtr b) { return bin(BinOp::Mul, a, b); }
+
+/**
+ * Affine form of an expression with respect to one induction
+ * variable: coeff * iv + offsetExpr, where offsetExpr is
+ * iv-invariant. Returned by affineIn() when the expression is affine.
+ */
+struct AffineForm
+{
+    i32 coeff = 0;       ///< multiplier of the induction variable
+    ExprPtr invariant;   ///< iv-invariant remainder (may be cst(0))
+    bool constOffset = false;
+    i32 constValue = 0;  ///< valid when the invariant is a constant
+};
+
+/** Extract coeff*iv + invariant, or nullopt if not affine in @p iv. */
+std::optional<AffineForm> affineIn(const ExprPtr &expr,
+                                   const std::string &iv);
+
+} // namespace xloops
+
+#endif // XLOOPS_COMPILER_EXPR_H

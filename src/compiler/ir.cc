@@ -1,0 +1,178 @@
+#include "compiler/ir.h"
+
+namespace xloops {
+
+Stmt
+assign(const std::string &name, ExprPtr value)
+{
+    Stmt s;
+    s.kind = Stmt::Kind::AssignScalar;
+    s.name = name;
+    s.value = std::move(value);
+    return s;
+}
+
+Stmt
+store(const std::string &array, ExprPtr index, ExprPtr value)
+{
+    Stmt s;
+    s.kind = Stmt::Kind::StoreArray;
+    s.array = array;
+    s.index = std::move(index);
+    s.value = std::move(value);
+    return s;
+}
+
+Stmt
+ifThen(ExprPtr cond, std::vector<Stmt> then_body,
+       std::vector<Stmt> else_body)
+{
+    Stmt s;
+    s.kind = Stmt::Kind::If;
+    s.cond = std::move(cond);
+    s.thenBody = std::move(then_body);
+    s.elseBody = std::move(else_body);
+    return s;
+}
+
+Stmt
+nested(Loop loop)
+{
+    Stmt s;
+    s.kind = Stmt::Kind::Nested;
+    s.nested.push_back(std::move(loop));
+    return s;
+}
+
+Stmt
+exitWhen(ExprPtr cond)
+{
+    Stmt s;
+    s.kind = Stmt::Kind::ExitWhen;
+    s.cond = std::move(cond);
+    return s;
+}
+
+bool
+hasExitWhen(const std::vector<Stmt> &body)
+{
+    for (const Stmt &s : body) {
+        if (s.kind == Stmt::Kind::ExitWhen)
+            return true;
+        if (s.kind == Stmt::Kind::If &&
+            (hasExitWhen(s.thenBody) || hasExitWhen(s.elseBody)))
+            return true;
+    }
+    return false;
+}
+
+namespace {
+
+void
+rwWalk(const std::vector<Stmt> &body, RwSets &rw)
+{
+    for (const Stmt &s : body) {
+        auto readExpr = [&rw](const ExprPtr &e) {
+            if (!e)
+                return;
+            std::set<std::string> vars;
+            e->collectVars(vars);
+            for (const auto &v : vars) {
+                rw.readAnywhere.insert(v);
+                if (!rw.written.count(v))
+                    rw.readFirst.insert(v);
+            }
+        };
+        switch (s.kind) {
+          case Stmt::Kind::AssignScalar:
+            readExpr(s.value);
+            rw.written.insert(s.name);
+            break;
+          case Stmt::Kind::StoreArray:
+            readExpr(s.index);
+            readExpr(s.value);
+            break;
+          case Stmt::Kind::If:
+            readExpr(s.cond);
+            // Conservative: both branches see the same prior state;
+            // writes in either branch count as writes.
+            rwWalk(s.thenBody, rw);
+            rwWalk(s.elseBody, rw);
+            break;
+          case Stmt::Kind::Nested: {
+            const Loop &loop = s.nested.front();
+            readExpr(loop.lower);
+            readExpr(loop.upper);
+            rw.written.insert(loop.iv);
+            rwWalk(loop.body, rw);
+            break;
+          }
+          case Stmt::Kind::ExitWhen:
+            readExpr(s.cond);
+            break;
+        }
+    }
+}
+
+void
+arrayWalk(const std::vector<Stmt> &body, bool writes,
+          std::vector<std::pair<std::string, ExprPtr>> &out)
+{
+    for (const Stmt &s : body) {
+        auto loadsOf = [&out, writes](const ExprPtr &e) {
+            if (!writes && e)
+                e->collectLoads(out);
+        };
+        switch (s.kind) {
+          case Stmt::Kind::AssignScalar:
+            loadsOf(s.value);
+            break;
+          case Stmt::Kind::StoreArray:
+            if (writes)
+                out.emplace_back(s.array, s.index);
+            loadsOf(s.index);
+            loadsOf(s.value);
+            break;
+          case Stmt::Kind::If:
+            loadsOf(s.cond);
+            arrayWalk(s.thenBody, writes, out);
+            arrayWalk(s.elseBody, writes, out);
+            break;
+          case Stmt::Kind::Nested:
+            // Nested loops are analyzed at their own level; treat as
+            // opaque here (the caller's ZIV/SIV tests cannot reason
+            // about the inner iv).
+            arrayWalk(s.nested.front().body, writes, out);
+            break;
+          case Stmt::Kind::ExitWhen:
+            loadsOf(s.cond);
+            break;
+        }
+    }
+}
+
+} // namespace
+
+RwSets
+scalarRw(const std::vector<Stmt> &body)
+{
+    RwSets rw;
+    rwWalk(body, rw);
+    return rw;
+}
+
+void
+collectArrayWrites(const std::vector<Stmt> &body,
+                   std::vector<std::pair<std::string, ExprPtr>> &out)
+{
+    arrayWalk(body, true, out);
+}
+
+void
+collectArrayReads(const std::vector<Stmt> &body,
+                  std::vector<std::pair<std::string, ExprPtr>> &out)
+{
+    arrayWalk(body, false, out);
+}
+
+} // namespace xloops

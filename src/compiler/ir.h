@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The xcc loop IR: statements, loops with pragma annotations, and a
+ * small whole-program container. This is the compiler front end's
+ * output (the paper used #pragma-tagged C through LLVM; we model the
+ * post-frontend form the XLOOPS passes operate on).
+ */
+
+#ifndef XLOOPS_COMPILER_IR_H
+#define XLOOPS_COMPILER_IR_H
+
+#include <string>
+#include <vector>
+
+#include "compiler/expr.h"
+
+namespace xloops {
+
+/** Programmer annotation on a loop (paper Section II-B). */
+enum class Pragma
+{
+    None,       ///< plain serial loop
+    Unordered,  ///< #pragma xloops unordered
+    Ordered,    ///< #pragma xloops ordered
+    Atomic,     ///< #pragma xloops atomic
+};
+
+struct Stmt;
+
+/** A counted loop: for (iv = lower; iv < upper; iv++). */
+struct Loop
+{
+    std::string iv;
+    ExprPtr lower;
+    ExprPtr upper;        ///< Var upper bound enables *.db detection
+    Pragma pragma = Pragma::None;
+    std::vector<Stmt> body;
+    bool hintSpecialize = true;   ///< software specialization hint
+};
+
+/** One IR statement. */
+struct Stmt
+{
+    enum class Kind
+    {
+        AssignScalar,  ///< name = expr
+        StoreArray,    ///< array[index] = expr
+        If,            ///< if (cond) thenBody else elseBody
+        Nested,        ///< a nested loop
+        ExitWhen,      ///< break the enclosing loop when cond != 0
+                       ///< (lowers to the xloop.*.de extension)
+    };
+
+    Kind kind = Kind::AssignScalar;
+    std::string name;          ///< AssignScalar target
+    std::string array;         ///< StoreArray target
+    ExprPtr index;             ///< StoreArray index
+    ExprPtr value;             ///< AssignScalar / StoreArray value
+    ExprPtr cond;              ///< If condition
+    std::vector<Stmt> thenBody;
+    std::vector<Stmt> elseBody;
+    std::vector<Loop> nested;  ///< Nested (exactly one)
+};
+
+// Statement factories.
+Stmt assign(const std::string &name, ExprPtr value);
+Stmt store(const std::string &array, ExprPtr index, ExprPtr value);
+Stmt ifThen(ExprPtr cond, std::vector<Stmt> then_body,
+            std::vector<Stmt> else_body = {});
+Stmt nested(Loop loop);
+Stmt exitWhen(ExprPtr cond);
+
+/** True when @p body contains an ExitWhen at this loop level
+ *  (nested loops' exits belong to the nested loops). */
+bool hasExitWhen(const std::vector<Stmt> &body);
+
+/** Scalar read/write footprint of a statement list. */
+struct RwSets
+{
+    std::set<std::string> readFirst;  ///< read before any write
+    std::set<std::string> written;
+    std::set<std::string> readAnywhere;
+};
+
+/** Compute scalar read/write sets over @p body in program order.
+ *  Both branches of an If are merged conservatively. */
+RwSets scalarRw(const std::vector<Stmt> &body);
+
+/** Collect all array writes (array, index) in @p body, recursing
+ *  through Ifs but not into nested loops. */
+void collectArrayWrites(
+    const std::vector<Stmt> &body,
+    std::vector<std::pair<std::string, ExprPtr>> &out);
+
+/** Collect all array reads (array, index) in @p body. */
+void collectArrayReads(
+    const std::vector<Stmt> &body,
+    std::vector<std::pair<std::string, ExprPtr>> &out);
+
+} // namespace xloops
+
+#endif // XLOOPS_COMPILER_IR_H

@@ -1,0 +1,90 @@
+#include "compiler/pattern_select.h"
+
+#include "common/log.h"
+
+namespace xloops {
+
+Op
+LoopSelection::opcode() const
+{
+    XL_ASSERT(!serial, "serial loop has no xloop opcode");
+    if (dataDepExit) {
+        XL_ASSERT(!dynamicBound, "db and de cannot combine");
+        switch (pattern) {
+          case LoopPattern::OM: return Op::XLOOP_OM_DE;
+          case LoopPattern::ORM: return Op::XLOOP_ORM_DE;
+          default:
+            panic("data-dependent exit requires a memory-ordered "
+                  "pattern");
+        }
+    }
+    switch (pattern) {
+      case LoopPattern::UC:
+        return dynamicBound ? Op::XLOOP_UC_DB : Op::XLOOP_UC;
+      case LoopPattern::OR:
+        return dynamicBound ? Op::XLOOP_OR_DB : Op::XLOOP_OR;
+      case LoopPattern::OM:
+        return dynamicBound ? Op::XLOOP_OM_DB : Op::XLOOP_OM;
+      case LoopPattern::ORM:
+        return dynamicBound ? Op::XLOOP_ORM_DB : Op::XLOOP_ORM;
+      case LoopPattern::UA:
+        return dynamicBound ? Op::XLOOP_UA_DB : Op::XLOOP_UA;
+    }
+    panic("unknown pattern");
+}
+
+LoopSelection
+selectPattern(const Loop &loop)
+{
+    LoopSelection sel;
+    sel.dynamicBound = boundUpdateAnalysis(loop);
+    sel.dataDepExit = hasExitWhen(loop.body);
+    if (sel.dataDepExit && loop.pragma != Pragma::Ordered &&
+        loop.pragma != Pragma::None) {
+        fatal("data-dependent exits require an ordered (or serial) "
+              "loop: speculative cancellation needs buffered stores");
+    }
+
+    switch (loop.pragma) {
+      case Pragma::None:
+        sel.serial = true;
+        return sel;
+      case Pragma::Unordered:
+        sel.pattern = LoopPattern::UC;
+        return sel;
+      case Pragma::Atomic:
+        sel.pattern = LoopPattern::UA;
+        return sel;
+      case Pragma::Ordered:
+        break;
+    }
+
+    // ordered: the programmer need not say how the dependence is
+    // communicated; the compiler works it out.
+    const RegDepResult regs = regDepAnalysis(loop);
+    const MemDepResult mems = memDepAnalysis(loop);
+    sel.cirs = regs.cirs;
+    sel.carriedMemDep = mems.hasCarriedDep;
+    const bool viaRegs = !regs.cirs.empty();
+    if (viaRegs && mems.hasCarriedDep)
+        sel.pattern = LoopPattern::ORM;
+    else if (viaRegs)
+        sel.pattern = LoopPattern::OR;
+    else if (mems.hasCarriedDep)
+        sel.pattern = LoopPattern::OM;
+    else
+        sel.pattern = LoopPattern::UC;  // least restrictive encoding
+
+    if (sel.dataDepExit) {
+        // *.de needs memory ordering (cancellation = discard LSQs).
+        if (sel.pattern == LoopPattern::ORM ||
+            sel.pattern == LoopPattern::OR) {
+            sel.pattern = LoopPattern::ORM;
+        } else {
+            sel.pattern = LoopPattern::OM;
+        }
+    }
+    return sel;
+}
+
+} // namespace xloops

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * xloop pattern selection (paper Section II-B): combine the pragma
+ * annotation with register/memory dependence analysis to choose the
+ * least restrictive xloop encoding:
+ *
+ *   unordered            -> xloop.uc
+ *   atomic               -> xloop.ua
+ *   ordered + reg only   -> xloop.or
+ *   ordered + mem only   -> xloop.om
+ *   ordered + both       -> xloop.orm
+ *   ordered + neither    -> xloop.uc  (least restrictive)
+ *   bound updated        -> *.db variant
+ *   no pragma            -> serial loop (no xloop)
+ */
+
+#ifndef XLOOPS_COMPILER_PATTERN_SELECT_H
+#define XLOOPS_COMPILER_PATTERN_SELECT_H
+
+#include "compiler/dep_analysis.h"
+#include "isa/opcodes.h"
+
+namespace xloops {
+
+/** Complete analysis verdict for one loop. */
+struct LoopSelection
+{
+    bool serial = false;        ///< no xloop (Pragma::None)
+    LoopPattern pattern = LoopPattern::UC;
+    bool dynamicBound = false;
+    bool dataDepExit = false;   ///< ExitWhen present: lowers to *.de
+    std::vector<std::string> cirs;
+    bool carriedMemDep = false;
+
+    /** The xloop opcode implementing this selection. */
+    Op opcode() const;
+};
+
+/** Run all analysis passes and select the encoding for @p loop. */
+LoopSelection selectPattern(const Loop &loop);
+
+} // namespace xloops
+
+#endif // XLOOPS_COMPILER_PATTERN_SELECT_H

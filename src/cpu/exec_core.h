@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The shared functional semantics of the xrisc ISA: one architectural
+ * step. Every engine (serial golden model, in-order GPP, out-of-order
+ * GPP, LPSU lanes) funnels execution through ExecCore::step so the
+ * instruction semantics exist exactly once.
+ *
+ * xloop instructions execute here with their *traditional* semantics
+ * (increment-compare-branch) — the paper's minimal-decoder-change GPP
+ * path. Specialized execution is layered on top by the LPSU, which
+ * never lets a lane execute the xloop instruction itself.
+ */
+
+#ifndef XLOOPS_CPU_EXEC_CORE_H
+#define XLOOPS_CPU_EXEC_CORE_H
+
+#include <array>
+
+#include "common/types.h"
+#include "isa/instruction.h"
+#include "mem/memory.h"
+
+namespace xloops {
+
+/** Architectural register file; r0 reads as zero, writes discarded. */
+class RegFile
+{
+  public:
+    u32
+    get(RegId reg) const
+    {
+        return reg == 0 ? 0 : regs[reg];
+    }
+
+    void
+    set(RegId reg, u32 value)
+    {
+        if (reg != 0)
+            regs[reg] = value;
+    }
+
+    std::array<u32, numArchRegs> regs{};
+};
+
+/** Outcome of one architectural step. */
+struct StepResult
+{
+    Addr nextPc = 0;
+    bool halted = false;
+    bool branchTaken = false;   ///< valid for control instructions
+    bool memAccess = false;
+    Addr memAddr = 0;
+    unsigned memSize = 0;
+    bool regWritten = false;
+    RegId writtenReg = 0;
+    u32 writtenValue = 0;
+};
+
+/** Stateless ISA semantics. */
+class ExecCore
+{
+  public:
+    /**
+     * Execute @p inst at @p pc: read/write @p regs, access @p mem.
+     *
+     * @param cycle current cycle for csrr (cycle counter reads)
+     */
+    static StepResult step(const Instruction &inst, Addr pc, RegFile &regs,
+                           MemIface &mem, Cycle cycle = 0);
+};
+
+} // namespace xloops
+
+#endif // XLOOPS_CPU_EXEC_CORE_H

@@ -1,0 +1,34 @@
+#include "cpu/functional.h"
+
+#include "common/log.h"
+
+namespace xloops {
+
+FuncResult
+FunctionalExecutor::run(const Program &prog, u64 maxInsts)
+{
+    FuncResult result;
+    Addr pc = prog.entry;
+
+    while (true) {
+        const Instruction inst = prog.fetch(pc);
+        const StepResult step = ExecCore::step(inst, pc, regs, mem,
+                                               result.dynInsts);
+        result.dynInsts++;
+        if (inst.isXloop())
+            statGroup.add("xloop_insts");
+        if (inst.isXi())
+            statGroup.add("xi_insts");
+        if (step.halted) {
+            result.halted = true;
+            break;
+        }
+        pc = step.nextPc;
+        if (result.dynInsts >= maxInsts)
+            fatal("functional execution exceeded instruction limit");
+    }
+    statGroup.set("dyn_insts", result.dynInsts);
+    return result;
+}
+
+} // namespace xloops

@@ -1,0 +1,21 @@
+#include "cpu/gpp.h"
+
+#include "common/log.h"
+#include "cpu/inorder.h"
+#include "cpu/ooo.h"
+
+namespace xloops {
+
+std::unique_ptr<GppModel>
+makeGppModel(const GppConfig &config)
+{
+    switch (config.kind) {
+      case GppConfig::Kind::InOrder:
+        return std::make_unique<InOrderCpu>(config);
+      case GppConfig::Kind::OutOfOrder:
+        return std::make_unique<OooCpu>(config);
+    }
+    panic("unknown gpp kind");
+}
+
+} // namespace xloops

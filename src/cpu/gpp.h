@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Abstract cycle-level GPP timing model.
+ *
+ * The timing models are committed-stream estimators: the system runs
+ * the functional semantics (ExecCore) and feeds each committed
+ * instruction to the model, which tracks pipeline/dataflow timing and
+ * reports the running cycle count. Wrong-path work is modelled by the
+ * branch-redirect penalty — the same altitude as the paper's gem5
+ * models for the relative comparisons the evaluation makes.
+ */
+
+#ifndef XLOOPS_CPU_GPP_H
+#define XLOOPS_CPU_GPP_H
+
+#include <memory>
+
+#include "common/stats.h"
+#include "cpu/exec_core.h"
+#include "mem/cache.h"
+
+namespace xloops {
+
+/** Configuration of a general-purpose processor model. */
+struct GppConfig
+{
+    enum class Kind { InOrder, OutOfOrder };
+
+    Kind kind = Kind::InOrder;
+    unsigned width = 1;             ///< fetch/issue/retire width (OoO)
+    unsigned robSize = 64;          ///< OoO reorder buffer entries
+    unsigned iqSize = 32;           ///< OoO issue queue entries
+    unsigned lsqEntries = 16;       ///< OoO load and store queue entries
+    unsigned memPorts = 1;          ///< data cache ports
+    unsigned branchPenalty = 2;     ///< redirect penalty (cycles)
+    CacheConfig icache;
+    CacheConfig dcache;
+};
+
+/** Shared interface of the in-order and out-of-order timing models. */
+class GppModel
+{
+  public:
+    virtual ~GppModel() = default;
+
+    /** Account one committed instruction (functional work already done). */
+    virtual void retire(const Instruction &inst, Addr pc,
+                        const StepResult &step) = 0;
+
+    /** Cycle at which all work so far completes. */
+    virtual Cycle now() const = 0;
+
+    /** Stall the front end until @p cycle (e.g., LPSU owns the loop). */
+    virtual void advanceTo(Cycle cycle) = 0;
+
+    /** Clear all timing state and statistics. */
+    virtual void reset() = 0;
+
+    /** The data cache timing model (shared with the LPSU). */
+    virtual L1Cache &dcacheModel() = 0;
+
+    StatGroup &stats() { return statGroup; }
+    const StatGroup &stats() const { return statGroup; }
+
+  protected:
+    StatGroup statGroup;
+};
+
+/** Build the model described by @p config. */
+std::unique_ptr<GppModel> makeGppModel(const GppConfig &config);
+
+} // namespace xloops
+
+#endif // XLOOPS_CPU_GPP_H

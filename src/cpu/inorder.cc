@@ -1,0 +1,105 @@
+#include "cpu/inorder.h"
+
+#include <algorithm>
+
+namespace xloops {
+
+InOrderCpu::InOrderCpu(const GppConfig &config)
+    : cfg(config), icache(config.icache), dcache(config.dcache)
+{
+}
+
+void
+InOrderCpu::reset()
+{
+    nextIssue = 0;
+    llfuFree = 0;
+    lastComplete = 0;
+    regReady.fill(0);
+    icache.flush();
+    dcache.flush();
+    statGroup.clear();
+}
+
+void
+InOrderCpu::advanceTo(Cycle cycle)
+{
+    if (cycle > nextIssue) {
+        statGroup.add("ext_stall_cycles", cycle - nextIssue);
+        nextIssue = cycle;
+    }
+    lastComplete = std::max(lastComplete, cycle);
+}
+
+void
+InOrderCpu::retire(const Instruction &inst, Addr pc, const StepResult &step)
+{
+    statGroup.add("insts");
+
+    // Fetch: instruction cache access; a miss stalls the front end.
+    Cycle issue = nextIssue;
+    const Cycle ifetch = icache.access(pc, false);
+    if (ifetch > cfg.icache.hitLatency)
+        issue += ifetch - cfg.icache.hitLatency;
+
+    // Source operands via full bypass network.
+    RegId srcs[2];
+    const unsigned numSrcs = inst.srcRegs(srcs);
+    for (unsigned i = 0; i < numSrcs; i++) {
+        const Cycle ready = regReady[srcs[i]];
+        if (ready > issue) {
+            statGroup.add("raw_stall_cycles", ready - issue);
+            issue = ready;
+        }
+    }
+
+    // Structural hazard on the unpipelined divider.
+    const FuClass fu = inst.traits().fuClass;
+    const bool unpipelined = inst.op == Op::DIV || inst.op == Op::REM ||
+                             inst.op == Op::FDIV;
+    if (unpipelined && llfuFree > issue) {
+        statGroup.add("llfu_stall_cycles", llfuFree - issue);
+        issue = llfuFree;
+    }
+
+    // Execute latency (memory adds the data cache model). The L1 is
+    // blocking: a miss stalls the whole pipeline, not just the user.
+    Cycle latency = inst.traits().latency;
+    Cycle blockCycles = 0;
+    if (step.memAccess) {
+        const bool isWrite = inst.isStore() || inst.isAmo();
+        const Cycle dlat = dcache.access(step.memAddr, isWrite);
+        latency += dlat - 1;  // traits latency already includes 1 hit cycle
+        if (dlat > cfg.dcache.hitLatency) {
+            blockCycles = dlat - cfg.dcache.hitLatency;
+            statGroup.add("mem_stall_cycles", blockCycles);
+        }
+        statGroup.add(inst.isLoad() ? "loads"
+                                    : (inst.isStore() ? "stores" : "amos"));
+    }
+    if (unpipelined)
+        llfuFree = issue + latency;
+    if (fu == FuClass::Mul || fu == FuClass::Fpu || fu == FuClass::Div)
+        statGroup.add("llfu_ops");
+
+    // Writeback.
+    const RegId dst = inst.destReg();
+    if (dst < numArchRegs)
+        regReady[dst] = issue + latency;
+
+    // Next fetch: single issue; taken control flow redirects the
+    // front end (static not-taken prediction resolved in EX).
+    nextIssue = issue + 1 + blockCycles;
+    if (step.branchTaken) {
+        nextIssue += cfg.branchPenalty;
+        statGroup.add("branch_redirects");
+        statGroup.add("branch_stall_cycles", cfg.branchPenalty);
+    }
+    if (inst.isBranch() || inst.isXloop())
+        statGroup.add("branches");
+
+    lastComplete = std::max(lastComplete, issue + latency);
+    statGroup.set("cycles", lastComplete);
+}
+
+} // namespace xloops

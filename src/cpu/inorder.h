@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Single-issue in-order 5-stage pipeline timing model (the paper's
+ * "io" baseline). Full bypassing, static not-taken branch prediction,
+ * blocking caches, unpipelined divide.
+ */
+
+#ifndef XLOOPS_CPU_INORDER_H
+#define XLOOPS_CPU_INORDER_H
+
+#include <array>
+
+#include "cpu/gpp.h"
+
+namespace xloops {
+
+class InOrderCpu : public GppModel
+{
+  public:
+    explicit InOrderCpu(const GppConfig &config);
+
+    void retire(const Instruction &inst, Addr pc,
+                const StepResult &step) override;
+    Cycle now() const override { return lastComplete; }
+    void advanceTo(Cycle cycle) override;
+    void reset() override;
+
+    L1Cache &dcacheModel() override { return dcache; }
+    L1Cache &icacheModel() { return icache; }
+
+  private:
+    GppConfig cfg;
+    L1Cache icache;
+    L1Cache dcache;
+
+    Cycle nextIssue = 0;                     ///< next free issue slot
+    Cycle llfuFree = 0;                      ///< unpipelined div/fdiv
+    Cycle lastComplete = 0;
+    std::array<Cycle, numArchRegs> regReady{};
+};
+
+} // namespace xloops
+
+#endif // XLOOPS_CPU_INORDER_H

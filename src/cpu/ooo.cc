@@ -1,0 +1,217 @@
+#include "cpu/ooo.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace xloops {
+
+GsharePredictor::GsharePredictor(unsigned table_bits)
+    : tableBits(table_bits),
+      counters(size_t{1} << table_bits, 1)  // weakly not-taken
+{
+}
+
+void
+GsharePredictor::reset()
+{
+    std::fill(counters.begin(), counters.end(), 1);
+    history = 0;
+}
+
+bool
+GsharePredictor::predictAndTrain(Addr pc, bool taken)
+{
+    const u32 mask = (1u << tableBits) - 1;
+    const u32 index = ((pc >> 2) ^ history) & mask;
+    u8 &ctr = counters[index];
+    const bool predicted = ctr >= 2;
+    if (taken) {
+        if (ctr < 3)
+            ctr++;
+    } else {
+        if (ctr > 0)
+            ctr--;
+    }
+    history = ((history << 1) | (taken ? 1 : 0)) & mask;
+    return predicted == taken;
+}
+
+OooCpu::OooCpu(const GppConfig &config)
+    : cfg(config), icache(config.icache), dcache(config.dcache)
+{
+    XL_ASSERT(cfg.width >= 1 && cfg.robSize >= cfg.width,
+              "bad ooo config");
+    robRetire.assign(cfg.robSize, 0);
+    iqIssue.assign(cfg.iqSize, 0);
+    issuePorts.assign(cfg.width, 0);
+    memPorts.assign(cfg.memPorts, 0);
+}
+
+void
+OooCpu::reset()
+{
+    fetchCycle = 0;
+    fetchedThisCycle = 0;
+    std::fill(robRetire.begin(), robRetire.end(), Cycle{0});
+    std::fill(iqIssue.begin(), iqIssue.end(), Cycle{0});
+    seq = 0;
+    lastRetire = 0;
+    retiredThisCycle = 0;
+    retireCycle = 0;
+    regReady.fill(0);
+    std::fill(issuePorts.begin(), issuePorts.end(), Cycle{0});
+    std::fill(memPorts.begin(), memPorts.end(), Cycle{0});
+    divFree = 0;
+    storeQueue.clear();
+    bpred.reset();
+    icache.flush();
+    dcache.flush();
+    statGroup.clear();
+}
+
+void
+OooCpu::advanceTo(Cycle cycle)
+{
+    if (cycle > fetchCycle) {
+        statGroup.add("ext_stall_cycles", cycle - fetchCycle);
+        fetchCycle = cycle;
+        fetchedThisCycle = 0;
+    }
+    lastRetire = std::max(lastRetire, cycle);
+    retireCycle = std::max(retireCycle, cycle);
+}
+
+Cycle
+OooCpu::allocPort(std::vector<Cycle> &ports, Cycle earliest)
+{
+    auto it = std::min_element(ports.begin(), ports.end());
+    const Cycle slot = std::max(*it, earliest);
+    *it = slot + 1;
+    return slot;
+}
+
+void
+OooCpu::retire(const Instruction &inst, Addr pc, const StepResult &step)
+{
+    statGroup.add("insts");
+
+    // --- fetch/dispatch -------------------------------------------------
+    const Cycle ifetch = icache.access(pc, false);
+    if (ifetch > cfg.icache.hitLatency) {
+        fetchCycle += ifetch - cfg.icache.hitLatency;
+        fetchedThisCycle = 0;
+    }
+    if (fetchedThisCycle >= cfg.width) {
+        fetchCycle++;
+        fetchedThisCycle = 0;
+    }
+
+    // ROB window: the entry reused by this instruction must have
+    // retired. IQ window: the entry reused must have issued.
+    const size_t robSlot = seq % cfg.robSize;
+    const size_t iqSlot = seq % cfg.iqSize;
+    Cycle dispatch = fetchCycle;
+    if (robRetire[robSlot] > dispatch) {
+        statGroup.add("rob_stall_cycles", robRetire[robSlot] - dispatch);
+        dispatch = robRetire[robSlot];
+        fetchCycle = dispatch;
+        fetchedThisCycle = 0;
+    }
+    if (iqIssue[iqSlot] > dispatch) {
+        statGroup.add("iq_stall_cycles", iqIssue[iqSlot] - dispatch);
+        dispatch = iqIssue[iqSlot];
+        fetchCycle = dispatch;
+        fetchedThisCycle = 0;
+    }
+    fetchedThisCycle++;
+
+    // --- issue ------------------------------------------------------------
+    Cycle operandsReady = dispatch + 1;
+    RegId srcs[2];
+    const unsigned numSrcs = inst.srcRegs(srcs);
+    for (unsigned i = 0; i < numSrcs; i++)
+        operandsReady = std::max(operandsReady, regReady[srcs[i]]);
+
+    Cycle issue;
+    Cycle latency = inst.traits().latency;
+    const bool unpipelined = inst.op == Op::DIV || inst.op == Op::REM ||
+                             inst.op == Op::FDIV;
+
+    if (step.memAccess && (inst.isLoad() || inst.isAmo())) {
+        issue = allocPort(memPorts, operandsReady);
+        bool forwarded = false;
+        for (auto it = storeQueue.rbegin(); it != storeQueue.rend(); ++it) {
+            if (it->addr == step.memAddr && it->size == step.memSize) {
+                // Store-to-load forwarding from the store queue.
+                latency = 1;
+                issue = std::max(issue, it->dataReady);
+                forwarded = true;
+                statGroup.add("stl_forwards");
+                break;
+            }
+        }
+        if (!forwarded) {
+            const Cycle dlat = dcache.access(step.memAddr, false);
+            latency += dlat - 1;
+        }
+        statGroup.add(inst.isAmo() ? "amos" : "loads");
+        if (inst.isAmo())
+            latency += 2;  // conservative AMO handling on OoO GPPs
+    } else if (step.memAccess) {
+        // Store: address/data ready at issue; cache written at commit.
+        issue = allocPort(memPorts, operandsReady);
+        dcache.access(step.memAddr, true);
+        storeQueue.push_back({step.memAddr, step.memSize, issue + 1});
+        if (storeQueue.size() > cfg.lsqEntries)
+            storeQueue.pop_front();
+        statGroup.add("stores");
+    } else if (unpipelined) {
+        issue = std::max({operandsReady, divFree});
+        divFree = issue + latency;
+        statGroup.add("llfu_ops");
+    } else {
+        issue = allocPort(issuePorts, operandsReady);
+        if (inst.isLlfu())
+            statGroup.add("llfu_ops");
+    }
+
+    const Cycle complete = issue + latency;
+    iqIssue[iqSlot] = issue;
+
+    const RegId dst = inst.destReg();
+    if (dst < numArchRegs)
+        regReady[dst] = complete;
+
+    // --- branch resolution ----------------------------------------------
+    if (inst.isBranch() || inst.isXloop()) {
+        statGroup.add("branches");
+        const bool correct = bpred.predictAndTrain(pc, step.branchTaken);
+        if (!correct) {
+            statGroup.add("mispredicts");
+            const Cycle redirect = complete + cfg.branchPenalty;
+            if (redirect > fetchCycle) {
+                fetchCycle = redirect;
+                fetchedThisCycle = 0;
+            }
+        }
+    } else if (inst.isJump()) {
+        statGroup.add("branches");  // predicted via BTB/RAS: no penalty
+    }
+
+    // --- in-order retire ---------------------------------------------------
+    Cycle ret = std::max(complete + 1, retireCycle);
+    if (ret == retireCycle && retiredThisCycle >= cfg.width)
+        ret++;
+    if (ret > retireCycle) {
+        retireCycle = ret;
+        retiredThisCycle = 0;
+    }
+    retiredThisCycle++;
+    robRetire[robSlot] = ret;
+    lastRetire = std::max(lastRetire, ret);
+    seq++;
+    statGroup.set("cycles", lastRetire);
+}
+
+} // namespace xloops

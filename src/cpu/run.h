@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Minimal harness: run a program functionally while feeding a GPP
+ * timing model — i.e., pure traditional execution. The full system
+ * (system/system.h) layers specialized and adaptive execution on top;
+ * this helper exists for unit tests and microbenchmarks of the GPP
+ * models in isolation.
+ */
+
+#ifndef XLOOPS_CPU_RUN_H
+#define XLOOPS_CPU_RUN_H
+
+#include "asm/program.h"
+#include "common/log.h"
+#include "cpu/gpp.h"
+#include "mem/memory.h"
+
+namespace xloops {
+
+struct GppRunResult
+{
+    Cycle cycles = 0;
+    u64 dynInsts = 0;
+};
+
+inline GppRunResult
+runTraditional(const Program &prog, MainMemory &mem, GppModel &model,
+               u64 maxInsts = 500'000'000)
+{
+    RegFile regs;
+    Addr pc = prog.entry;
+    GppRunResult result;
+    while (true) {
+        const Instruction inst = prog.fetch(pc);
+        const StepResult step =
+            ExecCore::step(inst, pc, regs, mem, model.now());
+        model.retire(inst, pc, step);
+        result.dynInsts++;
+        if (step.halted)
+            break;
+        pc = step.nextPc;
+        if (result.dynInsts >= maxInsts)
+            fatal("traditional execution exceeded instruction limit");
+    }
+    result.cycles = model.now();
+    return result;
+}
+
+} // namespace xloops
+
+#endif // XLOOPS_CPU_RUN_H

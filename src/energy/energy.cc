@@ -1,0 +1,71 @@
+#include "energy/energy.h"
+
+namespace xloops {
+
+EnergyBreakdown
+EnergyModel::dynamicEnergy(const SysConfig &cfg,
+                           const StatGroup &stats) const
+{
+    EnergyBreakdown out;
+
+    // --- GPP -------------------------------------------------------------
+    const double insts = static_cast<double>(stats.get("insts"));
+    const double loads = static_cast<double>(stats.get("loads"));
+    const double stores = static_cast<double>(stats.get("stores"));
+    const double amos = static_cast<double>(stats.get("amos"));
+    const double branches = static_cast<double>(stats.get("branches"));
+    const double llfuOps = static_cast<double>(stats.get("llfu_ops"));
+
+    double gpp = 0;
+    gpp += insts * (tbl.icacheAccess + tbl.decode + 2 * tbl.rfRead +
+                    tbl.rfWrite + tbl.alu);
+    gpp += (loads + stores + amos) * tbl.dcacheAccess;
+    gpp += amos * tbl.amoExtra;
+    gpp += llfuOps * (tbl.llfuOp - tbl.alu);
+
+    if (cfg.gpp.kind == GppConfig::Kind::OutOfOrder) {
+        // Width scaling: wider machines have larger rename/IQ/ROB
+        // structures (CAM/selection energy grows with width).
+        const double widthScale = cfg.gpp.width == 2 ? 1.0 : 1.5;
+        gpp += insts * widthScale *
+               (tbl.renameOp + tbl.iqOp + tbl.robOp);
+        gpp += branches * tbl.bpredAccess;
+        gpp += (loads + stores) * tbl.lsqOp;
+    }
+    out.gppNj = gpp / 1000.0;
+
+    // --- LPSU -------------------------------------------------------------
+    const double laneInsts = static_cast<double>(stats.get("lane_insts"));
+    const double laneMem =
+        static_cast<double>(stats.get("lane_mem_accesses"));
+    const double lsqOps = static_cast<double>(
+        stats.get("lsq_loads") + stats.get("lsq_stores") +
+        stats.get("lsq_drain_stores"));
+    const double cibOps = static_cast<double>(stats.get("cib_pushes") +
+                                              stats.get("cib_consumes"));
+    const double mivs = static_cast<double>(stats.get("miv_fixups"));
+    const double scanWrites =
+        static_cast<double>(stats.get("scan_inst_writes"));
+    const double scanRenames =
+        static_cast<double>(stats.get("scan_renames"));
+    const double scanLiveins =
+        static_cast<double>(stats.get("scan_livein_writes"));
+
+    double lpsu = 0;
+    lpsu += laneInsts * (tbl.ibAccess + tbl.decode + 2 * tbl.rfRead +
+                         tbl.rfWrite + tbl.alu);
+    lpsu += laneMem * tbl.dcacheAccess;
+    lpsu += lsqOps * tbl.lsqOp;
+    lpsu += cibOps * tbl.cibOp;
+    lpsu += mivs * tbl.mivMul;
+    // One-time renaming during the scan, amortized over all
+    // iterations (paper Section II-D).
+    lpsu += scanWrites * tbl.scanWrite + scanRenames * tbl.renameOp +
+            scanLiveins * tbl.rfWrite;
+    lpsu *= 1.0 + tbl.lmuOverheadFrac;
+    out.lpsuNj = lpsu / 1000.0;
+
+    return out;
+}
+
+} // namespace xloops

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Event-based dynamic energy model in the spirit of the paper's
+ * McPAT-1.0 methodology (45 nm). Each microarchitectural event has a
+ * fixed energy; a run's merged statistics are folded against the
+ * table. The key calibration points follow the paper:
+ *
+ *  - an LPSU instruction-buffer access is ~10x cheaper than an
+ *    instruction-cache access (paper Section V-C);
+ *  - xi execution is charged as a (narrow) multiply;
+ *  - CIB transfers are charged as extra register-file read+write;
+ *  - LSQ events use out-of-order-class LSQ energy (conservative);
+ *  - the LMU/index queues/arbiters add a 5% overhead on the LPSU
+ *    subtotal (paper Section IV-A);
+ *  - OoO processors pay rename/issue-queue/ROB energy per
+ *    instruction, scaled with issue width.
+ */
+
+#ifndef XLOOPS_ENERGY_ENERGY_H
+#define XLOOPS_ENERGY_ENERGY_H
+
+#include "common/stats.h"
+#include "system/config.h"
+
+namespace xloops {
+
+/** Per-event dynamic energies in picojoules (45 nm class). */
+struct EnergyTable
+{
+    double icacheAccess = 25.0;
+    double ibAccess = 2.5;        ///< 10x cheaper than the icache
+    double decode = 2.0;
+    double rfRead = 1.0;
+    double rfWrite = 1.5;
+    double alu = 3.0;
+    double llfuOp = 10.0;         ///< mul/fpu average; div folded in
+    double dcacheAccess = 30.0;
+    double amoExtra = 10.0;
+    double lsqOp = 6.0;           ///< OoO-class LSQ energy per access
+    double cibOp = 2.5;           ///< approx. one rf read + write
+    double mivMul = 5.0;          ///< narrow multiplier
+    double scanWrite = 3.0;       ///< IB write during scan
+    double renameOp = 4.0;
+    double iqOp = 6.0;
+    double robOp = 4.0;
+    double bpredAccess = 2.0;
+    double lmuOverheadFrac = 0.05;
+};
+
+/** Breakdown of one run's dynamic energy (nanojoules). */
+struct EnergyBreakdown
+{
+    double gppNj = 0;
+    double lpsuNj = 0;
+    double totalNj() const { return gppNj + lpsuNj; }
+};
+
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyTable &table = {}) : tbl(table) {}
+
+    /**
+     * Fold the merged statistics of a run against the event table.
+     * @p cfg selects the GPP event profile (in-order vs OoO width).
+     */
+    EnergyBreakdown dynamicEnergy(const SysConfig &cfg,
+                                  const StatGroup &stats) const;
+
+    /** Energy efficiency of run b relative to run a:
+     *  (energy_a / energy_b) for the same work. */
+    static double
+    relativeEfficiency(double base_nj, double other_nj)
+    {
+        return other_nj > 0 ? base_nj / other_nj : 0.0;
+    }
+
+    const EnergyTable &table() const { return tbl; }
+
+  private:
+    EnergyTable tbl;
+};
+
+} // namespace xloops
+
+#endif // XLOOPS_ENERGY_ENERGY_H

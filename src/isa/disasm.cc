@@ -1,0 +1,74 @@
+#include "isa/disasm.h"
+
+#include <sstream>
+
+namespace xloops {
+
+std::string
+regName(RegId reg)
+{
+    return "r" + std::to_string(reg);
+}
+
+std::string
+disassemble(const Instruction &inst, Addr pc)
+{
+    std::ostringstream os;
+    os << inst.traits().mnemonic;
+    auto target = [&](i32 words) {
+        return static_cast<Addr>(static_cast<i64>(pc) + i64{words} * 4);
+    };
+
+    switch (inst.traits().format) {
+      case Format::R:
+        os << " " << regName(inst.rd) << ", " << regName(inst.rs1)
+           << ", " << regName(inst.rs2);
+        break;
+      case Format::A:
+        os << " " << regName(inst.rd) << ", " << regName(inst.rs2)
+           << ", (" << regName(inst.rs1) << ")";
+        break;
+      case Format::I:
+        if (inst.isLoad()) {
+            os << " " << regName(inst.rd) << ", " << inst.imm << "("
+               << regName(inst.rs1) << ")";
+        } else {
+            os << " " << regName(inst.rd) << ", " << regName(inst.rs1)
+               << ", " << inst.imm;
+        }
+        break;
+      case Format::S:
+        os << " " << regName(inst.rs2) << ", " << inst.imm << "("
+           << regName(inst.rs1) << ")";
+        break;
+      case Format::U:
+      case Format::C:
+        os << " " << regName(inst.rd) << ", " << inst.imm;
+        break;
+      case Format::B:
+        os << " " << regName(inst.rs1) << ", " << regName(inst.rs2)
+           << ", 0x" << std::hex << target(inst.imm);
+        break;
+      case Format::J:
+        os << " " << regName(inst.rd) << ", 0x" << std::hex
+           << target(inst.imm);
+        break;
+      case Format::X:
+        os << " " << regName(inst.rd) << ", " << regName(inst.rs1)
+           << ", 0x" << std::hex << target(inst.imm);
+        if (inst.hint)
+            os << " [hint]";
+        break;
+      case Format::XI:
+        if (inst.op == Op::ADDIU_XI)
+            os << " " << regName(inst.rd) << ", " << inst.imm;
+        else
+            os << " " << regName(inst.rd) << ", " << regName(inst.rs2);
+        break;
+      case Format::N:
+        break;
+    }
+    return os.str();
+}
+
+} // namespace xloops

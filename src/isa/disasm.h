@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Disassembler for decoded xrisc instructions.
+ */
+
+#ifndef XLOOPS_ISA_DISASM_H
+#define XLOOPS_ISA_DISASM_H
+
+#include <string>
+
+#include "isa/instruction.h"
+
+namespace xloops {
+
+/** Render @p inst in assembler syntax; @p pc resolves branch targets. */
+std::string disassemble(const Instruction &inst, Addr pc = 0);
+
+/** Register name ("r0".."r31"). */
+std::string regName(RegId reg);
+
+} // namespace xloops
+
+#endif // XLOOPS_ISA_DISASM_H

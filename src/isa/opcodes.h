@@ -1,0 +1,203 @@
+/**
+ * @file
+ * The xrisc ISA opcode space, including the XLOOPS extensions
+ * (xloop.{uc,or,om,orm,ua}[.db], addiu.xi, addu.xi).
+ *
+ * One X-macro table keeps the mnemonic, encoding format, functional
+ * class, and nominal execute latency for every opcode in one place so
+ * the assembler, decoder, disassembler, and timing models can never
+ * disagree.
+ */
+
+#ifndef XLOOPS_ISA_OPCODES_H
+#define XLOOPS_ISA_OPCODES_H
+
+#include "common/types.h"
+
+namespace xloops {
+
+/** Instruction encoding formats. */
+enum class Format : u8
+{
+    R,      ///< opcode rd, rs1, rs2
+    I,      ///< opcode rd, rs1, imm14 (loads: rd, imm(rs1))
+    S,      ///< stores: opcode rs2, imm14(rs1)
+    U,      ///< opcode rd, imm19 (lui)
+    B,      ///< opcode rs1, rs2, label (imm14 word offset)
+    J,      ///< opcode rd, label (imm19 word offset)
+    X,      ///< xloop: opcode rIdx, rBound, label (imm13 back offset)
+    XI,     ///< addiu.xi rd, imm14 / addu.xi rd, rs2
+    N,      ///< no operands (nop, halt, fence)
+    C,      ///< csrr rd, imm (read cycle counter etc.)
+    A,      ///< AMO: opcode rd, rs2, (rs1)
+};
+
+/** Functional unit class used by the timing models. */
+enum class FuClass : u8
+{
+    Alu,        ///< 1-cycle integer op
+    Mul,        ///< LLFU multiplier (pipelined)
+    Div,        ///< LLFU divider (unpipelined)
+    Fpu,        ///< LLFU floating point (pipelined)
+    Load,
+    Store,
+    Amo,
+    Branch,
+    Jump,
+    Xloop,      ///< xloop instruction itself
+    Xi,         ///< cross-iteration add (MIV)
+    Misc,
+};
+
+// X-macro: OP(enumerator, "mnemonic", Format, FuClass, latency)
+#define XLOOPS_OPCODE_LIST(OP)                                   \
+    /* integer register-register */                              \
+    OP(ADD,     "add",      R, Alu, 1)                           \
+    OP(SUB,     "sub",      R, Alu, 1)                           \
+    OP(MUL,     "mul",      R, Mul, 3)                           \
+    OP(MULH,    "mulh",     R, Mul, 3)                           \
+    OP(DIV,     "div",      R, Div, 12)                          \
+    OP(REM,     "rem",      R, Div, 12)                          \
+    OP(AND,     "and",      R, Alu, 1)                           \
+    OP(OR,      "or",       R, Alu, 1)                           \
+    OP(XOR,     "xor",      R, Alu, 1)                           \
+    OP(NOR,     "nor",      R, Alu, 1)                           \
+    OP(SLL,     "sll",      R, Alu, 1)                           \
+    OP(SRL,     "srl",      R, Alu, 1)                           \
+    OP(SRA,     "sra",      R, Alu, 1)                           \
+    OP(SLT,     "slt",      R, Alu, 1)                           \
+    OP(SLTU,    "sltu",     R, Alu, 1)                           \
+    /* integer register-immediate */                             \
+    OP(ADDI,    "addi",     I, Alu, 1)                           \
+    OP(ANDI,    "andi",     I, Alu, 1)                           \
+    OP(ORI,     "ori",      I, Alu, 1)                           \
+    OP(XORI,    "xori",     I, Alu, 1)                           \
+    OP(SLLI,    "slli",     I, Alu, 1)                           \
+    OP(SRLI,    "srli",     I, Alu, 1)                           \
+    OP(SRAI,    "srai",     I, Alu, 1)                           \
+    OP(SLTI,    "slti",     I, Alu, 1)                           \
+    OP(SLTIU,   "sltiu",    I, Alu, 1)                           \
+    OP(LUI,     "lui",      U, Alu, 1)                           \
+    /* single-precision floating point in the unified regfile */ \
+    OP(FADD,    "fadd",     R, Fpu, 4)                           \
+    OP(FSUB,    "fsub",     R, Fpu, 4)                           \
+    OP(FMUL,    "fmul",     R, Fpu, 4)                           \
+    OP(FDIV,    "fdiv",     R, Fpu, 12)                          \
+    OP(FMIN,    "fmin",     R, Fpu, 4)                           \
+    OP(FMAX,    "fmax",     R, Fpu, 4)                           \
+    OP(FLT,     "flt",      R, Fpu, 4)                           \
+    OP(FLE,     "fle",      R, Fpu, 4)                           \
+    OP(FEQ,     "feq",      R, Fpu, 4)                           \
+    OP(FCVTSW,  "fcvt.s.w", R, Fpu, 4)                           \
+    OP(FCVTWS,  "fcvt.w.s", R, Fpu, 4)                           \
+    /* memory */                                                 \
+    OP(LW,      "lw",       I, Load, 2)                          \
+    OP(LH,      "lh",       I, Load, 2)                          \
+    OP(LHU,     "lhu",      I, Load, 2)                          \
+    OP(LB,      "lb",       I, Load, 2)                          \
+    OP(LBU,     "lbu",      I, Load, 2)                          \
+    OP(SW,      "sw",       S, Store, 1)                         \
+    OP(SH,      "sh",       S, Store, 1)                         \
+    OP(SB,      "sb",       S, Store, 1)                         \
+    /* atomic memory operations: rd <- M[rs1]; M[rs1] op= rs2 */ \
+    OP(AMOADD,  "amoadd",   A, Amo, 3)                           \
+    OP(AMOAND,  "amoand",   A, Amo, 3)                           \
+    OP(AMOOR,   "amoor",    A, Amo, 3)                           \
+    OP(AMOXOR,  "amoxor",   A, Amo, 3)                           \
+    OP(AMOSWAP, "amoswap",  A, Amo, 3)                           \
+    OP(AMOMIN,  "amomin",   A, Amo, 3)                           \
+    OP(AMOMAX,  "amomax",   A, Amo, 3)                           \
+    OP(FENCE,   "fence",    N, Misc, 1)                          \
+    /* control flow (no delay slots) */                          \
+    OP(BEQ,     "beq",      B, Branch, 1)                        \
+    OP(BNE,     "bne",      B, Branch, 1)                        \
+    OP(BLT,     "blt",      B, Branch, 1)                        \
+    OP(BGE,     "bge",      B, Branch, 1)                        \
+    OP(BLTU,    "bltu",     B, Branch, 1)                        \
+    OP(BGEU,    "bgeu",     B, Branch, 1)                        \
+    OP(JAL,     "jal",      J, Jump, 1)                          \
+    OP(JALR,    "jalr",     I, Jump, 1)                          \
+    /* XLOOPS loop instructions */                               \
+    OP(XLOOP_UC,     "xloop.uc",     X, Xloop, 1)                \
+    OP(XLOOP_OR,     "xloop.or",     X, Xloop, 1)                \
+    OP(XLOOP_OM,     "xloop.om",     X, Xloop, 1)                \
+    OP(XLOOP_ORM,    "xloop.orm",    X, Xloop, 1)                \
+    OP(XLOOP_UA,     "xloop.ua",     X, Xloop, 1)                \
+    OP(XLOOP_UC_DB,  "xloop.uc.db",  X, Xloop, 1)                \
+    OP(XLOOP_OR_DB,  "xloop.or.db",  X, Xloop, 1)                \
+    OP(XLOOP_OM_DB,  "xloop.om.db",  X, Xloop, 1)                \
+    OP(XLOOP_ORM_DB, "xloop.orm.db", X, Xloop, 1)                \
+    OP(XLOOP_UA_DB,  "xloop.ua.db",  X, Xloop, 1)                \
+    /* extension: data-dependent exit (paper future work). The      \
+       second register is an exit flag, not a bound: traditional    \
+       execution loops while it reads zero; specialized execution   \
+       cancels buffered iterations beyond the first exiting one,    \
+       which is why only the memory-ordered patterns support it. */ \
+    OP(XLOOP_OM_DE,  "xloop.om.de",  X, Xloop, 1)                 \
+    OP(XLOOP_ORM_DE, "xloop.orm.de", X, Xloop, 1)                 \
+    /* XLOOPS cross-iteration (mutual induction variable) adds */\
+    OP(ADDIU_XI, "addiu.xi", XI, Xi, 1)                          \
+    OP(ADDU_XI,  "addu.xi",  XI, Xi, 1)                          \
+    /* misc */                                                   \
+    OP(NOP,     "nop",      N, Misc, 1)                          \
+    OP(HALT,    "halt",     N, Misc, 1)                          \
+    OP(CSRR,    "csrr",     C, Misc, 1)
+
+/** All xrisc opcodes. The numeric value is the 8-bit encoding field. */
+enum class Op : u8
+{
+#define XLOOPS_OP_ENUM(name, mnem, fmt, fu, lat) name,
+    XLOOPS_OPCODE_LIST(XLOOPS_OP_ENUM)
+#undef XLOOPS_OP_ENUM
+    NumOpcodes
+};
+
+constexpr unsigned numOpcodes = static_cast<unsigned>(Op::NumOpcodes);
+
+/** Inter-iteration data-dependence patterns an xloop can encode. */
+enum class LoopPattern : u8
+{
+    UC,     ///< unordered concurrent
+    OR,     ///< ordered through registers
+    OM,     ///< ordered through memory
+    ORM,    ///< ordered through registers and memory
+    UA,     ///< unordered atomic
+};
+
+/** Static per-opcode properties. */
+struct OpTraits
+{
+    const char *mnemonic;
+    Format format;
+    FuClass fuClass;
+    u8 latency;
+};
+
+/** Trait lookup for opcode @p op. */
+const OpTraits &opTraits(Op op);
+
+/** True for all xloop.* opcodes. */
+bool isXloopOp(Op op);
+
+/** True for xloop.*.db opcodes. */
+bool isDynamicBoundOp(Op op);
+
+/** True for the xloop.*.de (data-dependent exit) extension opcodes. */
+bool isDataDepExitOp(Op op);
+
+/** Data-dependence pattern of an xloop opcode. Panics on non-xloop. */
+LoopPattern xloopPattern(Op op);
+
+/** Human-readable name of a loop pattern ("uc", "or", ...). */
+const char *patternName(LoopPattern pattern);
+
+/** True when the opcode's FU class executes on the shared LLFU. */
+inline bool
+isLlfuClass(FuClass fu)
+{
+    return fu == FuClass::Mul || fu == FuClass::Div || fu == FuClass::Fpu;
+}
+
+} // namespace xloops
+
+#endif // XLOOPS_ISA_OPCODES_H

@@ -1,0 +1,1071 @@
+#include "lpsu/lpsu.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/log.h"
+
+namespace xloops {
+
+// ---------------------------------------------------------------------
+// Scan-phase static analysis (the LMU's bit-vector bookkeeping).
+// ---------------------------------------------------------------------
+
+ScanInfo
+scanXloop(const Program &prog, Addr xloopPc, const RegFile &liveIns)
+{
+    const Instruction xl = prog.fetch(xloopPc);
+    if (!xl.isXloop())
+        panic("scanXloop on a non-xloop instruction");
+
+    ScanInfo si;
+    si.pattern = xl.pattern();
+    si.dynamicBound = xl.isDynamicBound();
+    si.dataDepExit = xl.isDataDepExit();
+    si.idxReg = xl.rd;
+    si.boundReg = xl.rs1;
+    si.bodyEnd = xloopPc;
+    si.bodyStart = static_cast<Addr>(
+        static_cast<i64>(xloopPc) + i64{xl.imm} * 4);
+
+    for (Addr pc = si.bodyStart; pc < si.bodyEnd; pc += 4)
+        si.body.push_back(prog.fetch(pc));
+
+    // MIVT: collect xi instructions first so their registers are
+    // excluded from CIR detection. addu.xi increments by a
+    // loop-invariant register read from the live-in register file.
+    for (const Instruction &inst : si.body) {
+        if (inst.op == Op::ADDIU_XI) {
+            si.isMiv[inst.rd] = true;
+            si.mivInc[inst.rd] = inst.imm;
+        } else if (inst.op == Op::ADDU_XI) {
+            si.isMiv[inst.rd] = true;
+            si.mivInc[inst.rd] = static_cast<i32>(liveIns.get(inst.rs2));
+        }
+    }
+
+    // Read-before-write / written bit-vectors in static program order.
+    std::array<bool, numArchRegs> readFirst{};
+    std::array<bool, numArchRegs> written{};
+    for (const Instruction &inst : si.body) {
+        RegId srcs[2];
+        const unsigned n = inst.srcRegs(srcs);
+        for (unsigned i = 0; i < n; i++) {
+            if (srcs[i] != 0 && !written[srcs[i]])
+                readFirst[srcs[i]] = true;
+        }
+        const RegId dst = inst.destReg();
+        if (dst < numArchRegs)
+            written[dst] = true;
+    }
+
+    for (unsigned r = 1; r < numArchRegs; r++) {
+        if (readFirst[r])
+            si.numLiveIns++;
+        const bool excluded = r == si.idxReg || r == si.boundReg ||
+                              si.isMiv[r];
+        if (readFirst[r] && written[r] && !excluded) {
+            si.isCir[r] = true;
+            si.numCirs++;
+        }
+    }
+
+    // Last static write per CIR, and whether pushing the CIB value at
+    // that instruction is safe (no backward branch can re-execute it).
+    for (size_t i = 0; i < si.body.size(); i++) {
+        const Instruction &inst = si.body[i];
+        const RegId dst = inst.destReg();
+        const Addr pc = si.bodyStart + static_cast<Addr>(4 * i);
+        if (dst < numArchRegs && si.isCir[dst])
+            si.lastCirWritePc[dst] = pc;
+    }
+    for (unsigned r = 1; r < numArchRegs; r++) {
+        if (!si.isCir[r])
+            continue;
+        si.earlyPushOk[r] = true;
+        for (size_t i = 0; i < si.body.size(); i++) {
+            const Instruction &inst = si.body[i];
+            if (!inst.isBranch() && !inst.isXloop())
+                continue;
+            const Addr pc = si.bodyStart + static_cast<Addr>(4 * i);
+            const Addr target = static_cast<Addr>(
+                static_cast<i64>(pc) + i64{inst.imm} * 4);
+            // A backward edge crossing the last write re-executes it.
+            if (pc >= si.lastCirWritePc[r] && target <= si.lastCirWritePc[r])
+                si.earlyPushOk[r] = false;
+        }
+    }
+    return si;
+}
+
+// ---------------------------------------------------------------------
+// Run-time structures.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** One slot of a cross-iteration buffer. */
+struct CibSlot
+{
+    i64 iter;
+    u32 value;
+};
+
+/** CIB channel from lane (i-1+N)%N into lane i, one queue per CIR. */
+struct Cib
+{
+    unsigned depth = 4;
+    std::array<std::deque<CibSlot>, numArchRegs> perReg;
+
+    bool full(RegId r) const { return perReg[r].size() >= depth; }
+
+    void
+    push(RegId r, i64 iter, u32 value)
+    {
+        XL_ASSERT(!full(r), "CIB overflow");
+        perReg[r].push_back({iter, value});
+    }
+
+    std::optional<u32>
+    consume(RegId r, i64 iter)
+    {
+        auto &q = perReg[r];
+        if (!q.empty() && q.front().iter == iter - 1) {
+            const u32 value = q.front().value;
+            q.pop_front();
+            return value;
+        }
+        return std::nullopt;
+    }
+};
+
+/** Why a context could not issue this cycle (Figure 6 categories). */
+enum class Stall
+{
+    None,       // made progress
+    Idle,       // no iteration available
+    Raw,
+    Cir,
+    CibFull,
+    MemPort,
+    Llfu,
+    LsqFull,
+    CommitWait,
+    AmoWait,
+};
+
+const char *
+stallCounter(Stall s)
+{
+    switch (s) {
+      case Stall::Idle: return "lane_idle_cycles";
+      case Stall::Raw: return "lane_raw_stall_cycles";
+      case Stall::Cir: return "lane_cir_stall_cycles";
+      case Stall::CibFull: return "lane_cib_stall_cycles";
+      case Stall::MemPort: return "lane_memport_stall_cycles";
+      case Stall::Llfu: return "lane_llfu_stall_cycles";
+      case Stall::LsqFull: return "lane_lsq_stall_cycles";
+      case Stall::CommitWait: return "lane_commit_stall_cycles";
+      case Stall::AmoWait: return "lane_amo_stall_cycles";
+      case Stall::None: break;
+    }
+    return "lane_other_stall_cycles";
+}
+
+/** One hardware thread context within a lane. */
+struct Context
+{
+    Context(unsigned load_entries, unsigned store_entries)
+        : lsq(load_entries, store_entries)
+    {}
+
+    bool active = false;
+    i64 iter = 0;
+    Addr pc = 0;
+    RegFile regs;
+    RegFile snapshot;
+    std::array<Cycle, numArchRegs> regReady{};
+    Cycle busyUntil = 0;
+    std::array<bool, numArchRegs> cirConsumed{};
+    std::array<bool, numArchRegs> cirPushed{};
+    std::array<bool, numArchRegs> cirWritten{};
+    std::array<i64, numArchRegs> mivLastIter{};
+    LaneLsq lsq;
+    bool bodyDone = false;
+    Cycle iterStart = 0;
+    u64 iterInsts = 0;
+};
+
+/** MemIface routing a lane's accesses directly or through its LSQ. */
+class LaneMem : public MemIface
+{
+  public:
+    MainMemory *mem = nullptr;
+    LaneLsq *lsq = nullptr;
+    bool buffered = false;   ///< speculative: route through the LSQ
+    bool crossLane = false;  ///< compose older lanes' stores too
+    const std::vector<const LaneLsq *> *olderLsqs = nullptr;
+    u32 lastLoadValue = 0;
+
+    u32
+    read(Addr addr, unsigned size) override
+    {
+        if (!buffered)
+            return mem->read(addr, size);
+        u32 value;
+        if (crossLane && olderLsqs && !olderLsqs->empty()) {
+            // Compose: memory, then older iterations' stores in
+            // iteration order, then our own stores.
+            value = 0;
+            for (unsigned i = 0; i < size; i++) {
+                u8 b = static_cast<u8>(mem->read(addr + i, 1));
+                for (const LaneLsq *other : *olderLsqs) {
+                    const u32 v = other->coveredRead(*mem, addr + i, 1);
+                    if (other->fullyCovered(addr + i, 1))
+                        b = static_cast<u8>(v);
+                }
+                value |= static_cast<u32>(b) << (8 * i);
+            }
+            // Own stores override everything older.
+            for (unsigned i = 0; i < size; i++) {
+                if (lsq->fullyCovered(addr + i, 1)) {
+                    value &= ~(0xffu << (8 * i));
+                    value |= lsq->coveredRead(*mem, addr + i, 1) << (8 * i);
+                }
+            }
+        } else {
+            value = lsq->coveredRead(*mem, addr, size);
+        }
+        lastLoadValue = value;
+        return value;
+    }
+
+    void
+    write(Addr addr, unsigned size, u32 value) override
+    {
+        if (buffered)
+            lsq->pushStore(addr, size, value);
+        else
+            mem->write(addr, size, value);
+    }
+
+    u32
+    amo(Op op, Addr addr, u32 operand) override
+    {
+        XL_ASSERT(!buffered, "speculative lane executed an AMO");
+        return mem->amo(op, addr, operand);
+    }
+};
+
+// ---------------------------------------------------------------------
+// The specialized-execution engine. One instance per xloop execution.
+// ---------------------------------------------------------------------
+
+constexpr Cycle lpsuCycleLimit = 2'000'000'000;
+
+class LpsuEngine
+{
+  public:
+    LpsuEngine(const LpsuConfig &config, MainMemory &memory,
+               L1Cache &dcache_model, StatGroup &stat_group,
+               const ScanInfo &scan_info, RegFile &live_ins, i64 start_idx,
+               i64 initial_bound, u64 max_iters,
+               std::ostream *trace_out);
+
+    LpsuResult run();
+
+  private:
+    struct Lane
+    {
+        std::vector<Context> ctxs;
+        std::vector<i64> laneNextIter;  // ordered dispatch (1 entry)
+        unsigned rr = 0;                // MT round-robin pointer
+    };
+
+    i64 effBound() const;
+    bool orderedDispatch() const { return si.pattern != LoopPattern::UC; }
+    bool done() const;
+    void seedCibs();
+    void activate(Lane &lane, Context &ctx, i64 iter);
+    std::optional<i64> nextIterFor(unsigned lane_idx);
+    Stall tickContext(unsigned lane_idx, Context &ctx);
+    Stall execInst(unsigned lane_idx, Context &ctx);
+    bool drainUnreadCirs(unsigned lane_idx, Context &ctx, Stall &stall);
+    bool finishBody(unsigned lane_idx, Context &ctx, Stall &stall);
+    void completeIteration(Context &ctx);
+    void broadcastStore(Addr addr, unsigned size, i64 store_iter);
+    void squash(Context &ctx);
+    bool llfuRequest(const Instruction &inst);
+    Cib &cibIn(unsigned lane_idx) { return cibs[lane_idx]; }
+    Cib &cibOut(unsigned lane_idx)
+    {
+        return cibs[(lane_idx + 1) % cfg.lanes];
+    }
+    void pushCir(unsigned lane_idx, Context &ctx, RegId reg, u32 value);
+
+    const LpsuConfig &cfg;
+    MainMemory &mem;
+    L1Cache &dcache;
+    StatGroup &stats;
+    const ScanInfo &si;
+    RegFile &liveIns;
+    std::ostream *trace = nullptr;
+
+    i64 startIdx;
+    i64 bound;
+    u64 maxIters;
+
+    std::vector<Lane> lanes;
+    std::vector<Cib> cibs;
+    std::vector<Cycle> llfuFree;
+    unsigned memPortsLeft = 0;
+    Cycle cycle = 0;
+
+    i64 nextDispatch;       // uc central counter
+    i64 nextToCommit;       // ordered patterns
+    u64 completed = 0;
+    u64 laneInsts = 0;
+    u64 squashes = 0;
+    u32 exitFlag = 0;   ///< data-dependent exit value (0 = no exit)
+    bool dualEligible = false;  ///< last action allows same-cycle issue
+    std::array<u32, numArchRegs> finalCir{};
+    std::array<bool, numArchRegs> finalCirValid{};
+};
+
+LpsuEngine::LpsuEngine(const LpsuConfig &config, MainMemory &memory,
+                       L1Cache &dcache_model, StatGroup &stat_group,
+                       const ScanInfo &scan_info, RegFile &live_ins,
+                       i64 start_idx, i64 initial_bound, u64 max_iters,
+                       std::ostream *trace_out)
+    : cfg(config), mem(memory), dcache(dcache_model), stats(stat_group),
+      si(scan_info), liveIns(live_ins), trace(trace_out),
+      startIdx(start_idx), bound(initial_bound), maxIters(max_iters),
+      cibs(cfg.lanes), llfuFree(cfg.llfus, 0),
+      nextDispatch(start_idx), nextToCommit(start_idx)
+{
+    const bool mt = cfg.multithreading && si.pattern == LoopPattern::UC;
+    const unsigned ctxsPerLane = mt ? 2 : 1;
+    lanes.resize(cfg.lanes);
+    for (auto &lane : lanes) {
+        for (unsigned c = 0; c < ctxsPerLane; c++) {
+            lane.ctxs.emplace_back(cfg.lsqLoadEntries, cfg.lsqStoreEntries);
+            Context &ctx = lane.ctxs.back();
+            ctx.regs = liveIns;
+            ctx.snapshot = liveIns;
+            for (unsigned r = 0; r < numArchRegs; r++)
+                ctx.mivLastIter[r] = startIdx - 1;  // GPP ran iter idx0
+        }
+        lane.laneNextIter.push_back(0);  // filled below
+    }
+    for (unsigned l = 0; l < cfg.lanes; l++)
+        lanes[l].laneNextIter[0] = startIdx + l;
+    for (auto &cib : cibs)
+        cib.depth = cfg.cibDepth;
+    seedCibs();
+}
+
+i64
+LpsuEngine::effBound() const
+{
+    if (maxIters >= static_cast<u64>(1) << 60)
+        return bound;
+    const i64 cap = startIdx + static_cast<i64>(maxIters);
+    return std::min(bound, cap);
+}
+
+void
+LpsuEngine::seedCibs()
+{
+    if (!si.ordersRegisters())
+        return;
+    // Iteration startIdx (on lane 0) consumes values produced by the
+    // GPP's iteration startIdx-1: they are the live-in CIR values.
+    for (unsigned r = 1; r < numArchRegs; r++) {
+        if (si.isCir[r])
+            cibIn(0).push(static_cast<RegId>(r), startIdx - 1,
+                          liveIns.get(static_cast<RegId>(r)));
+    }
+}
+
+bool
+LpsuEngine::done() const
+{
+    for (const auto &lane : lanes)
+        for (const auto &ctx : lane.ctxs)
+            if (ctx.active)
+                return false;
+    if (orderedDispatch())
+        return nextToCommit >= effBound();
+    return nextDispatch >= effBound();
+}
+
+std::optional<i64>
+LpsuEngine::nextIterFor(unsigned lane_idx)
+{
+    if (orderedDispatch()) {
+        i64 &next = lanes[lane_idx].laneNextIter[0];
+        if (next >= effBound())
+            return std::nullopt;
+        const i64 iter = next;
+        next += cfg.lanes;
+        return iter;
+    }
+    if (nextDispatch >= effBound())
+        return std::nullopt;
+    return nextDispatch++;
+}
+
+void
+LpsuEngine::activate(Lane &lane, Context &ctx, i64 iter)
+{
+    (void)lane;
+    ctx.active = true;
+    ctx.iter = iter;
+    ctx.pc = si.bodyStart;
+    ctx.bodyDone = false;
+    ctx.cirConsumed.fill(false);
+    ctx.cirPushed.fill(false);
+    ctx.cirWritten.fill(false);
+    ctx.iterStart = cycle;
+    ctx.iterInsts = 0;
+
+    ctx.regs.set(si.idxReg, static_cast<u32>(iter));
+    ctx.regReady[si.idxReg] = cycle + 1;
+    if (si.dataDepExit) {
+        // The exit flag is cleared per iteration; the LMU samples it
+        // at commit.
+        ctx.regs.set(si.boundReg, 0);
+        ctx.regReady[si.boundReg] = cycle + 1;
+    }
+
+    // MIV fix-up: jump each mutual induction variable forward by the
+    // iteration-index delta (the paper's narrow multiply).
+    for (unsigned r = 1; r < numArchRegs; r++) {
+        if (!si.isMiv[r])
+            continue;
+        const i64 delta = iter - ctx.mivLastIter[r] - 1;
+        ctx.regs.set(static_cast<RegId>(r),
+                     ctx.regs.get(static_cast<RegId>(r)) +
+                         static_cast<u32>(si.mivInc[r] * delta));
+        ctx.mivLastIter[r] = iter;
+        ctx.regReady[r] = cycle + 1;
+        stats.add("miv_fixups");
+    }
+
+    ctx.snapshot = ctx.regs;
+    ctx.busyUntil = cycle + 1;  // activation occupies the issue slot
+    stats.add("idq_pops");
+}
+
+void
+LpsuEngine::pushCir(unsigned lane_idx, Context &ctx, RegId reg, u32 value)
+{
+    cibOut(lane_idx).push(reg, ctx.iter, value);
+    ctx.cirPushed[reg] = true;
+    finalCir[reg] = value;
+    finalCirValid[reg] = true;
+    stats.add("cib_pushes");
+}
+
+void
+LpsuEngine::completeIteration(Context &ctx)
+{
+    ctx.active = false;
+    ctx.bodyDone = false;
+    ctx.lsq.clear();
+    completed++;
+    if (trace) {
+        *trace << "[lpsu] iteration " << ctx.iter << " "
+               << (si.ordersMemory() ? "committed" : "completed")
+               << " @ cycle " << cycle << "\n";
+    }
+    // or-pattern iterations may complete out of order (memory-port
+    // starvation can delay a lower iteration past a higher one), so
+    // the high-water mark must never regress. om/orm/ua commits are
+    // strictly ordered and hit the max() trivially.
+    if (orderedDispatch())
+        nextToCommit = std::max(nextToCommit, ctx.iter + 1);
+    stats.add("iterations");
+}
+
+void
+LpsuEngine::broadcastStore(Addr addr, unsigned size, i64 store_iter)
+{
+    stats.add("store_broadcasts");
+    i64 firstSquashed = std::numeric_limits<i64>::max();
+    for (auto &lane : lanes) {
+        for (auto &ctx : lane.ctxs) {
+            if (!ctx.active || ctx.iter <= store_iter)
+                continue;
+            if (!ctx.lsq.loadOverlaps(addr, size))
+                continue;
+            if (cfg.interLaneForwarding) {
+                // Aggressive design: cross-lane forwarding usually
+                // read the right value already, so squash only when
+                // re-reading now (against the just-performed store)
+                // would actually change an observed value.
+                if (ctx.lsq.loadsWouldChange(mem, addr, size)) {
+                    squash(ctx);
+                    firstSquashed = std::min(firstSquashed, ctx.iter);
+                } else {
+                    stats.add("squashes_filtered");
+                }
+            } else {
+                squash(ctx);
+            }
+        }
+    }
+    // Cascaded squash: with cross-lane forwarding, a squashed
+    // iteration's buffered stores may already have been forwarded to
+    // even-younger iterations, so everything beyond the first squash
+    // must restart too (the classic TLS dependence-chain squash).
+    if (cfg.interLaneForwarding &&
+        firstSquashed != std::numeric_limits<i64>::max()) {
+        for (auto &lane : lanes) {
+            for (auto &ctx : lane.ctxs) {
+                if (ctx.active && ctx.iter > firstSquashed) {
+                    squash(ctx);
+                    stats.add("cascade_squashes");
+                }
+            }
+        }
+    }
+}
+
+void
+LpsuEngine::squash(Context &ctx)
+{
+    squashes++;
+    if (trace) {
+        *trace << "[lpsu] squash iteration " << ctx.iter
+               << " @ cycle " << cycle << "\n";
+    }
+    stats.add("squashes");
+    stats.add("squash_cycles", cycle > ctx.iterStart
+                                   ? cycle - ctx.iterStart : 0);
+    stats.add("squashed_insts", ctx.iterInsts);
+    ctx.regs = ctx.snapshot;
+    ctx.regReady.fill(cycle + 1);
+    ctx.lsq.clear();
+    ctx.pc = si.bodyStart;
+    ctx.bodyDone = false;
+    ctx.cirPushed.fill(false);
+    ctx.cirWritten.fill(false);
+    ctx.iterStart = cycle;
+    ctx.iterInsts = 0;
+    ctx.busyUntil = cycle + 1;
+}
+
+bool
+LpsuEngine::llfuRequest(const Instruction &inst)
+{
+    const bool pipelined = inst.op != Op::DIV && inst.op != Op::REM &&
+                           inst.op != Op::FDIV;
+    for (auto &unitFree : llfuFree) {
+        if (unitFree <= cycle) {
+            unitFree = pipelined ? cycle + 1 : cycle + inst.traits().latency;
+            return true;
+        }
+    }
+    return false;
+}
+
+/**
+ * Consume any CIR this iteration never read (a dynamically skipped
+ * read, e.g. a guarded use as in the paper's mm kernel): the value
+ * must still flow through the lane so the chain stays connected.
+ * Returns false (and sets @p stall) when the producer has not pushed
+ * yet.
+ */
+bool
+LpsuEngine::drainUnreadCirs(unsigned lane_idx, Context &ctx, Stall &stall)
+{
+    for (unsigned r = 1; r < numArchRegs; r++) {
+        if (!si.isCir[r] || ctx.cirConsumed[r])
+            continue;
+        const auto value = cibIn(lane_idx).consume(static_cast<RegId>(r),
+                                                   ctx.iter);
+        if (!value) {
+            stall = Stall::Cir;
+            return false;
+        }
+        // Forward-only: do not clobber a value the body wrote on a
+        // path that skipped the read.
+        if (!ctx.cirWritten[r])
+            ctx.regs.set(static_cast<RegId>(r), *value);
+        ctx.cirConsumed[r] = true;
+        stats.add("cib_consumes");
+    }
+    return true;
+}
+
+/** End-of-body handling. Returns true when the context made progress. */
+bool
+LpsuEngine::finishBody(unsigned lane_idx, Context &ctx, Stall &stall)
+{
+    if (si.ordersRegisters() && !drainUnreadCirs(lane_idx, ctx, stall))
+        return false;
+
+    if (si.ordersMemory()) {
+        if (ctx.iter != nextToCommit) {
+            stall = Stall::CommitWait;
+            return false;
+        }
+        if (ctx.lsq.hasStores()) {
+            if (memPortsLeft == 0) {
+                stall = Stall::MemPort;
+                return false;
+            }
+            memPortsLeft--;
+            const LsqAccess st = ctx.lsq.popOldestStore();
+            mem.write(st.addr, st.size, st.value);
+            dcache.access(st.addr, true);
+            stats.add("lsq_drain_stores");
+            broadcastStore(st.addr, st.size, ctx.iter);
+            return true;
+        }
+        // ORM communicates CIRs at commit (a squash after an early
+        // push could leak a wrong value to the consumer).
+        if (si.ordersRegisters()) {
+            for (unsigned r = 1; r < numArchRegs; r++) {
+                if (si.isCir[r] && !ctx.cirPushed[r]) {
+                    if (cibOut(lane_idx).full(static_cast<RegId>(r))) {
+                        stall = Stall::CibFull;
+                        return false;
+                    }
+                    pushCir(lane_idx, ctx, static_cast<RegId>(r),
+                            ctx.regs.get(static_cast<RegId>(r)));
+                }
+            }
+        }
+        // Data-dependent exit: the committing (architecturally
+        // non-speculative) iteration samples its exit flag; a
+        // non-zero flag ends the loop and cancels every buffered
+        // iteration beyond it — their stores never left the LSQs.
+        if (si.dataDepExit &&
+            ctx.regs.get(si.boundReg) != 0) {
+            exitFlag = ctx.regs.get(si.boundReg);
+            bound = ctx.iter + 1;
+            if (trace) {
+                *trace << "[lpsu] data-dependent exit at iteration "
+                       << ctx.iter << " @ cycle " << cycle << "\n";
+            }
+            for (auto &lane : lanes) {
+                for (auto &other : lane.ctxs) {
+                    if (other.active && other.iter > ctx.iter) {
+                        other.active = false;
+                        other.bodyDone = false;
+                        other.lsq.clear();
+                        stats.add("cancelled_iterations");
+                    }
+                }
+            }
+        }
+        completeIteration(ctx);
+        return true;
+    }
+
+    // or: push any CIRs whose last write was skipped or not early-safe.
+    if (si.ordersRegisters()) {
+        for (unsigned r = 1; r < numArchRegs; r++) {
+            if (si.isCir[r] && !ctx.cirPushed[r]) {
+                if (cibOut(lane_idx).full(static_cast<RegId>(r))) {
+                    stall = Stall::CibFull;
+                    return false;
+                }
+                pushCir(lane_idx, ctx, static_cast<RegId>(r),
+                        ctx.regs.get(static_cast<RegId>(r)));
+            }
+        }
+    }
+    completeIteration(ctx);
+    return true;
+}
+
+Stall
+LpsuEngine::execInst(unsigned lane_idx, Context &ctx)
+{
+    const size_t index = (ctx.pc - si.bodyStart) / 4;
+    XL_ASSERT(index < si.body.size(), "lane pc escaped the loop body");
+    const Instruction &inst = si.body[index];
+
+    if (inst.op == Op::HALT)
+        fatal("halt inside an xloop body");
+
+    // 1. CIR consumption: the first read of a CIR in an iteration
+    //    takes the value from the inbound CIB (or stalls).
+    RegId srcs[2];
+    const unsigned numSrcs = inst.srcRegs(srcs);
+    if (si.ordersRegisters()) {
+        for (unsigned i = 0; i < numSrcs; i++) {
+            const RegId r = srcs[i];
+            if (!si.isCir[r] || ctx.cirConsumed[r])
+                continue;
+            if (ctx.cirWritten[r])
+                continue;  // body wrote first: use its own value
+            const auto value = cibIn(lane_idx).consume(r, ctx.iter);
+            if (!value)
+                return Stall::Cir;
+            ctx.regs.set(r, *value);
+            ctx.snapshot.set(r, *value);
+            ctx.cirConsumed[r] = true;
+            ctx.regReady[r] = cycle;
+            stats.add("cib_consumes");
+        }
+    }
+
+    // 2. RAW hazards against the lane scoreboard.
+    for (unsigned i = 0; i < numSrcs; i++)
+        if (ctx.regReady[srcs[i]] > cycle)
+            return Stall::Raw;
+
+    // 3. Early CIB push pre-check (xloop.or only; see finishBody for
+    //    the orm commit-time path).
+    const RegId dst = inst.destReg();
+    const bool earlyPush =
+        si.pattern == LoopPattern::OR && dst < numArchRegs &&
+        si.isCir[dst] && ctx.pc == si.lastCirWritePc[dst] &&
+        si.earlyPushOk[dst] && !ctx.cirPushed[dst];
+    if (earlyPush && cibOut(lane_idx).full(dst))
+        return Stall::CibFull;
+
+    // 4. Resource checks.
+    const bool spec = si.ordersMemory() && ctx.iter != nextToCommit;
+    bool usePort = false;
+    Addr memAddr = 0;
+    if (inst.isLlfu() && !llfuRequest(inst))
+        return Stall::Llfu;
+    if (inst.isMem()) {
+        if (inst.isAmo())
+            memAddr = ctx.regs.get(inst.rs1);
+        else
+            memAddr = static_cast<Addr>(ctx.regs.get(inst.rs1) + inst.imm);
+
+        if (spec) {
+            if (inst.isAmo())
+                return Stall::AmoWait;
+            if (inst.isStore()) {
+                if (ctx.lsq.storesFull())
+                    return Stall::LsqFull;
+            } else {
+                if (ctx.lsq.loadsFull())
+                    return Stall::LsqFull;
+                if (!ctx.lsq.fullyCovered(memAddr, inst.op == Op::LW ? 4 :
+                                          (inst.op == Op::LH ||
+                                           inst.op == Op::LHU) ? 2 : 1)) {
+                    if (memPortsLeft == 0)
+                        return Stall::MemPort;
+                    usePort = true;
+                }
+            }
+        } else {
+            if (memPortsLeft == 0)
+                return Stall::MemPort;
+            usePort = true;
+        }
+    }
+
+    // 5. Execute.
+    LaneMem laneMem;
+    laneMem.mem = &mem;
+    laneMem.lsq = &ctx.lsq;
+    laneMem.buffered = spec;
+    laneMem.crossLane = cfg.interLaneForwarding;
+    std::vector<const LaneLsq *> older;
+    if (spec && cfg.interLaneForwarding) {
+        for (const auto &lane : lanes)
+            for (const auto &other : lane.ctxs)
+                if (other.active && other.iter < ctx.iter)
+                    older.push_back(&other.lsq);
+        laneMem.olderLsqs = &older;
+    }
+
+    const StepResult step =
+        ExecCore::step(inst, ctx.pc, ctx.regs, laneMem, cycle);
+    laneInsts++;
+    ctx.iterInsts++;
+    stats.add("lane_insts");
+    stats.add("ib_accesses");
+    if (spec && inst.isLoad()) {
+        ctx.lsq.pushLoad(step.memAddr, step.memSize,
+                         laneMem.lastLoadValue);
+        stats.add("lsq_loads");
+    }
+    if (spec && inst.isStore())
+        stats.add("lsq_stores");
+
+    // 6. Timing.
+    Cycle latency = inst.traits().latency;
+    if (usePort) {
+        memPortsLeft--;
+        const bool isWrite = inst.isStore() || inst.isAmo();
+        const Cycle dlat = dcache.access(step.memAddr, isWrite);
+        latency = 1 + dlat;  // AGEN + memory
+        stats.add("lane_mem_accesses");
+    }
+    if (dst < numArchRegs) {
+        ctx.regReady[dst] = cycle + latency;
+        if (si.ordersRegisters() && si.isCir[dst])
+            ctx.cirWritten[dst] = true;
+    }
+
+    // 7. Side channels: store broadcast, CIR push, dynamic bound.
+    if (!spec && si.ordersMemory() && step.memAccess &&
+        (inst.isStore() || inst.isAmo())) {
+        broadcastStore(step.memAddr, step.memSize, ctx.iter);
+    }
+    if (earlyPush)
+        pushCir(lane_idx, ctx, dst, ctx.regs.get(dst));
+    if (si.dynamicBound && dst == si.boundReg) {
+        const i64 newBound = static_cast<i32>(ctx.regs.get(si.boundReg));
+        if (newBound > bound) {
+            bound = newBound;
+            stats.add("bound_updates");
+        }
+    }
+
+    // 8. Control flow.
+    ctx.busyUntil = cycle + 1 +
+                    (step.branchTaken ? cfg.branchBubble : 0);
+    ctx.pc = step.nextPc;
+    if (ctx.pc == si.bodyEnd) {
+        ctx.bodyDone = true;
+    } else if (ctx.pc < si.bodyStart || ctx.pc > si.bodyEnd) {
+        fatal("xloop body branched outside [L, xloop)");
+    }
+    // Superscalar lanes may issue another instruction this cycle
+    // unless control flow redirected or the iteration ended.
+    dualEligible = !step.branchTaken && !ctx.bodyDone;
+    return Stall::None;
+}
+
+Stall
+LpsuEngine::tickContext(unsigned lane_idx, Context &ctx)
+{
+    dualEligible = false;
+    if (!ctx.active) {
+        const auto iter = nextIterFor(lane_idx);
+        if (!iter)
+            return Stall::Idle;
+        activate(lanes[lane_idx], ctx, *iter);
+        return Stall::None;
+    }
+    if (ctx.busyUntil > cycle)
+        return Stall::None;  // pipeline occupied: counted as exec
+
+    // Mid-iteration promotion: drain buffered stores before the now
+    // non-speculative lane touches memory directly.
+    if (si.ordersMemory() && ctx.iter == nextToCommit &&
+        ctx.lsq.hasStores()) {
+        if (memPortsLeft == 0)
+            return Stall::MemPort;
+        memPortsLeft--;
+        const LsqAccess st = ctx.lsq.popOldestStore();
+        mem.write(st.addr, st.size, st.value);
+        dcache.access(st.addr, true);
+        stats.add("lsq_drain_stores");
+        broadcastStore(st.addr, st.size, ctx.iter);
+        if (!ctx.lsq.hasStores())
+            ctx.lsq.clearLoads();  // non-speculative now
+        return Stall::None;
+    }
+
+    if (ctx.bodyDone) {
+        Stall stall = Stall::None;
+        finishBody(lane_idx, ctx, stall);
+        return stall;
+    }
+    return execInst(lane_idx, ctx);
+}
+
+LpsuResult
+LpsuEngine::run()
+{
+    LpsuResult res;
+
+    std::vector<unsigned> order(cfg.lanes);
+    std::iota(order.begin(), order.end(), 0);
+
+    while (!done()) {
+        if (cycle > lpsuCycleLimit)
+            fatal("LPSU specialized execution exceeded the cycle limit");
+        memPortsLeft = cfg.memPorts;
+
+        // Priority: ordered patterns give the non-speculative (lowest
+        // iteration) lane first pick; uc rotates for fairness.
+        if (orderedDispatch()) {
+            std::sort(order.begin(), order.end(),
+                      [this](unsigned a, unsigned b) {
+                          auto key = [this](unsigned l) {
+                              const auto &ctx = lanes[l].ctxs[0];
+                              return ctx.active ? ctx.iter
+                                                : std::numeric_limits<i64>::max();
+                          };
+                          return key(a) < key(b);
+                      });
+        } else {
+            std::iota(order.begin(), order.end(), 0);
+            std::rotate(order.begin(),
+                        order.begin() + (cycle % cfg.lanes), order.end());
+        }
+
+        for (const unsigned laneIdx : order) {
+            Lane &lane = lanes[laneIdx];
+            // Vertical MT: try contexts round-robin; the first that
+            // makes progress owns the issue slot this cycle.
+            Stall firstStall = Stall::Idle;
+            bool progressed = false;
+            bool sawBusy = false;
+            for (unsigned c = 0; c < lane.ctxs.size(); c++) {
+                Context &ctx = lane.ctxs[(lane.rr + c) % lane.ctxs.size()];
+                if (ctx.active && ctx.busyUntil > cycle) {
+                    sawBusy = true;
+                    continue;
+                }
+                const Stall stall = tickContext(laneIdx, ctx);
+                if (stall == Stall::None) {
+                    progressed = true;
+                    lane.rr = (lane.rr + c + 1) % lane.ctxs.size();
+                    // Superscalar lanes (extension): keep issuing from
+                    // the same context within this cycle. No same-cycle
+                    // bypass: a dependent instruction still waits.
+                    for (unsigned extra = 1;
+                         extra < cfg.laneIssueWidth && dualEligible &&
+                         ctx.active && !ctx.bodyDone;
+                         extra++) {
+                        dualEligible = false;
+                        if (execInst(laneIdx, ctx) != Stall::None)
+                            break;
+                        stats.add("lane_multi_issues");
+                    }
+                    break;
+                }
+                if (firstStall == Stall::Idle)
+                    firstStall = stall;
+            }
+            if (progressed || sawBusy) {
+                stats.add("lane_exec_cycles");
+            } else {
+                stats.add(stallCounter(firstStall));
+            }
+        }
+        cycle++;
+    }
+
+    res.execCycles = cycle;
+    res.iterations = completed;
+    res.laneInsts = laneInsts;
+    res.squashes = squashes;
+    res.finalIdx = static_cast<i32>(effBound() - 1);
+    res.finalBound = static_cast<i32>(bound);
+    res.boundReached = effBound() >= bound;
+
+    // Architectural hand-back: CIR values of the last iteration, the
+    // (possibly grown) bound, the loop index, and the materialized
+    // mutual induction variables. MIV write-back keeps xi pointers
+    // consistent when execution migrates back to the GPP (adaptive
+    // profiling) or when code continues from the post-loop values the
+    // traditional path would have produced: the LMU computes
+    // liveIn + increment x (iterations executed), the same narrow
+    // multiply it uses per iteration.
+    for (unsigned r = 1; r < numArchRegs; r++)
+        if (finalCirValid[r])
+            liveIns.set(static_cast<RegId>(r), finalCir[r]);
+    const i64 idx0 = startIdx - 1;
+    const i64 mivDelta = res.finalIdx - idx0;
+    for (unsigned r = 1; r < numArchRegs; r++) {
+        if (si.isMiv[r]) {
+            liveIns.set(static_cast<RegId>(r),
+                        liveIns.get(static_cast<RegId>(r)) +
+                            static_cast<u32>(si.mivInc[r] * mivDelta));
+        }
+    }
+    if (si.dataDepExit) {
+        // The flag register carries the exiting iteration's value (or
+        // zero when a capped profiling run stopped before any exit),
+        // so the GPP's traditional re-execution of the xloop makes
+        // the right decision.
+        liveIns.set(si.boundReg, exitFlag);
+    } else {
+        liveIns.set(si.boundReg, static_cast<u32>(res.finalBound));
+    }
+    liveIns.set(si.idxReg, static_cast<u32>(res.finalIdx));
+    stats.add("lpsu_exec_cycles", res.execCycles);
+    return res;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Lpsu facade.
+// ---------------------------------------------------------------------
+
+Lpsu::Lpsu(const LpsuConfig &config, MainMemory &memory, L1Cache &dcache)
+    : cfg(config), mem(memory), dcache(dcache)
+{
+}
+
+LpsuResult
+Lpsu::execute(const Program &prog, Addr xloopPc, RegFile &liveIns,
+              u64 maxIters)
+{
+    const ScanInfo si = scanXloop(prog, xloopPc, liveIns);
+
+    LpsuResult res;
+    if (si.body.size() > cfg.ibEntries) {
+        res.fellBack = true;
+        statGroup.add("ib_fallbacks");
+        return res;
+    }
+
+    const i64 idx0 = static_cast<i32>(liveIns.get(si.idxReg));
+    i64 bound0 = static_cast<i32>(liveIns.get(si.boundReg));
+    const i64 startIdx = idx0 + 1;
+    if (si.dataDepExit) {
+        // The "bound" register is an exit flag: run under a large
+        // horizon until some committed iteration raises it.
+        if (liveIns.get(si.boundReg) != 0) {
+            res.finalIdx = static_cast<i32>(idx0);
+            res.finalBound = static_cast<i32>(bound0);
+            return res;  // the GPP's iteration already exited
+        }
+        bound0 = startIdx + (i64{1} << 40);
+    }
+    if (startIdx >= bound0 || maxIters == 0) {
+        res.finalIdx = static_cast<i32>(idx0);
+        res.finalBound = static_cast<i32>(bound0);
+        res.boundReached = startIdx >= bound0;
+        return res;
+    }
+
+    // Scan phase: write instructions (unless still resident from the
+    // previous dynamic instance) and live-in registers, with one-time
+    // renaming amortized over all iterations.
+    Cycle scan = cfg.scanOverheadCycles + si.numLiveIns;
+    if (residentPc != xloopPc) {
+        scan += static_cast<Cycle>(si.body.size()) * cfg.scanCyclesPerInst;
+        statGroup.add("scan_inst_writes", si.body.size());
+        statGroup.add("scan_renames", si.body.size());
+    }
+    statGroup.add("scan_livein_writes", si.numLiveIns);
+    statGroup.add("scans");
+    residentPc = xloopPc;
+
+    if (traceOut) {
+        *traceOut << "[lpsu] scan xloop @ 0x" << std::hex << xloopPc
+                  << std::dec << " pattern " << patternName(si.pattern)
+                  << (si.dynamicBound ? ".db" : "")
+                  << (si.dataDepExit ? ".de" : "") << ", "
+                  << si.body.size() << " insts, " << si.numCirs
+                  << " CIRs, " << scan << " scan cycles\n";
+    }
+    LpsuEngine engine(cfg, mem, dcache, statGroup, si, liveIns, startIdx,
+                      bound0, maxIters, traceOut);
+    res = engine.run();
+    res.scanCycles = scan;
+    statGroup.add("lpsu_scan_cycles", scan);
+    return res;
+}
+
+} // namespace xloops

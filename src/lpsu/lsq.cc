@@ -1,0 +1,104 @@
+#include "lpsu/lsq.h"
+
+#include "common/log.h"
+#include "mem/memory.h"
+
+namespace xloops {
+
+namespace {
+
+bool
+overlaps(Addr a, unsigned as, Addr b, unsigned bs)
+{
+    return a < b + bs && b < a + as;
+}
+
+} // namespace
+
+void
+LaneLsq::pushStore(Addr addr, unsigned size, u32 value)
+{
+    XL_ASSERT(!storesFull(), "store queue overflow");
+    stores.push_back({addr, size, value});
+}
+
+void
+LaneLsq::pushLoad(Addr addr, unsigned size, u32 value)
+{
+    XL_ASSERT(!loadsFull(), "load queue overflow");
+    loads.push_back({addr, size, value});
+}
+
+bool
+LaneLsq::fullyCovered(Addr addr, unsigned size) const
+{
+    for (unsigned i = 0; i < size; i++) {
+        const Addr byte = addr + i;
+        bool covered = false;
+        for (const auto &st : stores) {
+            if (byte >= st.addr && byte < st.addr + st.size) {
+                covered = true;
+                break;
+            }
+        }
+        if (!covered)
+            return false;
+    }
+    return true;
+}
+
+u32
+LaneLsq::coveredRead(MainMemory &mem, Addr addr, unsigned size) const
+{
+    u32 value = 0;
+    for (unsigned i = 0; i < size; i++) {
+        const Addr byte = addr + i;
+        u8 b = static_cast<u8>(mem.read(byte, 1));
+        // Later stores win: scan in program order.
+        for (const auto &st : stores) {
+            if (byte >= st.addr && byte < st.addr + st.size)
+                b = static_cast<u8>(st.value >> (8 * (byte - st.addr)));
+        }
+        value |= static_cast<u32>(b) << (8 * i);
+    }
+    return value;
+}
+
+bool
+LaneLsq::loadOverlaps(Addr addr, unsigned size) const
+{
+    for (const auto &ld : loads)
+        if (overlaps(ld.addr, ld.size, addr, size))
+            return true;
+    return false;
+}
+
+bool
+LaneLsq::loadsWouldChange(MainMemory &mem, Addr addr, unsigned size) const
+{
+    for (const auto &ld : loads) {
+        if (!overlaps(ld.addr, ld.size, addr, size))
+            continue;
+        if (coveredRead(mem, ld.addr, ld.size) != ld.value)
+            return true;
+    }
+    return false;
+}
+
+LsqAccess
+LaneLsq::popOldestStore()
+{
+    XL_ASSERT(!stores.empty(), "draining empty store queue");
+    const LsqAccess access = stores.front();
+    stores.erase(stores.begin());
+    return access;
+}
+
+void
+LaneLsq::clear()
+{
+    loads.clear();
+    stores.clear();
+}
+
+} // namespace xloops

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Per-lane load-store queue used for memory-dependence speculation in
+ * xloop.{om,orm,ua} specialized execution (paper Section II-D).
+ *
+ * A speculative lane buffers its stores here instead of writing
+ * memory; its loads are serviced from buffered stores where possible
+ * (byte-accurate own-store forwarding) and recorded so that store
+ * addresses broadcast by the non-speculative lane can be checked for
+ * memory-dependence violations.
+ */
+
+#ifndef XLOOPS_LPSU_LSQ_H
+#define XLOOPS_LPSU_LSQ_H
+
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace xloops {
+
+class MainMemory;
+
+/** A buffered speculative memory access. */
+struct LsqAccess
+{
+    Addr addr = 0;
+    unsigned size = 0;
+    u32 value = 0;  // stores only
+};
+
+/** One lane's speculative load/store queues. */
+class LaneLsq
+{
+  public:
+    LaneLsq(unsigned load_entries, unsigned store_entries)
+        : loadCap(load_entries), storeCap(store_entries)
+    {}
+
+    bool loadsFull() const { return loads.size() >= loadCap; }
+    bool storesFull() const { return stores.size() >= storeCap; }
+    bool hasStores() const { return !stores.empty(); }
+    bool empty() const { return loads.empty() && stores.empty(); }
+    size_t numLoads() const { return loads.size(); }
+    size_t numStores() const { return stores.size(); }
+
+    /** Record a speculative store (program order preserved). */
+    void pushStore(Addr addr, unsigned size, u32 value);
+
+    /** Record a speculative load (and the value it observed) for
+     *  later violation checks. */
+    void pushLoad(Addr addr, unsigned size, u32 value = 0);
+
+    /** True when buffered stores supply every byte of the access. */
+    bool fullyCovered(Addr addr, unsigned size) const;
+
+    /**
+     * Read @p size bytes at @p addr: memory patched with this lane's
+     * buffered stores in program order (store-load forwarding).
+     */
+    u32 coveredRead(MainMemory &mem, Addr addr, unsigned size) const;
+
+    /** Does any recorded load overlap [addr, addr+size)? */
+    bool loadOverlaps(Addr addr, unsigned size) const;
+
+    /**
+     * Value-based violation filtering (for the aggressive cross-lane
+     * forwarding design): would any load overlapping [addr, addr+size)
+     * observe a different value if re-executed against current memory
+     * (patched with this lane's own stores)? When false, the ordering
+     * violation is benign and the squash can be skipped.
+     */
+    bool loadsWouldChange(MainMemory &mem, Addr addr,
+                          unsigned size) const;
+
+    /** Pop the oldest buffered store for commit-time draining. */
+    LsqAccess popOldestStore();
+
+    /** Discard everything (squash). */
+    void clear();
+
+    /** Discard load records only (after promotion to non-speculative). */
+    void clearLoads() { loads.clear(); }
+
+  private:
+    unsigned loadCap;
+    unsigned storeCap;
+    std::vector<LsqAccess> loads;
+    std::vector<LsqAccess> stores;
+};
+
+} // namespace xloops
+
+#endif // XLOOPS_LPSU_LSQ_H

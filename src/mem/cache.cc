@@ -1,0 +1,69 @@
+#include "mem/cache.h"
+
+#include "common/log.h"
+
+namespace xloops {
+
+L1Cache::L1Cache(const CacheConfig &config) : cfg(config)
+{
+    if (cfg.lineBytes == 0 || (cfg.lineBytes & (cfg.lineBytes - 1)))
+        fatal("cache line size must be a power of two");
+    if (cfg.assoc == 0 || cfg.sizeBytes % (cfg.lineBytes * cfg.assoc) != 0)
+        fatal("cache size must be a multiple of lineBytes * assoc");
+    numSets = cfg.sizeBytes / (cfg.lineBytes * cfg.assoc);
+    lines.resize(static_cast<size_t>(numSets) * cfg.assoc);
+}
+
+Cycle
+L1Cache::access(Addr addr, bool is_write)
+{
+    const u32 lineAddr = addr / cfg.lineBytes;
+    const u32 set = lineAddr % numSets;
+    const u32 tag = lineAddr / numSets;
+    Line *base = &lines[static_cast<size_t>(set) * cfg.assoc];
+    stamp++;
+
+    for (u32 w = 0; w < cfg.assoc; w++) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lruStamp = stamp;
+            line.dirty |= is_write;
+            statGroup.add(is_write ? "write_hits" : "read_hits");
+            return cfg.hitLatency;
+        }
+    }
+
+    // Miss: fill into the LRU way.
+    Line *victim = base;
+    for (u32 w = 1; w < cfg.assoc; w++) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lruStamp < victim->lruStamp)
+            victim = &base[w];
+    }
+    Cycle latency = cfg.hitLatency + cfg.missPenalty;
+    if (victim->valid) {
+        statGroup.add("evictions");
+        if (victim->dirty) {
+            statGroup.add("writebacks");
+            latency += 2;  // occupy the fill port briefly for writeback
+        }
+    }
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->tag = tag;
+    victim->lruStamp = stamp;
+    statGroup.add(is_write ? "write_misses" : "read_misses");
+    return latency;
+}
+
+void
+L1Cache::flush()
+{
+    for (auto &line : lines)
+        line = Line{};
+}
+
+} // namespace xloops

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Cycle-level L1 cache timing model (set-associative, LRU, write-back,
+ * write-allocate). Purely a latency model: data always comes from the
+ * functional memory; this class only answers "how long did that take".
+ */
+
+#ifndef XLOOPS_MEM_CACHE_H
+#define XLOOPS_MEM_CACHE_H
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace xloops {
+
+struct CacheConfig
+{
+    u32 sizeBytes = 16 * 1024;
+    u32 assoc = 2;
+    u32 lineBytes = 32;
+    Cycle hitLatency = 1;
+    Cycle missPenalty = 20;
+};
+
+/** Timing-only set-associative cache. */
+class L1Cache
+{
+  public:
+    explicit L1Cache(const CacheConfig &config = {});
+
+    /** Model one access; returns its latency in cycles. */
+    Cycle access(Addr addr, bool is_write);
+
+    /** Drop all lines (e.g., between benchmark phases). */
+    void flush();
+
+    const CacheConfig &config() const { return cfg; }
+    StatGroup &stats() { return statGroup; }
+    const StatGroup &stats() const { return statGroup; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        u32 tag = 0;
+        u64 lruStamp = 0;
+    };
+
+    CacheConfig cfg;
+    u32 numSets;
+    std::vector<Line> lines;  // numSets * assoc
+    u64 stamp = 0;
+    StatGroup statGroup;
+};
+
+} // namespace xloops
+
+#endif // XLOOPS_MEM_CACHE_H

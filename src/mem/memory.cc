@@ -1,0 +1,111 @@
+#include "mem/memory.h"
+
+#include <cstring>
+
+#include "common/log.h"
+
+namespace xloops {
+
+u8 *
+MainMemory::pageFor(Addr addr)
+{
+    const u32 pageNum = addr >> pageBits;
+    auto &page = pages[pageNum];
+    if (!page) {
+        page = std::make_unique<u8[]>(pageSize);
+        std::memset(page.get(), 0, pageSize);
+    }
+    return page.get();
+}
+
+namespace {
+
+void
+checkAccess(Addr addr, unsigned size)
+{
+    if (size != 1 && size != 2 && size != 4)
+        panic(strf("bad access size ", size));
+    if (addr % size != 0)
+        fatal(strf("misaligned ", size, "-byte access at 0x", std::hex,
+                   addr));
+}
+
+} // namespace
+
+u32
+MainMemory::read(Addr addr, unsigned size)
+{
+    checkAccess(addr, size);
+    const u8 *page = pageFor(addr);
+    const Addr off = addr & pageMask;
+    u32 value = 0;
+    for (unsigned i = 0; i < size; i++)
+        value |= static_cast<u32>(page[off + i]) << (8 * i);
+    return value;
+}
+
+void
+MainMemory::write(Addr addr, unsigned size, u32 value)
+{
+    checkAccess(addr, size);
+    u8 *page = pageFor(addr);
+    const Addr off = addr & pageMask;
+    for (unsigned i = 0; i < size; i++)
+        page[off + i] = static_cast<u8>(value >> (8 * i));
+}
+
+u32
+MainMemory::amoCompute(Op op, u32 old, u32 operand)
+{
+    switch (op) {
+      case Op::AMOADD: return old + operand;
+      case Op::AMOAND: return old & operand;
+      case Op::AMOOR: return old | operand;
+      case Op::AMOXOR: return old ^ operand;
+      case Op::AMOSWAP: return operand;
+      case Op::AMOMIN:
+        return static_cast<i32>(old) < static_cast<i32>(operand) ? old
+                                                                 : operand;
+      case Op::AMOMAX:
+        return static_cast<i32>(old) > static_cast<i32>(operand) ? old
+                                                                 : operand;
+      default:
+        panic("amoCompute on non-amo opcode");
+    }
+}
+
+u32
+MainMemory::amo(Op op, Addr addr, u32 operand)
+{
+    const u32 old = read(addr, 4);
+    write(addr, 4, amoCompute(op, old, operand));
+    return old;
+}
+
+float
+MainMemory::readFloat(Addr addr)
+{
+    const u32 v = read(addr, 4);
+    float f;
+    std::memcpy(&f, &v, 4);
+    return f;
+}
+
+void
+MainMemory::writeFloat(Addr addr, float value)
+{
+    u32 v;
+    std::memcpy(&v, &value, 4);
+    write(addr, 4, v);
+}
+
+void
+MainMemory::loadBytes(Addr base, const std::vector<u8> &bytes)
+{
+    for (size_t i = 0; i < bytes.size(); i++) {
+        u8 *page = pageFor(base + static_cast<Addr>(i));
+        page[(base + i) & pageMask] = bytes[i];
+    }
+}
+
+} // namespace xloops

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Functional memory: a sparse paged byte-addressable 32-bit space,
+ * plus the abstract port through which all simulated engines access
+ * memory (so the LPSU can interpose per-lane load-store queues).
+ */
+
+#ifndef XLOOPS_MEM_MEMORY_H
+#define XLOOPS_MEM_MEMORY_H
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/opcodes.h"
+
+namespace xloops {
+
+/**
+ * Abstract functional memory interface. Sizes are 1, 2, or 4 bytes;
+ * values are zero-extended on read (sign extension is the executor's
+ * job). AMOs are read-modify-write and return the old value.
+ */
+class MemIface
+{
+  public:
+    virtual ~MemIface() = default;
+    virtual u32 read(Addr addr, unsigned size) = 0;
+    virtual void write(Addr addr, unsigned size, u32 value) = 0;
+    virtual u32 amo(Op op, Addr addr, u32 operand) = 0;
+};
+
+/** Sparse paged main memory. */
+class MainMemory : public MemIface
+{
+  public:
+    u32 read(Addr addr, unsigned size) override;
+    void write(Addr addr, unsigned size, u32 value) override;
+    u32 amo(Op op, Addr addr, u32 operand) override;
+
+    /** Word helpers used by loaders, kernels, and tests. */
+    u32 readWord(Addr addr) { return read(addr, 4); }
+    void writeWord(Addr addr, u32 value) { write(addr, 4, value); }
+    float readFloat(Addr addr);
+    void writeFloat(Addr addr, float value);
+
+    /** Copy a byte blob into memory at @p base. */
+    void loadBytes(Addr base, const std::vector<u8> &bytes);
+
+    /** Apply the AMO combine function (shared with LSQ drains). */
+    static u32 amoCompute(Op op, u32 old, u32 operand);
+
+  private:
+    static constexpr unsigned pageBits = 16;
+    static constexpr Addr pageSize = 1u << pageBits;
+    static constexpr Addr pageMask = pageSize - 1;
+
+    u8 *pageFor(Addr addr);
+
+    std::unordered_map<u32, std::unique_ptr<u8[]>> pages;
+};
+
+} // namespace xloops
+
+#endif // XLOOPS_MEM_MEMORY_H

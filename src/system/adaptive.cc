@@ -1,0 +1,34 @@
+#include "system/adaptive.h"
+
+namespace xloops {
+
+AdaptiveController::AdaptiveController(unsigned entries, u64 iter_threshold,
+                                       Cycle cycle_threshold)
+    : iterThreshold(iter_threshold), cycleThreshold(cycle_threshold),
+      entries(entries)
+{
+}
+
+AptEntry &
+AdaptiveController::lookup(Addr pc)
+{
+    for (auto &entry : entries)
+        if (entry.valid && entry.pc == pc)
+            return entry;
+    AptEntry &victim = entries[fifoNext];
+    fifoNext = (fifoNext + 1) % entries.size();
+    victim = AptEntry{};
+    victim.pc = pc;
+    victim.valid = true;
+    return victim;
+}
+
+void
+AdaptiveController::reset()
+{
+    for (auto &entry : entries)
+        entry = AptEntry{};
+    fifoNext = 0;
+}
+
+} // namespace xloops

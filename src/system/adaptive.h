@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Adaptive execution support (paper Section II-E): the adaptive
+ * profiling table (APT) records, per xloop PC, profiling progress and
+ * the eventual traditional-vs-specialized decision. Profiling may
+ * stretch across multiple dynamic instances of an xloop; the decision
+ * is sticky (the paper's current implementation never reconsiders).
+ */
+
+#ifndef XLOOPS_SYSTEM_ADAPTIVE_H
+#define XLOOPS_SYSTEM_ADAPTIVE_H
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace xloops {
+
+/** One APT entry. */
+struct AptEntry
+{
+    enum class State : u8
+    {
+        ProfileGpp,   ///< measuring traditional execution
+        DecidedGpp,   ///< traditional execution wins
+        DecidedLpsu,  ///< specialized execution wins
+    };
+
+    Addr pc = 0;
+    bool valid = false;
+    State state = State::ProfileGpp;
+    u64 gppIters = 0;
+    Cycle gppCycles = 0;
+    Cycle lastVisit = 0;
+    bool lastVisitValid = false;
+};
+
+/** PC-indexed adaptive profiling table with FIFO replacement. */
+class AdaptiveController
+{
+  public:
+    explicit AdaptiveController(unsigned entries = 16,
+                                u64 iter_threshold = 256,
+                                Cycle cycle_threshold = 2000);
+
+    /** Find or allocate the entry for @p pc. */
+    AptEntry &lookup(Addr pc);
+
+    /** True once GPP profiling for @p entry has hit a threshold. */
+    bool
+    profilingDone(const AptEntry &entry) const
+    {
+        return entry.gppIters >= iterThreshold ||
+               entry.gppCycles >= cycleThreshold;
+    }
+
+    void reset();
+
+    u64 iterThresholdValue() const { return iterThreshold; }
+
+  private:
+    u64 iterThreshold;
+    Cycle cycleThreshold;
+    std::vector<AptEntry> entries;
+    size_t fifoNext = 0;
+};
+
+} // namespace xloops
+
+#endif // XLOOPS_SYSTEM_ADAPTIVE_H

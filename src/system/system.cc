@@ -1,0 +1,188 @@
+#include "system/system.h"
+
+#include <ostream>
+
+#include "common/log.h"
+#include "isa/disasm.h"
+
+namespace xloops {
+
+const char *
+execModeName(ExecMode mode)
+{
+    switch (mode) {
+      case ExecMode::Traditional: return "T";
+      case ExecMode::Specialized: return "S";
+      case ExecMode::Adaptive: return "A";
+    }
+    return "?";
+}
+
+XloopsSystem::XloopsSystem(const SysConfig &config)
+    : cfg(config), gpp(makeGppModel(config.gpp))
+{
+    if (cfg.hasLpsu)
+        lpsu = std::make_unique<Lpsu>(cfg.lpsu, mem, gpp->dcacheModel());
+}
+
+void
+XloopsSystem::loadProgram(const Program &prog)
+{
+    prog.loadInto(mem);
+}
+
+void
+XloopsSystem::setTrace(std::ostream *out)
+{
+    traceOut = out;
+    if (lpsu)
+        lpsu->setTrace(out);
+}
+
+bool
+XloopsSystem::specialize(const Program &prog, Addr pc, RegFile &regs,
+                         u64 maxIters, SysResult &result)
+{
+    if (fallbackPcs.count(pc))
+        return false;  // known oversized body: stay traditional
+    const Cycle before = gpp->now();
+    const LpsuResult lr = lpsu->execute(prog, pc, regs, maxIters);
+    if (lr.fellBack) {
+        fallbackPcs.insert(pc);
+        return false;
+    }
+    // The GPP stalls while the LPSU owns the loop (scan + execution).
+    gpp->advanceTo(before + lr.scanCycles + lr.execCycles);
+    result.laneInsts += lr.laneInsts;
+    if (lr.iterations > 0)
+        result.xloopsSpecialized++;
+    return true;
+}
+
+void
+XloopsSystem::adaptivePre(const Program &prog, Addr pc, RegFile &regs,
+                          SysResult &result)
+{
+    AptEntry &entry = apt.lookup(pc);
+    switch (entry.state) {
+      case AptEntry::State::DecidedGpp:
+        return;  // traditional execution won; stay on the GPP
+
+      case AptEntry::State::DecidedLpsu:
+        specialize(prog, pc, regs, ~u64{0}, result);
+        return;
+
+      case AptEntry::State::ProfileGpp: {
+        if (!apt.profilingDone(entry))
+            return;  // keep measuring traditional iterations
+        // GPP profiling phase complete: scan, then run the LPSU
+        // profiling phase for the same number of iterations.
+        const u64 profIters = entry.gppIters;
+        const Cycle before = gpp->now();
+        const LpsuResult lr = lpsu->execute(prog, pc, regs, profIters);
+        if (lr.fellBack) {
+            entry.state = AptEntry::State::DecidedGpp;
+            return;
+        }
+        gpp->advanceTo(before + lr.scanCycles + lr.execCycles);
+        result.laneInsts += lr.laneInsts;
+
+        // Compare cycles-per-iteration of the two phases.
+        const double gppRate = static_cast<double>(entry.gppCycles) /
+                               static_cast<double>(entry.gppIters);
+        const double lpsuRate =
+            lr.iterations == 0
+                ? gppRate + 1.0
+                : static_cast<double>(lr.execCycles) /
+                      static_cast<double>(lr.iterations);
+        if (lpsuRate <= gppRate) {
+            entry.state = AptEntry::State::DecidedLpsu;
+            // Finish the remaining iterations on the LPSU now.
+            specialize(prog, pc, regs, ~u64{0}, result);
+        } else {
+            // Migrate back: regs already hold the hand-back state
+            // (index, bound, CIRs); the GPP resumes the loop.
+            entry.state = AptEntry::State::DecidedGpp;
+        }
+        return;
+      }
+    }
+}
+
+void
+XloopsSystem::adaptivePost(Addr pc, bool branch_taken)
+{
+    AptEntry &entry = apt.lookup(pc);
+    if (entry.state != AptEntry::State::ProfileGpp)
+        return;
+    const Cycle now = gpp->now();
+    if (entry.lastVisitValid) {
+        entry.gppCycles += now - entry.lastVisit;
+        entry.gppIters++;
+    }
+    entry.lastVisit = now;
+    entry.lastVisitValid = branch_taken;  // loop exit breaks the chain
+}
+
+SysResult
+XloopsSystem::run(const Program &prog, ExecMode mode, u64 maxInsts)
+{
+    if (mode != ExecMode::Traditional && !cfg.hasLpsu)
+        fatal(strf("configuration '", cfg.name, "' has no LPSU"));
+
+    gpp->reset();
+    apt.reset();
+    fallbackPcs.clear();
+    if (lpsu)
+        lpsu->reset();
+
+    SysResult result;
+    RegFile regs;
+    Addr pc = prog.entry;
+
+    while (true) {
+        const Instruction inst = prog.fetch(pc);
+
+        if (inst.isXloop() && inst.hint && cfg.hasLpsu) {
+            if (mode == ExecMode::Specialized)
+                specialize(prog, pc, regs, ~u64{0}, result);
+            else if (mode == ExecMode::Adaptive)
+                adaptivePre(prog, pc, regs, result);
+            // Fall through: the xloop instruction itself always
+            // executes traditionally (it now sees the post-LPSU
+            // index/bound and exits or continues correctly).
+        }
+
+        const StepResult step =
+            ExecCore::step(inst, pc, regs, mem, gpp->now());
+        gpp->retire(inst, pc, step);
+        result.gppInsts++;
+        if (traceOut) {
+            *traceOut << "[gpp @" << gpp->now() << "] 0x" << std::hex
+                      << pc << std::dec << ": " << disassemble(inst, pc)
+                      << "\n";
+        }
+
+        if (inst.isXloop() && inst.hint && cfg.hasLpsu &&
+            mode == ExecMode::Adaptive) {
+            adaptivePost(pc, step.branchTaken);
+        }
+
+        if (step.halted)
+            break;
+        pc = step.nextPc;
+        if (result.gppInsts >= maxInsts)
+            fatal("system run exceeded instruction limit");
+    }
+
+    result.cycles = gpp->now();
+    result.stats.merge(gpp->stats());
+    if (lpsu)
+        result.stats.merge(lpsu->stats());
+    result.stats.set("gpp_insts", result.gppInsts);
+    result.stats.set("lane_insts_total", result.laneInsts);
+    result.stats.set("cycles_total", result.cycles);
+    return result;
+}
+
+} // namespace xloops

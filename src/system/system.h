@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The full XLOOPS system: a GPP (in-order or out-of-order) optionally
+ * augmented with an LPSU, supporting the paper's three execution
+ * modes — traditional, specialized, adaptive — over the same binary.
+ */
+
+#ifndef XLOOPS_SYSTEM_SYSTEM_H
+#define XLOOPS_SYSTEM_SYSTEM_H
+
+#include <memory>
+#include <set>
+
+#include "asm/program.h"
+#include "common/stats.h"
+#include "cpu/gpp.h"
+#include "lpsu/lpsu.h"
+#include "mem/memory.h"
+#include "system/adaptive.h"
+#include "system/config.h"
+
+namespace xloops {
+
+/** How xloop instructions are executed. */
+enum class ExecMode
+{
+    Traditional,   ///< xloop = branch, xi = add (any GPP)
+    Specialized,   ///< hinted xloops run on the LPSU
+    Adaptive,      ///< profile both, migrate to the winner
+};
+
+const char *execModeName(ExecMode mode);
+
+/** Outcome of one program run. */
+struct SysResult
+{
+    Cycle cycles = 0;
+    u64 gppInsts = 0;
+    u64 laneInsts = 0;
+    u64 xloopsSpecialized = 0;
+    StatGroup stats;  ///< merged gpp.*, lpsu.*, dcache.* counters
+};
+
+class XloopsSystem
+{
+  public:
+    explicit XloopsSystem(const SysConfig &config);
+
+    /** Copy program text+data into system memory. */
+    void loadProgram(const Program &prog);
+
+    /** The functional memory (for kernel input setup / output checks). */
+    MainMemory &memory() { return mem; }
+
+    /**
+     * Run @p prog from entry to halt under @p mode.
+     * The caller must have loaded the program (and any input data).
+     */
+    SysResult run(const Program &prog, ExecMode mode,
+                  u64 maxInsts = 500'000'000);
+
+    const SysConfig &config() const { return cfg; }
+    GppModel &gppModel() { return *gpp; }
+    Lpsu &lpsuModel() { return *lpsu; }
+
+    /**
+     * Stream a per-instruction execution trace (GPP commits plus LPSU
+     * loop-level events) to @p out; nullptr disables tracing.
+     */
+    void setTrace(std::ostream *out);
+
+  private:
+    /** Run LPSU specialized execution for the xloop at @p pc;
+     *  returns false when the LPSU fell back (body too large). */
+    bool specialize(const Program &prog, Addr pc, RegFile &regs,
+                    u64 maxIters, SysResult &result);
+
+    /** Adaptive pre-execution hook for a hinted xloop. */
+    void adaptivePre(const Program &prog, Addr pc, RegFile &regs,
+                     SysResult &result);
+
+    /** Adaptive post-execution profiling bookkeeping. */
+    void adaptivePost(Addr pc, bool branchTaken);
+
+    SysConfig cfg;
+    MainMemory mem;
+    std::unique_ptr<GppModel> gpp;
+    std::unique_ptr<Lpsu> lpsu;
+    AdaptiveController apt;
+    std::set<Addr> fallbackPcs;  ///< xloops whose body exceeded the IB
+    std::ostream *traceOut = nullptr;
+};
+
+} // namespace xloops
+
+#endif // XLOOPS_SYSTEM_SYSTEM_H

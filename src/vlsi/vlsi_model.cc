@@ -1,0 +1,38 @@
+#include "vlsi/vlsi_model.h"
+
+#include <sstream>
+
+namespace xloops {
+
+VlsiEstimate
+vlsiEstimate(unsigned lanes, unsigned ib_entries,
+             const VlsiCoefficients &coeff)
+{
+    VlsiEstimate est;
+    std::ostringstream name;
+    name << "lpsu+i" << ib_entries << "+ln" << lanes;
+    est.name = name.str();
+    est.lanes = lanes;
+    est.ibEntries = ib_entries;
+    est.gppAreaMm2 = coeff.gppArea;
+    est.lpsuAreaMm2 = coeff.lmuArea + lanes * coeff.lanePerArea +
+                      static_cast<double>(lanes) * ib_entries *
+                          coeff.ibPerEntryPerLane;
+    est.totalAreaMm2 = est.gppAreaMm2 + est.lpsuAreaMm2;
+    est.areaOverhead = est.lpsuAreaMm2 / est.gppAreaMm2;
+    est.cycleTimeNs = coeff.ctBase + coeff.ctPerLane * lanes;
+    return est;
+}
+
+std::vector<VlsiEstimate>
+tableVSweep()
+{
+    std::vector<VlsiEstimate> rows;
+    for (const unsigned ib : {96u, 128u, 160u, 192u})
+        rows.push_back(vlsiEstimate(4, ib));
+    for (const unsigned lanes : {2u, 6u, 8u})
+        rows.push_back(vlsiEstimate(lanes, 128));
+    return rows;
+}
+
+} // namespace xloops

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Analytical VLSI area / cycle-time model of the RTL LPSU (paper
+ * Section V, Table V). The paper used a Synopsys flow on TSMC 40 nm
+ * with CACTI SRAM models; we reproduce the component composition:
+ * total area = scalar GPP + LMU + lanes x (datapath + regfile) +
+ * lanes x instruction-buffer SRAM, with cycle time growing with lane
+ * count (arbitration fan-in). Coefficients are calibrated against
+ * Table V's published points.
+ */
+
+#ifndef XLOOPS_VLSI_VLSI_MODEL_H
+#define XLOOPS_VLSI_VLSI_MODEL_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace xloops {
+
+/** Area and timing estimate for one LPSU configuration. */
+struct VlsiEstimate
+{
+    std::string name;
+    unsigned lanes = 0;
+    unsigned ibEntries = 0;
+    double gppAreaMm2 = 0;     ///< baseline scalar GPP
+    double lpsuAreaMm2 = 0;    ///< LMU + lanes + IB SRAM
+    double totalAreaMm2 = 0;
+    double areaOverhead = 0;   ///< (total - gpp) / gpp
+    double cycleTimeNs = 0;
+};
+
+/** Calibrated component areas (mm^2, 40 nm). */
+struct VlsiCoefficients
+{
+    double gppArea = 0.25;          ///< paper: scalar GPP total
+    double lmuArea = 0.010;         ///< LMU + IDQs + arbiters
+    double lanePerArea = 0.0205;    ///< lane datapath + 2r2w regfile
+    double ibPerEntryPerLane = 3.5e-5;  ///< CACTI-class SRAM slope
+    double ctBase = 1.82;           ///< ns
+    double ctPerLane = 0.08;        ///< arbitration fan-in slope
+};
+
+/** Estimate one configuration. */
+VlsiEstimate vlsiEstimate(unsigned lanes, unsigned ib_entries,
+                          const VlsiCoefficients &coeff = {});
+
+/** The Table V sweep: IB 96..192 at 4 lanes; lanes 2..8 at IB 128. */
+std::vector<VlsiEstimate> tableVSweep();
+
+} // namespace xloops
+
+#endif // XLOOPS_VLSI_VLSI_MODEL_H

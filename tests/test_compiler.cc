@@ -1,0 +1,646 @@
+// xcc compiler tests: affine subscript analysis, register/memory
+// dependence passes, pattern selection (including the paper's war and
+// mm examples), and end-to-end compile-assemble-execute runs with and
+// without the xi-generating loop strength reduction pass.
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.h"
+#include "common/log.h"
+#include "compiler/codegen.h"
+#include "cpu/functional.h"
+#include "system/system.h"
+
+namespace xloops {
+namespace {
+
+// --- affine analysis -----------------------------------------------------
+
+TEST(Affine, SimpleForms)
+{
+    const auto a = affineIn(var("i"), "i");
+    ASSERT_TRUE(a);
+    EXPECT_EQ(a->coeff, 1);
+    EXPECT_EQ(a->constValue, 0);
+
+    const auto b = affineIn(add(mul(var("i"), cst(4)), cst(3)), "i");
+    ASSERT_TRUE(b);
+    EXPECT_EQ(b->coeff, 4);
+    ASSERT_TRUE(b->constOffset);
+    EXPECT_EQ(b->constValue, 3);
+
+    const auto c = affineIn(sub(cst(10), var("i")), "i");
+    ASSERT_TRUE(c);
+    EXPECT_EQ(c->coeff, -1);
+    EXPECT_EQ(c->constValue, 10);
+}
+
+TEST(Affine, SymbolicInvariant)
+{
+    // i*n + j : affine in i with coeff 0 unless n is const, but
+    // affine in j with coeff 1 and invariant i*n.
+    const ExprPtr e = add(mul(var("i"), var("n")), var("j"));
+    const auto inJ = affineIn(e, "j");
+    ASSERT_TRUE(inJ);
+    EXPECT_EQ(inJ->coeff, 1);
+    EXPECT_FALSE(inJ->constOffset);
+
+    const auto inI = affineIn(e, "i");
+    EXPECT_FALSE(inI.has_value());  // i*n: non-constant coefficient
+}
+
+TEST(Affine, NonAffineForms)
+{
+    EXPECT_FALSE(affineIn(mul(var("i"), var("i")), "i").has_value());
+    EXPECT_FALSE(affineIn(ld("b", var("i")), "i").has_value());
+    EXPECT_FALSE(
+        affineIn(bin(BinOp::Rem, var("i"), cst(3)), "i").has_value());
+}
+
+TEST(Affine, ShiftAsMultiply)
+{
+    const auto s = affineIn(bin(BinOp::Shl, var("i"), cst(2)), "i");
+    ASSERT_TRUE(s);
+    EXPECT_EQ(s->coeff, 4);
+}
+
+TEST(Affine, IvFreeLoadIsInvariant)
+{
+    const auto f = affineIn(ld("b", var("j")), "i");
+    ASSERT_TRUE(f);
+    EXPECT_EQ(f->coeff, 0);
+}
+
+// --- scalar read/write sets ----------------------------------------------
+
+TEST(ScalarRw, ReadFirstVsWrittenFirst)
+{
+    // t = a[i]; s = s + t;
+    std::vector<Stmt> body;
+    body.push_back(assign("t", ld("a", var("i"))));
+    body.push_back(assign("s", add(var("s"), var("t"))));
+    const RwSets rw = scalarRw(body);
+    EXPECT_TRUE(rw.readFirst.count("s"));
+    EXPECT_FALSE(rw.readFirst.count("t"));  // written before read
+    EXPECT_TRUE(rw.written.count("t"));
+    EXPECT_TRUE(rw.written.count("s"));
+    EXPECT_TRUE(rw.readFirst.count("i"));
+}
+
+TEST(ScalarRw, IfBranchesMergeConservatively)
+{
+    std::vector<Stmt> body;
+    body.push_back(ifThen(bin(BinOp::Lt, var("x"), cst(0)),
+                          {assign("k", add(var("k"), cst(1)))}));
+    const RwSets rw = scalarRw(body);
+    EXPECT_TRUE(rw.readFirst.count("k"));
+    EXPECT_TRUE(rw.written.count("k"));
+    EXPECT_TRUE(rw.readFirst.count("x"));
+}
+
+// --- register dependence -------------------------------------------------
+
+Loop
+prefixSumLoop()
+{
+    Loop loop;
+    loop.iv = "i";
+    loop.lower = cst(0);
+    loop.upper = var("n");
+    loop.pragma = Pragma::Ordered;
+    loop.body.push_back(assign("s", add(var("s"), ld("a", var("i")))));
+    loop.body.push_back(store("out", var("i"), var("s")));
+    return loop;
+}
+
+TEST(RegDep, PrefixSumHasOneCir)
+{
+    const RegDepResult r = regDepAnalysis(prefixSumLoop());
+    ASSERT_EQ(r.cirs.size(), 1u);
+    EXPECT_EQ(r.cirs[0], "s");
+}
+
+TEST(RegDep, IvAndBoundExcluded)
+{
+    Loop loop = prefixSumLoop();
+    // Body that also references i and n: they are not CIRs.
+    loop.body.push_back(assign("t", add(var("i"), var("n"))));
+    const RegDepResult r = regDepAnalysis(loop);
+    EXPECT_EQ(r.cirs.size(), 1u);
+}
+
+TEST(RegDep, WrittenFirstScalarIsNotCir)
+{
+    Loop loop;
+    loop.iv = "i";
+    loop.lower = cst(0);
+    loop.upper = var("n");
+    loop.pragma = Pragma::Ordered;
+    loop.body.push_back(assign("t", ld("a", var("i"))));
+    loop.body.push_back(store("out", var("i"), mul(var("t"), var("t"))));
+    EXPECT_TRUE(regDepAnalysis(loop).cirs.empty());
+}
+
+// --- memory dependence ---------------------------------------------------
+
+Loop
+mkLoop(std::vector<Stmt> body)
+{
+    Loop loop;
+    loop.iv = "i";
+    loop.lower = cst(0);
+    loop.upper = var("n");
+    loop.pragma = Pragma::Ordered;
+    loop.body = std::move(body);
+    return loop;
+}
+
+TEST(MemDep, DisjointElementsIndependent)
+{
+    // out[i] = a[i] + 1: write out[i], read a[i]; no common array.
+    const MemDepResult r = memDepAnalysis(
+        mkLoop({store("out", var("i"), add(ld("a", var("i")), cst(1)))}));
+    EXPECT_FALSE(r.hasCarriedDep);
+}
+
+TEST(MemDep, SameElementIsIntraIteration)
+{
+    // out[i] = out[i] + 1: strong SIV, distance 0.
+    const MemDepResult r = memDepAnalysis(
+        mkLoop({store("out", var("i"), add(ld("out", var("i")), cst(1)))}));
+    EXPECT_FALSE(r.hasCarriedDep);
+    bool sawIntra = false;
+    for (const auto &p : r.pairs)
+        if (p.verdict == MemDepVerdict::IntraIteration)
+            sawIntra = true;
+    EXPECT_TRUE(sawIntra);
+}
+
+TEST(MemDep, StrongSivCarriedDistance)
+{
+    // out[i] = out[i-2] + 1: carried, distance 2.
+    const MemDepResult r = memDepAnalysis(mkLoop(
+        {store("out", var("i"),
+               add(ld("out", sub(var("i"), cst(2))), cst(1)))}));
+    EXPECT_TRUE(r.hasCarriedDep);
+    bool sawDist = false;
+    for (const auto &p : r.pairs) {
+        if (p.verdict == MemDepVerdict::CarriedDistance) {
+            sawDist = true;
+            EXPECT_EQ(p.distance, -2);
+        }
+    }
+    EXPECT_TRUE(sawDist);
+}
+
+TEST(MemDep, CoprimeStridesIndependent)
+{
+    // write out[2i], read out[2i+1]: never alias.
+    const MemDepResult r = memDepAnalysis(
+        mkLoop({store("out", mul(var("i"), cst(2)),
+                      ld("out", add(mul(var("i"), cst(2)), cst(1))))}));
+    EXPECT_FALSE(r.hasCarriedDep);
+}
+
+TEST(MemDep, IndirectSubscriptAssumedCarried)
+{
+    // out[idx[i]] = i: the classic irregular update.
+    const MemDepResult r = memDepAnalysis(
+        mkLoop({store("out", ld("idx", var("i")), var("i"))}));
+    EXPECT_TRUE(r.hasCarriedDep);
+}
+
+TEST(MemDep, ZivDifferentCellsIndependent)
+{
+    // write out[0], read out[1]: the ZIV test proves that flow pair
+    // independent. The write itself still carries an output
+    // dependence (every iteration writes cell 0), so the loop as a
+    // whole is carried.
+    const MemDepResult r = memDepAnalysis(
+        mkLoop({store("out", cst(0), ld("out", cst(1)))}));
+    bool sawIndependentFlowPair = false;
+    bool sawCarriedSelfPair = false;
+    for (const auto &p : r.pairs) {
+        if (p.verdict == MemDepVerdict::Independent)
+            sawIndependentFlowPair = true;
+        if (p.verdict == MemDepVerdict::AssumedCarried)
+            sawCarriedSelfPair = true;
+    }
+    EXPECT_TRUE(sawIndependentFlowPair);
+    EXPECT_TRUE(sawCarriedSelfPair);
+    EXPECT_TRUE(r.hasCarriedDep);
+}
+
+// --- bound update / db ---------------------------------------------------
+
+TEST(BoundUpdate, DetectedOnlyWhenBodyWritesBound)
+{
+    Loop loop = prefixSumLoop();
+    EXPECT_FALSE(boundUpdateAnalysis(loop));
+    loop.body.push_back(assign("n", add(var("n"), cst(1))));
+    EXPECT_TRUE(boundUpdateAnalysis(loop));
+}
+
+// --- pattern selection ---------------------------------------------------
+
+TEST(PatternSelect, PragmaDriven)
+{
+    Loop loop = prefixSumLoop();
+    loop.pragma = Pragma::Unordered;
+    EXPECT_EQ(selectPattern(loop).pattern, LoopPattern::UC);
+    loop.pragma = Pragma::Atomic;
+    EXPECT_EQ(selectPattern(loop).pattern, LoopPattern::UA);
+    loop.pragma = Pragma::None;
+    EXPECT_TRUE(selectPattern(loop).serial);
+}
+
+TEST(PatternSelect, OrderedRefinesToOrOmOrm)
+{
+    // Register-only dependence -> or.
+    EXPECT_EQ(selectPattern(prefixSumLoop()).pattern, LoopPattern::OR);
+
+    // Memory-only dependence -> om.
+    const Loop om = mkLoop(
+        {store("out", var("i"),
+               add(ld("out", sub(var("i"), cst(1))), cst(1)))});
+    EXPECT_EQ(selectPattern(om).pattern, LoopPattern::OM);
+
+    // Both -> orm.
+    Loop orm = prefixSumLoop();
+    orm.body.push_back(store("out", ld("idx", var("i")), var("s")));
+    EXPECT_EQ(selectPattern(orm).pattern, LoopPattern::ORM);
+
+    // Neither -> least restrictive (uc).
+    const Loop none = mkLoop(
+        {store("out", var("i"), add(ld("a", var("i")), cst(1)))});
+    Loop noneOrdered = none;
+    noneOrdered.pragma = Pragma::Ordered;
+    EXPECT_EQ(selectPattern(noneOrdered).pattern, LoopPattern::UC);
+}
+
+TEST(PatternSelect, DynamicBoundVariants)
+{
+    Loop loop = mkLoop({store("out", var("i"), var("i")),
+                        assign("n", add(var("n"), cst(1)))});
+    loop.pragma = Pragma::Unordered;
+    const LoopSelection sel = selectPattern(loop);
+    EXPECT_TRUE(sel.dynamicBound);
+    EXPECT_EQ(sel.opcode(), Op::XLOOP_UC_DB);
+}
+
+TEST(PatternSelect, WarOuterLoopIsOm)
+{
+    // Paper Figure 2: the middle (i) loop of Floyd-Warshall.
+    //   path[i*n+j] = min(path[i*n+j], path[i*n+k] + path[k*n+j])
+    // j is the inner iv; analyzed at the i level the subscripts are
+    // symbolic, so dependence is conservatively carried -> om.
+    Loop outer;
+    outer.iv = "i";
+    outer.lower = cst(0);
+    outer.upper = var("n");
+    outer.pragma = Pragma::Ordered;
+    const ExprPtr ij = add(mul(var("i"), var("n")), var("j"));
+    const ExprPtr ik = add(mul(var("i"), var("n")), var("k"));
+    const ExprPtr kj = add(mul(var("k"), var("n")), var("j"));
+    Loop inner;
+    inner.iv = "j";
+    inner.lower = cst(0);
+    inner.upper = var("n");
+    inner.pragma = Pragma::Unordered;
+    inner.body.push_back(store(
+        "path", ij,
+        bin(BinOp::Min, ld("path", ij), add(ld("path", ik),
+                                            ld("path", kj)))));
+    outer.body.push_back(nested(inner));
+
+    EXPECT_EQ(selectPattern(outer).pattern, LoopPattern::OM);
+    EXPECT_EQ(selectPattern(inner).pattern, LoopPattern::UC);
+}
+
+TEST(PatternSelect, MmGreedyMatchingIsOrm)
+{
+    // Paper Figure 3: v/u are written before read (not CIRs), k is a
+    // CIR, vertices[] updates are irregular -> orm.
+    Loop loop;
+    loop.iv = "i";
+    loop.lower = cst(0);
+    loop.upper = var("n");
+    loop.pragma = Pragma::Ordered;
+    loop.body.push_back(assign("v", ld("edgev", var("i"))));
+    loop.body.push_back(assign("u", ld("edgeu", var("i"))));
+    const ExprPtr cond =
+        bin(BinOp::And,
+            bin(BinOp::Lt, ld("vertices", var("v")), cst(0)),
+            bin(BinOp::Lt, ld("vertices", var("u")), cst(0)));
+    loop.body.push_back(ifThen(
+        cond,
+        {store("vertices", var("v"), var("u")),
+         store("vertices", var("u"), var("v")),
+         store("out", var("k"), var("i")),
+         assign("k", add(var("k"), cst(1)))}));
+
+    const LoopSelection sel = selectPattern(loop);
+    EXPECT_EQ(sel.pattern, LoopPattern::ORM);
+    ASSERT_EQ(sel.cirs.size(), 1u);
+    EXPECT_EQ(sel.cirs[0], "k");
+}
+
+// --- end-to-end code generation ------------------------------------------
+
+TEST(CodeGen, VectorAddCompilesAndRunsEverywhere)
+{
+    CodeGen cg;
+    cg.declareArray("a", 64);
+    cg.declareArray("b", 64);
+    cg.declareArray("c", 64);
+
+    std::vector<Stmt> prog;
+    // Serial init loops (no pragma), then the unordered compute loop.
+    Loop initA;
+    initA.iv = "i";
+    initA.lower = cst(0);
+    initA.upper = cst(64);
+    initA.body.push_back(store("a", var("i"), var("i")));
+    initA.body.push_back(
+        store("b", var("i"), mul(var("i"), cst(3))));
+    prog.push_back(nested(initA));
+
+    Loop compute;
+    compute.iv = "i";
+    compute.lower = cst(0);
+    compute.upper = cst(64);
+    compute.pragma = Pragma::Unordered;
+    compute.body.push_back(store(
+        "c", var("i"), add(ld("a", var("i")), ld("b", var("i")))));
+    prog.push_back(nested(compute));
+
+    const std::string text = cg.compile(prog);
+    EXPECT_NE(text.find("xloop.uc"), std::string::npos);
+    EXPECT_NE(text.find("addiu.xi"), std::string::npos);  // LSR ran
+
+    const Program bin = assemble(text);
+    for (const ExecMode mode :
+         {ExecMode::Traditional, ExecMode::Specialized}) {
+        XloopsSystem sys(configs::ioX());
+        sys.loadProgram(bin);
+        sys.run(bin, mode);
+        for (u32 i = 0; i < 64; i++)
+            EXPECT_EQ(sys.memory().readWord(bin.symbol("c") + 4 * i),
+                      4 * i) << i;
+    }
+}
+
+TEST(CodeGen, LsrDisabledGeneratesNoXi)
+{
+    CodeGen cg;
+    cg.lsrEnabled(false);
+    cg.declareArray("a", 16);
+    cg.declareArray("c", 16);
+    Loop compute;
+    compute.iv = "i";
+    compute.lower = cst(0);
+    compute.upper = cst(16);
+    compute.pragma = Pragma::Unordered;
+    compute.body.push_back(
+        store("c", var("i"), add(ld("a", var("i")), cst(7))));
+    const std::string text = cg.compile({nested(compute)});
+    EXPECT_EQ(text.find("addiu.xi"), std::string::npos);
+    EXPECT_NE(text.find("xloop.uc"), std::string::npos);
+
+    // Still correct on the LPSU.
+    const Program bin = assemble(text);
+    XloopsSystem sys(configs::ioX());
+    sys.loadProgram(bin);
+    sys.run(bin, ExecMode::Specialized);
+    for (u32 i = 0; i < 16; i++)
+        EXPECT_EQ(sys.memory().readWord(bin.symbol("c") + 4 * i), 7u);
+}
+
+TEST(CodeGen, PrefixSumCompilesToXloopOr)
+{
+    CodeGen cg;
+    cg.declareArray("a", 32);
+    cg.declareArray("out", 32);
+
+    std::vector<Stmt> prog;
+    Loop init;
+    init.iv = "i";
+    init.lower = cst(0);
+    init.upper = cst(32);
+    init.body.push_back(store("a", var("i"), var("i")));
+    prog.push_back(nested(init));
+
+    prog.push_back(assign("s", cst(0)));
+    prog.push_back(assign("n", cst(32)));
+    Loop loop = prefixSumLoop();
+    prog.push_back(nested(loop));
+
+    const std::string text = cg.compile(prog);
+    EXPECT_NE(text.find("xloop.or"), std::string::npos);
+
+    const Program bin = assemble(text);
+    XloopsSystem sys(configs::ioX());
+    sys.loadProgram(bin);
+    sys.run(bin, ExecMode::Specialized);
+    u32 expect = 0;
+    for (u32 i = 0; i < 32; i++) {
+        expect += i;
+        EXPECT_EQ(sys.memory().readWord(bin.symbol("out") + 4 * i),
+                  expect) << i;
+    }
+}
+
+TEST(CodeGen, WarNestedCompilesAndMatchesSerial)
+{
+    constexpr i32 n = 12;
+    CodeGen cg;
+    cg.declareArray("path", n * n);
+
+    std::vector<Stmt> prog;
+    // init: path[i*n+j] = (i*7 + j*13) % 64 + 1, diag 0.
+    Loop ii;
+    ii.iv = "i";
+    ii.lower = cst(0);
+    ii.upper = cst(n);
+    Loop jj;
+    jj.iv = "j";
+    jj.lower = cst(0);
+    jj.upper = cst(n);
+    const ExprPtr idx = add(mul(var("i"), cst(n)), var("j"));
+    jj.body.push_back(store(
+        "path", idx,
+        add(bin(BinOp::Rem,
+                add(mul(var("i"), cst(7)), mul(var("j"), cst(13))),
+                cst(64)),
+            cst(1))));
+    jj.body.push_back(ifThen(bin(BinOp::Eq, var("i"), var("j")),
+                             {store("path", idx, cst(0))}));
+    ii.body.push_back(nested(jj));
+    prog.push_back(nested(ii));
+
+    // Floyd-Warshall: k serial, i ordered (om), j unordered (uc).
+    prog.push_back(assign("n", cst(n)));
+    Loop kL;
+    kL.iv = "k";
+    kL.lower = cst(0);
+    kL.upper = cst(n);
+    Loop iL;
+    iL.iv = "i";
+    iL.lower = cst(0);
+    iL.upper = var("n");
+    iL.pragma = Pragma::Ordered;
+    iL.hintSpecialize = true;
+    Loop jL;
+    jL.iv = "j";
+    jL.lower = cst(0);
+    jL.upper = var("n");
+    jL.pragma = Pragma::Unordered;
+    jL.hintSpecialize = false;
+    const ExprPtr pij = add(mul(var("i"), var("n")), var("j"));
+    const ExprPtr pik = add(mul(var("i"), var("n")), var("k"));
+    const ExprPtr pkj = add(mul(var("k"), var("n")), var("j"));
+    jL.body.push_back(store(
+        "path", pij,
+        bin(BinOp::Min, ld("path", pij),
+            add(ld("path", pik), ld("path", pkj)))));
+    iL.body.push_back(nested(jL));
+    kL.body.push_back(nested(iL));
+    prog.push_back(nested(kL));
+
+    const std::string text = cg.compile(prog);
+    EXPECT_NE(text.find("xloop.om"), std::string::npos);
+    EXPECT_NE(text.find("xloop.uc"), std::string::npos);
+
+    const Program bin = assemble(text);
+    // Golden: functional serial execution.
+    MainMemory golden;
+    bin.loadInto(golden);
+    FunctionalExecutor exec(golden);
+    exec.run(bin);
+
+    XloopsSystem sys(configs::ooo2X());
+    sys.loadProgram(bin);
+    sys.run(bin, ExecMode::Specialized);
+    for (i32 i = 0; i < n * n; i++)
+        EXPECT_EQ(sys.memory().readWord(bin.symbol("path") + 4 * i),
+                  golden.readWord(bin.symbol("path") + 4 * i)) << i;
+}
+
+TEST(CodeGen, UndeclaredArrayRejected)
+{
+    CodeGen cg;
+    EXPECT_THROW(cg.compile({store("nope", cst(0), cst(1))}), FatalError);
+}
+
+TEST(CodeGen, ArrayInitializers)
+{
+    CodeGen cg;
+    cg.declareArray("a", 4, {5, -6, 7});
+    const Program bin = cg.compileToProgram({});
+    MainMemory mem;
+    bin.loadInto(mem);
+    EXPECT_EQ(mem.readWord(bin.symbol("a")), 5u);
+    EXPECT_EQ(static_cast<i32>(mem.readWord(bin.symbol("a") + 4)), -6);
+    EXPECT_EQ(mem.readWord(bin.symbol("a") + 12), 0u);
+}
+
+
+TEST(CodeGen, ExitWhenLowersToDataDependentExit)
+{
+    // while-style search: for (i = 0; i < 256; i++) { if (a[i] == 77)
+    // { out[0] = i; break; } } with an ordered pragma.
+    CodeGen cg;
+    cg.declareArray("a", 256);
+    cg.declareArray("out", 1, {-1});
+
+    std::vector<Stmt> prog;
+    Loop init;
+    init.iv = "i";
+    init.lower = cst(0);
+    init.upper = cst(256);
+    init.body.push_back(store("a", var("i"), mul(var("i"), cst(3))));
+    prog.push_back(nested(init));
+    // Plant the needle at index 123.
+    prog.push_back(store("a", cst(123), cst(77)));
+
+    Loop search;
+    search.iv = "i";
+    search.lower = cst(0);
+    search.upper = cst(256);
+    search.pragma = Pragma::Ordered;
+    const ExprPtr found = bin(BinOp::Eq, ld("a", var("i")), cst(77));
+    search.body.push_back(
+        ifThen(found, {store("out", cst(0), var("i"))}));
+    search.body.push_back(exitWhen(found));
+    prog.push_back(nested(search));
+
+    const LoopSelection sel = selectPattern(search);
+    EXPECT_TRUE(sel.dataDepExit);
+    EXPECT_EQ(sel.opcode(), Op::XLOOP_OM_DE);
+
+    const std::string text = cg.compile(prog);
+    EXPECT_NE(text.find("xloop.om.de"), std::string::npos);
+
+    const Program bin2 = assemble(text);
+    for (const ExecMode mode :
+         {ExecMode::Traditional, ExecMode::Specialized}) {
+        XloopsSystem sys(configs::ioX());
+        sys.loadProgram(bin2);
+        sys.run(bin2, mode);
+        EXPECT_EQ(sys.memory().readWord(bin2.symbol("out")), 123u)
+            << execModeName(mode);
+    }
+}
+
+TEST(CodeGen, ExitWhenWithCirLowersToOrmDe)
+{
+    Loop loop;
+    loop.iv = "i";
+    loop.lower = cst(0);
+    loop.upper = var("n");
+    loop.pragma = Pragma::Ordered;
+    loop.body.push_back(assign("s", add(var("s"), ld("a", var("i")))));
+    loop.body.push_back(exitWhen(bin(BinOp::Gt, var("s"), cst(1000))));
+    const LoopSelection sel = selectPattern(loop);
+    EXPECT_TRUE(sel.dataDepExit);
+    EXPECT_EQ(sel.pattern, LoopPattern::ORM);
+    EXPECT_EQ(sel.opcode(), Op::XLOOP_ORM_DE);
+}
+
+TEST(CodeGen, ExitWhenInUnorderedLoopRejected)
+{
+    Loop loop;
+    loop.iv = "i";
+    loop.lower = cst(0);
+    loop.upper = cst(8);
+    loop.pragma = Pragma::Unordered;
+    loop.body.push_back(exitWhen(cst(1)));
+    EXPECT_THROW(selectPattern(loop), FatalError);
+}
+
+TEST(CodeGen, ExitWhenOutsideDeLoopRejected)
+{
+    CodeGen cg;
+    EXPECT_THROW(cg.compile({exitWhen(cst(1))}), FatalError);
+}
+
+TEST(CodeGen, SerialLoopWithExitWhenRunsCorrectly)
+{
+    CodeGen cg;
+    cg.declareArray("out", 1);
+    Loop loop;
+    loop.iv = "i";
+    loop.lower = cst(0);
+    loop.upper = cst(100);
+    loop.pragma = Pragma::None;  // plain serial loop with a break
+    loop.body.push_back(store("out", cst(0), var("i")));
+    loop.body.push_back(exitWhen(bin(BinOp::Ge, var("i"), cst(42))));
+    const Program bin2 = cg.compileToProgram({nested(loop)});
+    XloopsSystem sys(configs::io());
+    sys.loadProgram(bin2);
+    sys.run(bin2, ExecMode::Traditional);
+    EXPECT_EQ(sys.memory().readWord(bin2.symbol("out")), 42u);
+}
+
+} // namespace
+} // namespace xloops

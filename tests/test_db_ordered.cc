@@ -1,0 +1,153 @@
+// Dynamic-bound loops with ordered data-dependence patterns
+// (xloop.or.db / xloop.om.db): the ISA allows any data pattern to
+// combine with the dynamic-bound control pattern; the Table II
+// kernels only exercise uc.db, so these tests cover the round-robin
+// dispatch path interacting with a growing bound.
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.h"
+#include "cpu/functional.h"
+#include "system/system.h"
+
+namespace xloops {
+namespace {
+
+struct DualExec
+{
+    Program prog;
+    MainMemory golden;
+    XloopsSystem sys;
+
+    DualExec(const std::string &src, const SysConfig &cfg, ExecMode mode)
+        : prog(assemble(src)), sys(cfg)
+    {
+        prog.loadInto(golden);
+        FunctionalExecutor exec(golden);
+        exec.run(prog);
+        sys.loadProgram(prog);
+        sys.run(prog, mode);
+    }
+
+    void
+    expectMatch(const std::string &symbol, unsigned words)
+    {
+        for (unsigned i = 0; i < words; i++) {
+            EXPECT_EQ(sys.memory().readWord(prog.symbol(symbol) + 4 * i),
+                      golden.readWord(prog.symbol(symbol) + 4 * i))
+                << symbol << "[" << i << "]";
+        }
+    }
+};
+
+// Running sum over a worklist that doubles while being consumed: the
+// sum is a CIR (or pattern) and the bound grows from inside
+// iterations. Growth is derived from the iteration index (no AMO
+// needed: extension is deterministic per index).
+const char *orDbSrc = R"(
+  li r1, 0
+  li r2, 8               # initial bound
+  li r3, 0               # running sum (CIR)
+  la r5, work
+  la r6, pfx
+body:
+  slli r10, r1, 2
+  add r11, r5, r10
+  lw r12, 0(r11)
+  add r3, r3, r12        # CIR
+  add r13, r6, r10
+  sw r3, 0(r13)          # prefix output
+  li r14, 24
+  bge r1, r14, nogrow
+  addi r2, r1, 9         # bound = i + 9 while i < 24 -> grows to 33
+nogrow:
+  xloop.or.db r1, r2, body
+  la r15, total
+  sw r3, 0(r15)
+  halt
+  .data
+work:  .space 256
+pfx:   .space 256
+total: .word 0
+)";
+
+TEST(OrderedDb, OrDbPrefixSumMatchesSerial)
+{
+    for (const auto &cfg : {configs::ioX(), configs::ooo4X()}) {
+        DualExec run(orDbSrc, cfg, ExecMode::Specialized);
+        // Initialize is baked in: zero work array means zero sums;
+        // instead patch inputs pre-run. Easier: re-run with inputs.
+        (void)run;
+    }
+    // With real inputs:
+    const Program prog = assemble(orDbSrc);
+    auto fill = [&](MainMemory &mem) {
+        for (unsigned i = 0; i < 64; i++)
+            mem.writeWord(prog.symbol("work") + 4 * i, 3 * i + 1);
+    };
+    MainMemory golden;
+    prog.loadInto(golden);
+    fill(golden);
+    FunctionalExecutor exec(golden);
+    exec.run(prog);
+
+    XloopsSystem sys(configs::ioX());
+    sys.loadProgram(prog);
+    fill(sys.memory());
+    sys.run(prog, ExecMode::Specialized);
+    for (unsigned i = 0; i < 33; i++) {
+        EXPECT_EQ(sys.memory().readWord(prog.symbol("pfx") + 4 * i),
+                  golden.readWord(prog.symbol("pfx") + 4 * i)) << i;
+    }
+    EXPECT_EQ(sys.memory().readWord(prog.symbol("total")),
+              golden.readWord(prog.symbol("total")));
+    // The bound actually grew past its initial value of 8: the last
+    // growth step (i = 23) raises it to 32, so pfx[31] is written.
+    EXPECT_EQ(golden.readWord(prog.symbol("pfx") + 4 * 31), [&] {
+        u32 s = 0;
+        for (unsigned i = 0; i <= 31; i++)
+            s += 3 * i + 1;
+        return s;
+    }());
+    EXPECT_EQ(golden.readWord(prog.symbol("pfx") + 4 * 32), 0u);
+}
+
+// om.db: a DP-style chain where each iteration reads the previous
+// element and the frontier extends while a condition holds.
+const char *omDbSrc = R"(
+  li r1, 1
+  li r2, 4               # initial bound
+  la r5, chain
+body:
+  slli r10, r1, 2
+  add r11, r5, r10
+  lw r12, -4(r11)        # chain[i-1]: carried memory dependence
+  addi r12, r12, 5
+  sw r12, 0(r11)
+  li r13, 40
+  bge r1, r13, nogrow
+  addi r2, r1, 5         # extend the frontier
+nogrow:
+  xloop.om.db r1, r2, body
+  halt
+  .data
+chain: .space 512
+)";
+
+TEST(OrderedDb, OmDbChainMatchesSerial)
+{
+    for (const auto &cfg :
+         {configs::ioX(), configs::ooo2X(), configs::ooo4X8rm()}) {
+        DualExec run(omDbSrc, cfg, ExecMode::Specialized);
+        run.expectMatch("chain", 64);
+    }
+}
+
+TEST(OrderedDb, AdaptiveModeAlsoCorrect)
+{
+    DualExec run(omDbSrc, configs::ooo2X(), ExecMode::Adaptive);
+    run.expectMatch("chain", 64);
+}
+
+} // namespace
+} // namespace xloops

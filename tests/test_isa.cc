@@ -1,0 +1,260 @@
+// Unit tests for the xrisc ISA: trait table sanity, encode/decode
+// round-trips for every opcode and format, field limits, and the
+// xloop helper predicates.
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "isa/disasm.h"
+#include "isa/instruction.h"
+
+namespace xloops {
+namespace {
+
+TEST(OpTraits, EveryOpcodeHasMnemonicAndLatency)
+{
+    for (unsigned i = 0; i < numOpcodes; i++) {
+        const auto op = static_cast<Op>(i);
+        const OpTraits &tr = opTraits(op);
+        EXPECT_NE(tr.mnemonic, nullptr);
+        EXPECT_GT(std::string(tr.mnemonic).size(), 0u);
+        EXPECT_GE(tr.latency, 1);
+    }
+}
+
+TEST(OpTraits, MnemonicsAreUnique)
+{
+    std::set<std::string> seen;
+    for (unsigned i = 0; i < numOpcodes; i++)
+        EXPECT_TRUE(seen.insert(opTraits(static_cast<Op>(i)).mnemonic).second)
+            << opTraits(static_cast<Op>(i)).mnemonic;
+}
+
+TEST(OpTraits, XloopPredicates)
+{
+    EXPECT_TRUE(isXloopOp(Op::XLOOP_UC));
+    EXPECT_TRUE(isXloopOp(Op::XLOOP_UA_DB));
+    EXPECT_FALSE(isXloopOp(Op::ADD));
+    EXPECT_FALSE(isXloopOp(Op::ADDIU_XI));
+    EXPECT_FALSE(isDynamicBoundOp(Op::XLOOP_UC));
+    EXPECT_TRUE(isDynamicBoundOp(Op::XLOOP_UC_DB));
+    EXPECT_TRUE(isDynamicBoundOp(Op::XLOOP_ORM_DB));
+}
+
+TEST(OpTraits, PatternsOfAllXloopVariants)
+{
+    EXPECT_EQ(xloopPattern(Op::XLOOP_UC), LoopPattern::UC);
+    EXPECT_EQ(xloopPattern(Op::XLOOP_OR), LoopPattern::OR);
+    EXPECT_EQ(xloopPattern(Op::XLOOP_OM), LoopPattern::OM);
+    EXPECT_EQ(xloopPattern(Op::XLOOP_ORM), LoopPattern::ORM);
+    EXPECT_EQ(xloopPattern(Op::XLOOP_UA), LoopPattern::UA);
+    EXPECT_EQ(xloopPattern(Op::XLOOP_UC_DB), LoopPattern::UC);
+    EXPECT_EQ(xloopPattern(Op::XLOOP_OR_DB), LoopPattern::OR);
+    EXPECT_EQ(xloopPattern(Op::XLOOP_OM_DB), LoopPattern::OM);
+    EXPECT_EQ(xloopPattern(Op::XLOOP_ORM_DB), LoopPattern::ORM);
+    EXPECT_EQ(xloopPattern(Op::XLOOP_UA_DB), LoopPattern::UA);
+    EXPECT_THROW(xloopPattern(Op::ADD), PanicError);
+}
+
+TEST(OpTraits, LlfuClassification)
+{
+    EXPECT_TRUE(Instruction{.op = Op::MUL}.isLlfu());
+    EXPECT_TRUE(Instruction{.op = Op::DIV}.isLlfu());
+    EXPECT_TRUE(Instruction{.op = Op::FADD}.isLlfu());
+    EXPECT_FALSE(Instruction{.op = Op::ADD}.isLlfu());
+    EXPECT_FALSE(Instruction{.op = Op::LW}.isLlfu());
+}
+
+Instruction
+roundTrip(const Instruction &inst)
+{
+    return Instruction::decode(inst.encode());
+}
+
+TEST(Encoding, RTypeRoundTrip)
+{
+    const Instruction inst{.op = Op::ADD, .rd = 3, .rs1 = 17, .rs2 = 31};
+    EXPECT_EQ(roundTrip(inst), inst);
+}
+
+TEST(Encoding, ITypeRoundTripNegativeImm)
+{
+    const Instruction inst{
+        .op = Op::ADDI, .rd = 5, .rs1 = 6, .imm = -1234};
+    EXPECT_EQ(roundTrip(inst), inst);
+}
+
+TEST(Encoding, ITypeImmBoundaries)
+{
+    for (const i32 imm : {-8192, -1, 0, 8191}) {
+        const Instruction inst{.op = Op::LW, .rd = 1, .rs1 = 2, .imm = imm};
+        EXPECT_EQ(roundTrip(inst), inst) << imm;
+    }
+    const Instruction over{.op = Op::LW, .rd = 1, .rs1 = 2, .imm = 8192};
+    EXPECT_THROW(over.encode(), FatalError);
+    const Instruction under{.op = Op::LW, .rd = 1, .rs1 = 2, .imm = -8193};
+    EXPECT_THROW(under.encode(), FatalError);
+}
+
+TEST(Encoding, STypeRoundTrip)
+{
+    const Instruction inst{
+        .op = Op::SW, .rs1 = 9, .rs2 = 20, .imm = 444};
+    EXPECT_EQ(roundTrip(inst), inst);
+}
+
+TEST(Encoding, UTypeRoundTrip)
+{
+    const Instruction inst{.op = Op::LUI, .rd = 8, .imm = (1 << 19) - 1};
+    EXPECT_EQ(roundTrip(inst), inst);
+}
+
+TEST(Encoding, BranchRoundTripBackwardOffset)
+{
+    const Instruction inst{
+        .op = Op::BNE, .rs1 = 4, .rs2 = 5, .imm = -100};
+    EXPECT_EQ(roundTrip(inst), inst);
+}
+
+TEST(Encoding, JalRoundTrip)
+{
+    const Instruction inst{.op = Op::JAL, .rd = 31, .imm = -200000};
+    EXPECT_EQ(roundTrip(inst), inst);
+}
+
+TEST(Encoding, XloopRoundTripWithHint)
+{
+    for (const bool hint : {false, true}) {
+        const Instruction inst{.op = Op::XLOOP_OM, .rd = 1, .rs1 = 2,
+                               .imm = -37, .hint = hint};
+        EXPECT_EQ(roundTrip(inst), inst) << "hint=" << hint;
+    }
+}
+
+TEST(Encoding, XloopForwardLabelRejected)
+{
+    const Instruction inst{.op = Op::XLOOP_UC, .rd = 1, .rs1 = 2, .imm = 4};
+    EXPECT_THROW(inst.encode(), FatalError);
+}
+
+TEST(Encoding, XiRoundTrip)
+{
+    const Instruction addi_xi{.op = Op::ADDIU_XI, .rd = 7, .imm = -64};
+    EXPECT_EQ(roundTrip(addi_xi), addi_xi);
+    const Instruction addu_xi{.op = Op::ADDU_XI, .rd = 7, .rs2 = 9};
+    EXPECT_EQ(roundTrip(addu_xi), addu_xi);
+}
+
+TEST(Encoding, AmoRoundTrip)
+{
+    const Instruction inst{.op = Op::AMOADD, .rd = 3, .rs1 = 4, .rs2 = 5};
+    EXPECT_EQ(roundTrip(inst), inst);
+}
+
+TEST(Encoding, EveryOpcodeRoundTripsWithTypicalFields)
+{
+    for (unsigned i = 0; i < numOpcodes; i++) {
+        const auto op = static_cast<Op>(i);
+        Instruction inst;
+        inst.op = op;
+        switch (opTraits(op).format) {
+          case Format::R: case Format::A:
+            inst.rd = 1; inst.rs1 = 2; inst.rs2 = 3;
+            break;
+          case Format::I: case Format::S:
+            inst.rd = 1; inst.rs1 = 2; inst.rs2 = 1; inst.imm = -5;
+            if (opTraits(op).format == Format::I) inst.rs2 = 0;
+            if (opTraits(op).format == Format::S) inst.rd = 0;
+            break;
+          case Format::U: case Format::C:
+            inst.rd = 1; inst.imm = 77;
+            break;
+          case Format::B:
+            inst.rs1 = 1; inst.rs2 = 2; inst.imm = -3;
+            break;
+          case Format::J:
+            inst.rd = 1; inst.imm = 1000;
+            break;
+          case Format::X:
+            inst.rd = 1; inst.rs1 = 2; inst.imm = -8; inst.hint = true;
+            break;
+          case Format::XI:
+            inst.rd = 4;
+            if (op == Op::ADDIU_XI) inst.imm = 16; else inst.rs2 = 5;
+            break;
+          case Format::N:
+            break;
+        }
+        EXPECT_EQ(roundTrip(inst), inst) << opTraits(op).mnemonic;
+    }
+}
+
+TEST(Encoding, IllegalOpcodeThrows)
+{
+    const u32 bad = 0xffu << 24;
+    EXPECT_THROW(Instruction::decode(bad), FatalError);
+}
+
+TEST(SrcDstRegs, Alu)
+{
+    const Instruction inst{.op = Op::ADD, .rd = 3, .rs1 = 4, .rs2 = 5};
+    RegId srcs[2];
+    EXPECT_EQ(inst.srcRegs(srcs), 2u);
+    EXPECT_EQ(srcs[0], 4);
+    EXPECT_EQ(srcs[1], 5);
+    EXPECT_EQ(inst.destReg(), 3);
+}
+
+TEST(SrcDstRegs, StoreHasNoDest)
+{
+    const Instruction inst{.op = Op::SW, .rs1 = 4, .rs2 = 5};
+    EXPECT_EQ(inst.destReg(), numArchRegs);
+}
+
+TEST(SrcDstRegs, R0DestIsDiscarded)
+{
+    const Instruction inst{.op = Op::ADD, .rd = 0, .rs1 = 1, .rs2 = 2};
+    EXPECT_EQ(inst.destReg(), numArchRegs);
+}
+
+TEST(SrcDstRegs, XloopReadsIdxAndBound)
+{
+    const Instruction inst{.op = Op::XLOOP_UC, .rd = 6, .rs1 = 7,
+                           .imm = -4};
+    RegId srcs[2];
+    EXPECT_EQ(inst.srcRegs(srcs), 2u);
+    EXPECT_EQ(srcs[0], 6);
+    EXPECT_EQ(srcs[1], 7);
+    EXPECT_EQ(inst.destReg(), 6);
+}
+
+TEST(SrcDstRegs, XiReadsItsOwnDest)
+{
+    const Instruction inst{.op = Op::ADDIU_XI, .rd = 9, .imm = 4};
+    RegId srcs[2];
+    EXPECT_EQ(inst.srcRegs(srcs), 1u);
+    EXPECT_EQ(srcs[0], 9);
+}
+
+TEST(Disasm, RendersCommonForms)
+{
+    EXPECT_EQ(disassemble({.op = Op::ADD, .rd = 1, .rs1 = 2, .rs2 = 3}),
+              "add r1, r2, r3");
+    EXPECT_EQ(disassemble({.op = Op::LW, .rd = 1, .rs1 = 2, .imm = 8}),
+              "lw r1, 8(r2)");
+    EXPECT_EQ(disassemble({.op = Op::SW, .rs1 = 2, .rs2 = 1, .imm = -4}),
+              "sw r1, -4(r2)");
+    EXPECT_EQ(disassemble({.op = Op::ADDIU_XI, .rd = 5, .imm = 4}),
+              "addiu.xi r5, 4");
+    EXPECT_EQ(disassemble({.op = Op::NOP}), "nop");
+}
+
+TEST(Disasm, XloopShowsTargetAndHint)
+{
+    const Instruction inst{.op = Op::XLOOP_UC, .rd = 1, .rs1 = 2,
+                           .imm = -2, .hint = true};
+    EXPECT_EQ(disassemble(inst, 0x1010), "xloop.uc r1, r2, 0x1008 [hint]");
+}
+
+} // namespace
+} // namespace xloops

@@ -1,0 +1,197 @@
+// Integration tests: every registered kernel must validate (against
+// the serial golden model and/or its semantic checker) under
+// traditional, specialized, and adaptive execution on multiple system
+// configurations. Also covers the GP-ISA serialization transform and
+// kernel-suite metadata invariants.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "asm/assembler.h"
+#include "common/log.h"
+#include "kernels/kernel.h"
+
+namespace xloops {
+namespace {
+
+class KernelCorrectness
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(KernelCorrectness, TraditionalOnIo)
+{
+    const Kernel &k = kernelByName(GetParam());
+    const KernelRun run = runKernel(k, configs::io(), ExecMode::Traditional);
+    EXPECT_TRUE(run.passed) << run.error;
+}
+
+TEST_P(KernelCorrectness, TraditionalGpBinaryOnOoo2)
+{
+    const Kernel &k = kernelByName(GetParam());
+    const KernelRun run =
+        runKernel(k, configs::ooo2(), ExecMode::Traditional, true);
+    EXPECT_TRUE(run.passed) << run.error;
+}
+
+TEST_P(KernelCorrectness, SpecializedOnIoX)
+{
+    const Kernel &k = kernelByName(GetParam());
+    const KernelRun run =
+        runKernel(k, configs::ioX(), ExecMode::Specialized);
+    EXPECT_TRUE(run.passed) << run.error;
+}
+
+TEST_P(KernelCorrectness, SpecializedOnOoo4X)
+{
+    const Kernel &k = kernelByName(GetParam());
+    const KernelRun run =
+        runKernel(k, configs::ooo4X(), ExecMode::Specialized);
+    EXPECT_TRUE(run.passed) << run.error;
+}
+
+TEST_P(KernelCorrectness, AdaptiveOnOoo2X)
+{
+    const Kernel &k = kernelByName(GetParam());
+    const KernelRun run =
+        runKernel(k, configs::ooo2X(), ExecMode::Adaptive);
+    EXPECT_TRUE(run.passed) << run.error;
+}
+
+TEST_P(KernelCorrectness, SpecializedOnDseConfigs)
+{
+    const Kernel &k = kernelByName(GetParam());
+    for (const auto &cfg : {configs::ooo4X8(), configs::ooo4X8rm(),
+                            configs::ooo4X4t()}) {
+        const KernelRun run = runKernel(k, cfg, ExecMode::Specialized);
+        EXPECT_TRUE(run.passed) << cfg.name << ": " << run.error;
+    }
+}
+
+std::vector<std::string>
+allKernelNames()
+{
+    std::vector<std::string> names;
+    for (const Kernel &k : kernelRegistry())
+        names.push_back(k.name);
+    return names;
+}
+
+std::string
+sanitize(const ::testing::TestParamInfo<std::string> &info)
+{
+    std::string s = info.param;
+    for (auto &c : s)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelCorrectness,
+                         ::testing::ValuesIn(allKernelNames()), sanitize);
+
+TEST(KernelRegistry, NamesAreUnique)
+{
+    std::set<std::string> seen;
+    for (const Kernel &k : kernelRegistry())
+        EXPECT_TRUE(seen.insert(k.name).second) << k.name;
+}
+
+TEST(KernelRegistry, TableIIKernelsAllRegistered)
+{
+    for (const auto &name : tableIIKernelNames())
+        EXPECT_NO_THROW(kernelByName(name)) << name;
+    EXPECT_EQ(tableIIKernelNames().size(), 25u);
+}
+
+TEST(KernelRegistry, UnknownNameThrows)
+{
+    EXPECT_THROW(kernelByName("nonesuch"), FatalError);
+}
+
+TEST(GpIsaTransform, RemovesAllXloopsAndXis)
+{
+    for (const Kernel &k : kernelRegistry()) {
+        const std::string gp = serializeToGpIsa(k.source);
+        EXPECT_EQ(gp.find("xloop."), std::string::npos) << k.name;
+        EXPECT_EQ(gp.find(".xi"), std::string::npos) << k.name;
+        EXPECT_NO_THROW(assemble(gp)) << k.name;
+    }
+}
+
+TEST(GpIsaTransform, DynInstRatioNearOne)
+{
+    // Paper Table II: the XLOOPS binary executes about the same
+    // number of dynamic instructions as the GP binary (X/G around
+    // 0.9-1.1; xloop saves the addi of the increment-compare pair).
+    for (const auto &name : tableIIKernelNames()) {
+        const Kernel &k = kernelByName(name);
+        const KernelRun xl =
+            runKernel(k, configs::io(), ExecMode::Traditional, false);
+        const KernelRun gp =
+            runKernel(k, configs::io(), ExecMode::Traditional, true);
+        ASSERT_TRUE(xl.passed) << name << ": " << xl.error;
+        ASSERT_TRUE(gp.passed) << name << ": " << gp.error;
+        const double ratio = static_cast<double>(xl.xlDynInsts) /
+                             static_cast<double>(gp.xlDynInsts);
+        EXPECT_GT(ratio, 0.70) << name;
+        EXPECT_LT(ratio, 1.10) << name;
+    }
+}
+
+TEST(KernelSpeedups, UcKernelsGainOnInOrderHost)
+{
+    // Paper: specialized execution always benefits the in-order
+    // processor; uc-dominated kernels see the largest gains.
+    for (const std::string name :
+         {"rgb2cmyk-uc", "sgemm-uc", "ssearch-uc", "viterbi-uc"}) {
+        const Kernel &k = kernelByName(name);
+        const KernelRun gp =
+            runKernel(k, configs::io(), ExecMode::Traditional, true);
+        const KernelRun sp =
+            runKernel(k, configs::ioX(), ExecMode::Specialized);
+        ASSERT_TRUE(sp.passed) << name << ": " << sp.error;
+        const double speedup = static_cast<double>(gp.result.cycles) /
+                               static_cast<double>(sp.result.cycles);
+        EXPECT_GT(speedup, 1.5) << name << " speedup " << speedup;
+    }
+}
+
+TEST(KernelSpeedups, KsackSquashesAreDataDependent)
+{
+    // Paper Section IV-C: small weights conflict within the lane
+    // window, large weights do not.
+    auto squashesOf = [](const std::string &name) {
+        const Kernel &k = kernelByName(name);
+        const Program prog = assemble(k.source);
+        XloopsSystem sys(configs::ioX());
+        sys.loadProgram(prog);
+        k.setup(sys.memory(), prog);
+        sys.run(prog, ExecMode::Specialized);
+        return sys.lpsuModel().stats().get("squashes");
+    };
+    const u64 sm = squashesOf("ksack-sm-om");
+    const u64 lg = squashesOf("ksack-lg-om");
+    EXPECT_GT(sm, lg);
+}
+
+TEST(KernelSpeedups, HandScheduledOrVariantsAreFaster)
+{
+    for (const auto &[base, opt] :
+         std::vector<std::pair<std::string, std::string>>{
+             {"adpcm-or", "adpcm-or-opt"},
+             {"dither-or", "dither-or-opt"},
+             {"sha-or", "sha-or-opt"}}) {
+        const KernelRun b = runKernel(kernelByName(base), configs::ioX(),
+                                      ExecMode::Specialized);
+        const KernelRun o = runKernel(kernelByName(opt), configs::ioX(),
+                                      ExecMode::Specialized);
+        ASSERT_TRUE(b.passed) << base << ": " << b.error;
+        ASSERT_TRUE(o.passed) << opt << ": " << o.error;
+        EXPECT_LT(o.result.cycles, b.result.cycles) << opt;
+    }
+}
+
+} // namespace
+} // namespace xloops

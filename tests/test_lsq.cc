@@ -1,0 +1,140 @@
+// Direct unit tests for the per-lane speculative load-store queue:
+// byte-accurate own-store forwarding, overlap detection, capacity,
+// drain ordering, squash clearing, and value-based violation
+// filtering.
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "lpsu/lsq.h"
+#include "mem/memory.h"
+
+namespace xloops {
+namespace {
+
+TEST(LaneLsq, EmptyAndCapacity)
+{
+    LaneLsq lsq(2, 2);
+    EXPECT_TRUE(lsq.empty());
+    EXPECT_FALSE(lsq.loadsFull());
+    lsq.pushLoad(0x100, 4, 1);
+    lsq.pushLoad(0x104, 4, 2);
+    EXPECT_TRUE(lsq.loadsFull());
+    EXPECT_FALSE(lsq.storesFull());
+    lsq.pushStore(0x200, 4, 7);
+    lsq.pushStore(0x204, 4, 8);
+    EXPECT_TRUE(lsq.storesFull());
+    EXPECT_EQ(lsq.numLoads(), 2u);
+    EXPECT_EQ(lsq.numStores(), 2u);
+}
+
+TEST(LaneLsq, OverflowPanics)
+{
+    LaneLsq lsq(1, 1);
+    lsq.pushLoad(0x100, 4, 0);
+    EXPECT_THROW(lsq.pushLoad(0x104, 4, 0), PanicError);
+    lsq.pushStore(0x200, 4, 0);
+    EXPECT_THROW(lsq.pushStore(0x204, 4, 0), PanicError);
+}
+
+TEST(LaneLsq, ExactForwarding)
+{
+    MainMemory mem;
+    mem.writeWord(0x100, 0x11111111);
+    LaneLsq lsq(8, 8);
+    lsq.pushStore(0x100, 4, 0x22222222);
+    EXPECT_TRUE(lsq.fullyCovered(0x100, 4));
+    EXPECT_EQ(lsq.coveredRead(mem, 0x100, 4), 0x22222222u);
+}
+
+TEST(LaneLsq, PartialCoverageComposesWithMemory)
+{
+    MainMemory mem;
+    mem.writeWord(0x100, 0xaabbccdd);
+    LaneLsq lsq(8, 8);
+    lsq.pushStore(0x101, 1, 0xee);  // overwrite byte 1 only
+    EXPECT_FALSE(lsq.fullyCovered(0x100, 4));
+    EXPECT_EQ(lsq.coveredRead(mem, 0x100, 4), 0xaabbeeddu);
+}
+
+TEST(LaneLsq, LaterStoresWin)
+{
+    MainMemory mem;
+    LaneLsq lsq(8, 8);
+    lsq.pushStore(0x100, 4, 0x11111111);
+    lsq.pushStore(0x100, 4, 0x22222222);
+    EXPECT_EQ(lsq.coveredRead(mem, 0x100, 4), 0x22222222u);
+    // Narrow later store patches only its bytes.
+    lsq.pushStore(0x102, 2, 0x9999);
+    EXPECT_EQ(lsq.coveredRead(mem, 0x100, 4), 0x99992222u);
+}
+
+TEST(LaneLsq, LoadOverlapDetection)
+{
+    LaneLsq lsq(8, 8);
+    lsq.pushLoad(0x100, 4, 0);
+    EXPECT_TRUE(lsq.loadOverlaps(0x100, 4));
+    EXPECT_TRUE(lsq.loadOverlaps(0x102, 2));
+    EXPECT_TRUE(lsq.loadOverlaps(0xfc, 8));
+    EXPECT_FALSE(lsq.loadOverlaps(0x104, 4));
+    EXPECT_FALSE(lsq.loadOverlaps(0xfc, 4));
+}
+
+TEST(LaneLsq, DrainPreservesProgramOrder)
+{
+    LaneLsq lsq(8, 8);
+    lsq.pushStore(0x100, 4, 1);
+    lsq.pushStore(0x100, 4, 2);
+    lsq.pushStore(0x104, 4, 3);
+    const LsqAccess a = lsq.popOldestStore();
+    const LsqAccess b = lsq.popOldestStore();
+    const LsqAccess c = lsq.popOldestStore();
+    EXPECT_EQ(a.value, 1u);
+    EXPECT_EQ(b.value, 2u);
+    EXPECT_EQ(c.value, 3u);
+    EXPECT_FALSE(lsq.hasStores());
+    EXPECT_THROW(lsq.popOldestStore(), PanicError);
+}
+
+TEST(LaneLsq, ClearAndClearLoads)
+{
+    LaneLsq lsq(8, 8);
+    lsq.pushLoad(0x100, 4, 0);
+    lsq.pushStore(0x200, 4, 1);
+    lsq.clearLoads();
+    EXPECT_EQ(lsq.numLoads(), 0u);
+    EXPECT_TRUE(lsq.hasStores());
+    lsq.clear();
+    EXPECT_TRUE(lsq.empty());
+}
+
+TEST(LaneLsq, ValueBasedFilteringDetectsRealChanges)
+{
+    MainMemory mem;
+    mem.writeWord(0x100, 50);
+    LaneLsq lsq(8, 8);
+    lsq.pushLoad(0x100, 4, 50);  // observed the old value
+    // Producer now stores the same value: benign violation.
+    EXPECT_FALSE(lsq.loadsWouldChange(mem, 0x100, 4));
+    // Producer changes the value: genuine violation.
+    mem.writeWord(0x100, 51);
+    EXPECT_TRUE(lsq.loadsWouldChange(mem, 0x100, 4));
+    // Non-overlapping store never matters.
+    EXPECT_FALSE(lsq.loadsWouldChange(mem, 0x200, 4));
+}
+
+TEST(LaneLsq, ValueFilteringHonoursOwnStores)
+{
+    // The lane's own store shadows memory: even if memory changed,
+    // a re-executed load would still see the own-store value.
+    MainMemory mem;
+    mem.writeWord(0x100, 50);
+    LaneLsq lsq(8, 8);
+    lsq.pushStore(0x100, 4, 77);
+    lsq.pushLoad(0x100, 4, 77);
+    mem.writeWord(0x100, 99);
+    EXPECT_FALSE(lsq.loadsWouldChange(mem, 0x100, 4));
+}
+
+} // namespace
+} // namespace xloops

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * xas — assembler / disassembler driver.
+ *
+ *   xas program.s              assemble, print a listing
+ *   xas -d program.s           assemble, print disassembly only
+ *   xas -s program.s           print the symbol table
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "asm/assembler.h"
+#include "common/log.h"
+#include "isa/disasm.h"
+
+using namespace xloops;
+
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool disasmOnly = false;
+    bool symbolsOnly = false;
+    std::string path;
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        if (arg == "-d")
+            disasmOnly = true;
+        else if (arg == "-s")
+            symbolsOnly = true;
+        else
+            path = arg;
+    }
+    if (path.empty()) {
+        std::fprintf(stderr, "usage: xas [-d|-s] program.s\n");
+        return 2;
+    }
+
+    try {
+        const Program prog = assemble(readFile(path));
+        if (symbolsOnly) {
+            for (const auto &[name, addr] : prog.symbols)
+                std::printf("%08x %s\n", addr, name.c_str());
+            return 0;
+        }
+        std::printf("text: %zu instructions at 0x%x\n", prog.text.size(),
+                    prog.textBase);
+        for (size_t i = 0; i < prog.text.size(); i++) {
+            const Addr pc = prog.textBase + static_cast<Addr>(4 * i);
+            const Instruction inst = Instruction::decode(prog.text[i]);
+            if (disasmOnly)
+                std::printf("%08x: %s\n", pc,
+                            disassemble(inst, pc).c_str());
+            else
+                std::printf("%08x: %08x  %s\n", pc, prog.text[i],
+                            disassemble(inst, pc).c_str());
+        }
+        if (!disasmOnly) {
+            for (const auto &chunk : prog.data)
+                std::printf("data: %zu bytes at 0x%x\n",
+                            chunk.bytes.size(), chunk.base);
+        }
+        return 0;
+    } catch (const FatalError &error) {
+        std::fprintf(stderr, "%s\n", error.what());
+        return 1;
+    }
+}

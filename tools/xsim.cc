@@ -1,0 +1,159 @@
+/**
+ * @file
+ * xsim — whole-system simulator driver.
+ *
+ *   xsim [options] program.s
+ *     -c <config>   system configuration (default io+x); see -l
+ *     -m <T|S|A>    execution mode (default S)
+ *     -k <kernel>   run a registered kernel instead of a file
+ *     -e            print the dynamic energy estimate
+ *     -v            dump all statistics
+ *     -t            trace execution (GPP commits + LPSU events)
+ *     -l            list configurations and kernels
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "asm/assembler.h"
+#include "common/log.h"
+#include "energy/energy.h"
+#include "kernels/kernel.h"
+
+using namespace xloops;
+
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+ExecMode
+parseMode(const std::string &mode)
+{
+    if (mode == "T")
+        return ExecMode::Traditional;
+    if (mode == "S")
+        return ExecMode::Specialized;
+    if (mode == "A")
+        return ExecMode::Adaptive;
+    fatal("mode must be T, S, or A");
+}
+
+void
+listEverything()
+{
+    std::printf("configurations:\n");
+    for (const auto &cfg : configs::mainGrid())
+        std::printf("  %s\n", cfg.name.c_str());
+    for (const char *name : {"ooo/4+x4+t", "ooo/4+x8", "ooo/4+x8+r",
+                             "ooo/4+x8+r+m", "io+xf", "ooo/4+xf"})
+        std::printf("  %s\n", name);
+    std::printf("kernels:\n");
+    for (const Kernel &k : kernelRegistry())
+        std::printf("  %-16s (%s, suite %s)\n", k.name.c_str(),
+                    k.patterns.c_str(), k.suite.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string cfgName = "io+x";
+    std::string modeName = "S";
+    std::string kernelName;
+    std::string path;
+    bool energy = false;
+    bool verbose = false;
+    bool trace = false;
+
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal(arg + " needs an argument");
+            return argv[++i];
+        };
+        if (arg == "-c")
+            cfgName = next();
+        else if (arg == "-m")
+            modeName = next();
+        else if (arg == "-k")
+            kernelName = next();
+        else if (arg == "-e")
+            energy = true;
+        else if (arg == "-v")
+            verbose = true;
+        else if (arg == "-t")
+            trace = true;
+        else if (arg == "-l") {
+            listEverything();
+            return 0;
+        } else {
+            path = arg;
+        }
+    }
+
+    try {
+        const SysConfig cfg = configs::byName(cfgName);
+        const ExecMode mode = parseMode(modeName);
+        if (mode != ExecMode::Traditional && !cfg.hasLpsu)
+            fatal("mode " + modeName + " needs an LPSU (+x config)");
+
+        SysResult result;
+        if (!kernelName.empty()) {
+            const KernelRun run =
+                runKernel(kernelByName(kernelName), cfg, mode);
+            result = run.result;
+            std::printf("kernel %s on %s mode %s: %s\n",
+                        kernelName.c_str(), cfg.name.c_str(),
+                        modeName.c_str(),
+                        run.passed ? "VALIDATED" : run.error.c_str());
+        } else {
+            if (path.empty())
+                fatal("usage: xsim [-c cfg] [-m T|S|A] "
+                      "(program.s | -k kernel)");
+            const Program prog = assemble(readFile(path));
+            XloopsSystem sys(cfg);
+            if (trace)
+                sys.setTrace(&std::cout);
+            sys.loadProgram(prog);
+            result = sys.run(prog, mode);
+        }
+
+        std::printf("cycles            %llu\n",
+                    static_cast<unsigned long long>(result.cycles));
+        std::printf("gpp instructions  %llu\n",
+                    static_cast<unsigned long long>(result.gppInsts));
+        std::printf("lane instructions %llu\n",
+                    static_cast<unsigned long long>(result.laneInsts));
+        std::printf("xloops specialized %llu\n",
+                    static_cast<unsigned long long>(
+                        result.xloopsSpecialized));
+        if (energy) {
+            const EnergyModel model;
+            const EnergyBreakdown e =
+                model.dynamicEnergy(cfg, result.stats);
+            std::printf("dynamic energy    %.1f nJ (gpp %.1f + lpsu "
+                        "%.1f)\n",
+                        e.totalNj(), e.gppNj, e.lpsuNj);
+        }
+        if (verbose)
+            std::printf("%s", result.stats.dump("  ").c_str());
+        return 0;
+    } catch (const FatalError &error) {
+        std::fprintf(stderr, "%s\n", error.what());
+        return 1;
+    }
+}
