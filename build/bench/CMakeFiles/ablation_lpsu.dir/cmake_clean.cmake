@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lpsu.dir/ablation_lpsu.cc.o"
+  "CMakeFiles/ablation_lpsu.dir/ablation_lpsu.cc.o.d"
+  "ablation_lpsu"
+  "ablation_lpsu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lpsu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

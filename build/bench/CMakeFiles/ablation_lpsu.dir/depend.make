@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_lpsu.
+# This may be replaced when dependencies are built.

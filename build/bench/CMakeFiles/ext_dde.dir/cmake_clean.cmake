@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dde.dir/ext_dde.cc.o"
+  "CMakeFiles/ext_dde.dir/ext_dde.cc.o.d"
+  "ext_dde"
+  "ext_dde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

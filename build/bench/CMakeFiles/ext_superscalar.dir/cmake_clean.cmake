@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_superscalar.dir/ext_superscalar.cc.o"
+  "CMakeFiles/ext_superscalar.dir/ext_superscalar.cc.o.d"
+  "ext_superscalar"
+  "ext_superscalar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_superscalar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

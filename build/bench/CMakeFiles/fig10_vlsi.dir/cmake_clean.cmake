@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_vlsi.dir/fig10_vlsi.cc.o"
+  "CMakeFiles/fig10_vlsi.dir/fig10_vlsi.cc.o.d"
+  "fig10_vlsi"
+  "fig10_vlsi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_vlsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

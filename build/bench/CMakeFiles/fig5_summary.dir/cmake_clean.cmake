@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_summary.dir/fig5_summary.cc.o"
+  "CMakeFiles/fig5_summary.dir/fig5_summary.cc.o.d"
+  "fig5_summary"
+  "fig5_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_casestudies.dir/table4_casestudies.cc.o"
+  "CMakeFiles/table4_casestudies.dir/table4_casestudies.cc.o.d"
+  "table4_casestudies"
+  "table4_casestudies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_casestudies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

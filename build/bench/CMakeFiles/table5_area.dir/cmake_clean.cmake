@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_area.dir/table5_area.cc.o"
+  "CMakeFiles/table5_area.dir/table5_area.cc.o.d"
+  "table5_area"
+  "table5_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

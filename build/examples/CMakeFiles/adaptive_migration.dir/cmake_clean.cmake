@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_migration.dir/adaptive_migration.cpp.o"
+  "CMakeFiles/adaptive_migration.dir/adaptive_migration.cpp.o.d"
+  "adaptive_migration"
+  "adaptive_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

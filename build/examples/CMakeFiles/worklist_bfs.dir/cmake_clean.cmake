@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worklist_bfs.dir/worklist_bfs.cpp.o"
+  "CMakeFiles/worklist_bfs.dir/worklist_bfs.cpp.o.d"
+  "worklist_bfs"
+  "worklist_bfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worklist_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asm/assembler.cc" "src/CMakeFiles/xloops.dir/asm/assembler.cc.o" "gcc" "src/CMakeFiles/xloops.dir/asm/assembler.cc.o.d"
+  "/root/repo/src/asm/program.cc" "src/CMakeFiles/xloops.dir/asm/program.cc.o" "gcc" "src/CMakeFiles/xloops.dir/asm/program.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/xloops.dir/common/log.cc.o" "gcc" "src/CMakeFiles/xloops.dir/common/log.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/xloops.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/xloops.dir/common/stats.cc.o.d"
+  "/root/repo/src/compiler/codegen.cc" "src/CMakeFiles/xloops.dir/compiler/codegen.cc.o" "gcc" "src/CMakeFiles/xloops.dir/compiler/codegen.cc.o.d"
+  "/root/repo/src/compiler/dep_analysis.cc" "src/CMakeFiles/xloops.dir/compiler/dep_analysis.cc.o" "gcc" "src/CMakeFiles/xloops.dir/compiler/dep_analysis.cc.o.d"
+  "/root/repo/src/compiler/expr.cc" "src/CMakeFiles/xloops.dir/compiler/expr.cc.o" "gcc" "src/CMakeFiles/xloops.dir/compiler/expr.cc.o.d"
+  "/root/repo/src/compiler/ir.cc" "src/CMakeFiles/xloops.dir/compiler/ir.cc.o" "gcc" "src/CMakeFiles/xloops.dir/compiler/ir.cc.o.d"
+  "/root/repo/src/compiler/pattern_select.cc" "src/CMakeFiles/xloops.dir/compiler/pattern_select.cc.o" "gcc" "src/CMakeFiles/xloops.dir/compiler/pattern_select.cc.o.d"
+  "/root/repo/src/cpu/exec_core.cc" "src/CMakeFiles/xloops.dir/cpu/exec_core.cc.o" "gcc" "src/CMakeFiles/xloops.dir/cpu/exec_core.cc.o.d"
+  "/root/repo/src/cpu/functional.cc" "src/CMakeFiles/xloops.dir/cpu/functional.cc.o" "gcc" "src/CMakeFiles/xloops.dir/cpu/functional.cc.o.d"
+  "/root/repo/src/cpu/gpp.cc" "src/CMakeFiles/xloops.dir/cpu/gpp.cc.o" "gcc" "src/CMakeFiles/xloops.dir/cpu/gpp.cc.o.d"
+  "/root/repo/src/cpu/inorder.cc" "src/CMakeFiles/xloops.dir/cpu/inorder.cc.o" "gcc" "src/CMakeFiles/xloops.dir/cpu/inorder.cc.o.d"
+  "/root/repo/src/cpu/ooo.cc" "src/CMakeFiles/xloops.dir/cpu/ooo.cc.o" "gcc" "src/CMakeFiles/xloops.dir/cpu/ooo.cc.o.d"
+  "/root/repo/src/energy/energy.cc" "src/CMakeFiles/xloops.dir/energy/energy.cc.o" "gcc" "src/CMakeFiles/xloops.dir/energy/energy.cc.o.d"
+  "/root/repo/src/isa/disasm.cc" "src/CMakeFiles/xloops.dir/isa/disasm.cc.o" "gcc" "src/CMakeFiles/xloops.dir/isa/disasm.cc.o.d"
+  "/root/repo/src/isa/instruction.cc" "src/CMakeFiles/xloops.dir/isa/instruction.cc.o" "gcc" "src/CMakeFiles/xloops.dir/isa/instruction.cc.o.d"
+  "/root/repo/src/kernels/kernel.cc" "src/CMakeFiles/xloops.dir/kernels/kernel.cc.o" "gcc" "src/CMakeFiles/xloops.dir/kernels/kernel.cc.o.d"
+  "/root/repo/src/kernels/kernels_db.cc" "src/CMakeFiles/xloops.dir/kernels/kernels_db.cc.o" "gcc" "src/CMakeFiles/xloops.dir/kernels/kernels_db.cc.o.d"
+  "/root/repo/src/kernels/kernels_om.cc" "src/CMakeFiles/xloops.dir/kernels/kernels_om.cc.o" "gcc" "src/CMakeFiles/xloops.dir/kernels/kernels_om.cc.o.d"
+  "/root/repo/src/kernels/kernels_opt.cc" "src/CMakeFiles/xloops.dir/kernels/kernels_opt.cc.o" "gcc" "src/CMakeFiles/xloops.dir/kernels/kernels_opt.cc.o.d"
+  "/root/repo/src/kernels/kernels_or.cc" "src/CMakeFiles/xloops.dir/kernels/kernels_or.cc.o" "gcc" "src/CMakeFiles/xloops.dir/kernels/kernels_or.cc.o.d"
+  "/root/repo/src/kernels/kernels_ua.cc" "src/CMakeFiles/xloops.dir/kernels/kernels_ua.cc.o" "gcc" "src/CMakeFiles/xloops.dir/kernels/kernels_ua.cc.o.d"
+  "/root/repo/src/kernels/kernels_uc.cc" "src/CMakeFiles/xloops.dir/kernels/kernels_uc.cc.o" "gcc" "src/CMakeFiles/xloops.dir/kernels/kernels_uc.cc.o.d"
+  "/root/repo/src/lpsu/lpsu.cc" "src/CMakeFiles/xloops.dir/lpsu/lpsu.cc.o" "gcc" "src/CMakeFiles/xloops.dir/lpsu/lpsu.cc.o.d"
+  "/root/repo/src/lpsu/lsq.cc" "src/CMakeFiles/xloops.dir/lpsu/lsq.cc.o" "gcc" "src/CMakeFiles/xloops.dir/lpsu/lsq.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/xloops.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/xloops.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/memory.cc" "src/CMakeFiles/xloops.dir/mem/memory.cc.o" "gcc" "src/CMakeFiles/xloops.dir/mem/memory.cc.o.d"
+  "/root/repo/src/system/adaptive.cc" "src/CMakeFiles/xloops.dir/system/adaptive.cc.o" "gcc" "src/CMakeFiles/xloops.dir/system/adaptive.cc.o.d"
+  "/root/repo/src/system/config.cc" "src/CMakeFiles/xloops.dir/system/config.cc.o" "gcc" "src/CMakeFiles/xloops.dir/system/config.cc.o.d"
+  "/root/repo/src/system/system.cc" "src/CMakeFiles/xloops.dir/system/system.cc.o" "gcc" "src/CMakeFiles/xloops.dir/system/system.cc.o.d"
+  "/root/repo/src/vlsi/vlsi_model.cc" "src/CMakeFiles/xloops.dir/vlsi/vlsi_model.cc.o" "gcc" "src/CMakeFiles/xloops.dir/vlsi/vlsi_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

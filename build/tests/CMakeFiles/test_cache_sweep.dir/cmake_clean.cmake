@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_sweep.dir/test_cache_sweep.cc.o"
+  "CMakeFiles/test_cache_sweep.dir/test_cache_sweep.cc.o.d"
+  "test_cache_sweep"
+  "test_cache_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codegen_ops.dir/test_codegen_ops.cc.o"
+  "CMakeFiles/test_codegen_ops.dir/test_codegen_ops.cc.o.d"
+  "test_codegen_ops"
+  "test_codegen_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codegen_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_db_ordered.dir/test_db_ordered.cc.o"
+  "CMakeFiles/test_db_ordered.dir/test_db_ordered.cc.o.d"
+  "test_db_ordered"
+  "test_db_ordered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_db_ordered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dde.dir/test_dde.cc.o"
+  "CMakeFiles/test_dde.dir/test_dde.cc.o.d"
+  "test_dde"
+  "test_dde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_energy_vlsi.dir/test_energy_vlsi.cc.o"
+  "CMakeFiles/test_energy_vlsi.dir/test_energy_vlsi.cc.o.d"
+  "test_energy_vlsi"
+  "test_energy_vlsi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_energy_vlsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpp.dir/test_gpp.cc.o"
+  "CMakeFiles/test_gpp.dir/test_gpp.cc.o.d"
+  "test_gpp"
+  "test_gpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lpsu.dir/test_lpsu.cc.o"
+  "CMakeFiles/test_lpsu.dir/test_lpsu.cc.o.d"
+  "test_lpsu"
+  "test_lpsu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lpsu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_invariants.dir/test_stats_invariants.cc.o"
+  "CMakeFiles/test_stats_invariants.dir/test_stats_invariants.cc.o.d"
+  "test_stats_invariants"
+  "test_stats_invariants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

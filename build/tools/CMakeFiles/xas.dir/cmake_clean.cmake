@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xas.dir/xas.cc.o"
+  "CMakeFiles/xas.dir/xas.cc.o.d"
+  "xas"
+  "xas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for xas.
+# This may be replaced when dependencies are built.

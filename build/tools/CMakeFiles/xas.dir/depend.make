@@ -1,0 +1,2 @@
+# Empty dependencies file for xas.
+# This may be replaced when dependencies are built.

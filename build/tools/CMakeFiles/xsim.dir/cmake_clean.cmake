@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsim.dir/xsim.cc.o"
+  "CMakeFiles/xsim.dir/xsim.cc.o.d"
+  "xsim"
+  "xsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
