@@ -1,0 +1,22 @@
+#include "common/fault.h"
+
+namespace xloops {
+
+FaultConfig
+FaultConfig::uniform(u64 seed, double rate)
+{
+    FaultConfig cfg;
+    cfg.seed = seed;
+    cfg.memJitterRate = rate;
+    cfg.squashRate = rate;
+    cfg.cibPressureRate = rate;
+    cfg.lsqPressureRate = rate;
+    cfg.broadcastDelayRate = rate;
+    // Migration is triggered per committed iteration; a full-rate
+    // trigger would migrate on the first commit of every loop, so it
+    // is scaled down to keep the LPSU exercising specialized paths.
+    cfg.migrationRate = rate / 8.0;
+    return cfg;
+}
+
+} // namespace xloops

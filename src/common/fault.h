@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Deterministic, seed-driven fault injection for adversarial-schedule
+ * testing of specialized execution.
+ *
+ * The paper's contract is that the same binary is *architecturally*
+ * correct under every interleaving: specialized execution must match
+ * serial semantics even under squash storms, structural-hazard
+ * pressure, and adaptive migration. The FaultInjector perturbs the
+ * cycle-level model along exactly those axes — memory-latency jitter,
+ * forced lane squashes, forced CIB/LSQ structural pressure, delayed
+ * store-address broadcasts, and mid-loop migration triggers — without
+ * ever being allowed to change architectural state directly. Every
+ * injected schedule must therefore still pass the kernel golden
+ * checkers; the injector only shakes the timing tree.
+ *
+ * Injection is off by default (seed == 0) and the hot-path guard is a
+ * single branch on a bool, so disabled overhead is ~0 (see
+ * bench/ablation_faults).
+ */
+
+#ifndef XLOOPS_COMMON_FAULT_H
+#define XLOOPS_COMMON_FAULT_H
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace xloops {
+
+/** Per-fault-class rates; all probabilities are per opportunity. */
+struct FaultConfig
+{
+    u64 seed = 0;                   ///< 0 disables injection entirely
+
+    double memJitterRate = 0.0;     ///< extra d-cache latency, per access
+    unsigned memJitterMax = 8;      ///< jitter in [1, memJitterMax] cycles
+
+    double squashRate = 0.0;        ///< forced squash, per spec ctx-cycle
+
+    double cibPressureRate = 0.0;   ///< forced CIB-full, per check
+    double lsqPressureRate = 0.0;   ///< forced LSQ-full, per check
+
+    double broadcastDelayRate = 0.0;  ///< delay a store broadcast
+    unsigned broadcastDelayMax = 6;   ///< delay in [1, broadcastDelayMax]
+
+    double migrationRate = 0.0;     ///< mid-loop migration, per commit
+
+    bool enabled() const { return seed != 0; }
+
+    /** All fault classes at the same @p rate (the CLI's --inject-rate). */
+    static FaultConfig uniform(u64 seed, double rate);
+};
+
+/**
+ * Deterministic fault source. One instance per LPSU; its RNG stream
+ * depends only on (seed, sequence of queries), so a given (program,
+ * config, seed) triple replays the exact same adversarial schedule.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector() = default;
+    explicit FaultInjector(const FaultConfig &config)
+        : cfg(config), rng(config.seed), on(config.enabled())
+    {}
+
+    /** Fast-path guard: callers must skip all hooks when false. */
+    bool enabled() const { return on; }
+
+    /** Extra memory latency in cycles (0 = no fault). */
+    Cycle
+    memJitter()
+    {
+        if (!roll(cfg.memJitterRate))
+            return 0;
+        jitters++;
+        return 1 + rng.nextBelow(cfg.memJitterMax);
+    }
+
+    /** Force a speculative context to squash and restart. */
+    bool
+    forceSquash()
+    {
+        if (!roll(cfg.squashRate))
+            return false;
+        squashes++;
+        return true;
+    }
+
+    /** Pretend a CIB slot check saw a full buffer. */
+    bool
+    forceCibFull()
+    {
+        if (!roll(cfg.cibPressureRate))
+            return false;
+        cibPressures++;
+        return true;
+    }
+
+    /** Pretend an LSQ capacity check saw a full queue. */
+    bool
+    forceLsqFull()
+    {
+        if (!roll(cfg.lsqPressureRate))
+            return false;
+        lsqPressures++;
+        return true;
+    }
+
+    /** Delay for a store-address broadcast in cycles (0 = immediate). */
+    Cycle
+    broadcastDelay()
+    {
+        if (!roll(cfg.broadcastDelayRate))
+            return 0;
+        broadcastDelays++;
+        return 1 + rng.nextBelow(cfg.broadcastDelayMax);
+    }
+
+    /** Trigger a mid-loop migration back to the GPP. */
+    bool
+    triggerMigration()
+    {
+        if (!roll(cfg.migrationRate))
+            return false;
+        migrations++;
+        return true;
+    }
+
+    u64 injectedJitters() const { return jitters; }
+    u64 injectedSquashes() const { return squashes; }
+    u64 injectedCibPressures() const { return cibPressures; }
+    u64 injectedLsqPressures() const { return lsqPressures; }
+    u64 injectedBroadcastDelays() const { return broadcastDelays; }
+    u64 injectedMigrations() const { return migrations; }
+
+  private:
+    bool
+    roll(double rate)
+    {
+        if (!on || rate <= 0.0)
+            return false;
+        return rng.nextFloat() < rate;
+    }
+
+    FaultConfig cfg;
+    Rng rng;
+    bool on = false;
+
+    u64 jitters = 0;
+    u64 squashes = 0;
+    u64 cibPressures = 0;
+    u64 lsqPressures = 0;
+    u64 broadcastDelays = 0;
+    u64 migrations = 0;
+};
+
+} // namespace xloops
+
+#endif // XLOOPS_COMMON_FAULT_H

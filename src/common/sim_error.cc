@@ -1,0 +1,60 @@
+#include "common/sim_error.h"
+
+#include <sstream>
+
+namespace xloops {
+
+const char *
+simErrorKindName(SimErrorKind kind)
+{
+    switch (kind) {
+      case SimErrorKind::Watchdog: return "watchdog";
+      case SimErrorKind::CycleLimit: return "cycle-limit";
+      case SimErrorKind::InstLimit: return "inst-limit";
+      case SimErrorKind::StructuralHang: return "structural-hang";
+    }
+    return "unknown";
+}
+
+std::string
+MachineSnapshot::render() const
+{
+    std::ostringstream os;
+    os << "machine snapshot (" << context << ")\n";
+    os << "  cycle " << cycle << ", committed " << committedIters
+       << " iterations, nextToCommit " << nextToCommit
+       << ", nextDispatch " << nextDispatch
+       << ", effBound " << effectiveBound
+       << ", memPortsLeft " << memPortsLeft << "\n";
+    if (gppPc || gppInsts) {
+        os << "  gpp pc 0x" << std::hex << gppPc << std::dec
+           << ", " << gppInsts << " insts retired\n";
+    }
+    for (const LaneSnapshot &l : lanes) {
+        os << "  lane " << l.lane << "." << l.ctx << ": ";
+        if (!l.active) {
+            os << "idle\n";
+            continue;
+        }
+        os << "iter " << l.iter << " pc 0x" << std::hex << l.pc
+           << std::dec << (l.bodyDone ? " (body done)" : "")
+           << " busyUntil " << l.busyUntil
+           << " lsq " << l.lsqLoads << "ld/" << l.lsqStores << "st";
+        if (l.lastStall[0])
+            os << " stall=" << l.lastStall;
+        os << "\n";
+    }
+    for (const auto &[name, count] : occupancy)
+        os << "  " << name << " = " << count << "\n";
+    return os.str();
+}
+
+SimError::SimError(SimErrorKind error_kind, const std::string &msg,
+                   MachineSnapshot snapshot)
+    : FatalError(strf("fatal: [", simErrorKindName(error_kind), "] ", msg,
+                      "\n", snapshot.render())),
+      errorKind(error_kind), snap(std::move(snapshot))
+{
+}
+
+} // namespace xloops

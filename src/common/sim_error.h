@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Structured simulation errors with machine-state snapshots.
+ *
+ * A hung or wedged simulation used to die with a bare FatalError (or
+ * worse, spin until an instruction valve fired) carrying no machine
+ * state. SimError instead captures a full MachineSnapshot — lane PCs
+ * and iterations, IDQ/CIB/LSQ occupancy, arbiter state, commit
+ * pointers — so a livelock is debuggable from the failure message
+ * alone, and carries an explicit recoverable-vs-panic taxonomy that
+ * tools map onto distinct exit codes:
+ *
+ *   clean run          exit 0
+ *   user/config error  exit 1   (FatalError)
+ *   checker failure    exit 2   (golden output mismatch)
+ *   watchdog / limits  exit 3   (SimError, recoverable diagnosis)
+ *   simulator panic    exit 4   (PanicError / non-recoverable)
+ *
+ * SimError derives from FatalError so existing catch sites keep
+ * working; tools that care about the taxonomy catch SimError first.
+ */
+
+#ifndef XLOOPS_COMMON_SIM_ERROR_H
+#define XLOOPS_COMMON_SIM_ERROR_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace xloops {
+
+/** What went wrong (drives the exit code and recoverability). */
+enum class SimErrorKind
+{
+    Watchdog,       ///< no commit progress for watchdogCycles
+    CycleLimit,     ///< LPSU engine exceeded its cycle valve
+    InstLimit,      ///< system run exceeded its instruction valve
+    StructuralHang, ///< deadlocked structural resources (no retry left)
+};
+
+const char *simErrorKindName(SimErrorKind kind);
+
+/** Per-lane state at the moment of failure. */
+struct LaneSnapshot
+{
+    unsigned lane = 0;
+    unsigned ctx = 0;
+    bool active = false;
+    i64 iter = 0;
+    Addr pc = 0;
+    bool bodyDone = false;
+    Cycle busyUntil = 0;
+    size_t lsqLoads = 0;
+    size_t lsqStores = 0;
+    const char *lastStall = "";
+};
+
+/**
+ * A structured dump of the machine at the moment a SimError fired.
+ * Everything is plain data so tests can assert on individual fields;
+ * render() produces the human-readable block tools print.
+ */
+struct MachineSnapshot
+{
+    std::string context;        ///< which loop / valve produced this
+    Cycle cycle = 0;
+    u64 committedIters = 0;
+    i64 nextToCommit = 0;
+    i64 nextDispatch = 0;
+    i64 effectiveBound = 0;
+    unsigned memPortsLeft = 0;
+    Addr gppPc = 0;
+    u64 gppInsts = 0;
+    std::vector<LaneSnapshot> lanes;
+    /** CIB occupancy per register with queued values ("cib[r3]", n). */
+    std::vector<std::pair<std::string, u64>> occupancy;
+
+    std::string render() const;
+};
+
+/** A simulation abort that carries its own diagnosis. */
+class SimError : public FatalError
+{
+  public:
+    SimError(SimErrorKind error_kind, const std::string &msg,
+             MachineSnapshot snap);
+
+    SimErrorKind kind() const { return errorKind; }
+    const MachineSnapshot &snapshot() const { return snap; }
+
+    /** Recoverable errors describe a wedged *simulated* machine (the
+     *  simulator itself is healthy); panics are simulator bugs. */
+    bool recoverable() const { return true; }
+
+    /** Process exit code for tools (see file comment taxonomy). */
+    int exitCode() const { return 3; }
+
+  private:
+    SimErrorKind errorKind;
+    MachineSnapshot snap;
+};
+
+} // namespace xloops
+
+#endif // XLOOPS_COMMON_SIM_ERROR_H

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/log.h"
+#include "common/sim_error.h"
 
 namespace xloops {
 
@@ -156,6 +157,24 @@ enum class Stall
 };
 
 const char *
+stallName(Stall s)
+{
+    switch (s) {
+      case Stall::Idle: return "idle";
+      case Stall::Raw: return "raw";
+      case Stall::Cir: return "cir";
+      case Stall::CibFull: return "cib-full";
+      case Stall::MemPort: return "mem-port";
+      case Stall::Llfu: return "llfu";
+      case Stall::LsqFull: return "lsq-full";
+      case Stall::CommitWait: return "commit-wait";
+      case Stall::AmoWait: return "amo-wait";
+      case Stall::None: break;
+    }
+    return "";
+}
+
+const char *
 stallCounter(Stall s)
 {
     switch (s) {
@@ -195,6 +214,8 @@ struct Context
     bool bodyDone = false;
     Cycle iterStart = 0;
     u64 iterInsts = 0;
+    unsigned overflowSquashes = 0;  ///< LSQ-overflow retries this iter
+    Stall lastStall = Stall::None;  ///< for machine-state snapshots
 };
 
 /** MemIface routing a lane's accesses directly or through its LSQ. */
@@ -207,6 +228,8 @@ class LaneMem : public MemIface
     bool crossLane = false;  ///< compose older lanes' stores too
     const std::vector<const LaneLsq *> *olderLsqs = nullptr;
     u32 lastLoadValue = 0;
+    bool overflowed = false; ///< a buffered store found the LSQ full:
+                             ///< the lane must squash-and-retry
 
     u32
     read(Addr addr, unsigned size) override
@@ -244,10 +267,15 @@ class LaneMem : public MemIface
     void
     write(Addr addr, unsigned size, u32 value) override
     {
-        if (buffered)
-            lsq->pushStore(addr, size, value);
-        else
+        if (buffered) {
+            // Capacity pressure is a structural stall, not a panic:
+            // the engine squashes and retries the iteration (its
+            // architectural effects are still fully buffered).
+            if (!lsq->pushStore(addr, size, value))
+                overflowed = true;
+        } else {
             mem->write(addr, size, value);
+        }
     }
 
     u32
@@ -264,14 +292,23 @@ class LaneMem : public MemIface
 
 constexpr Cycle lpsuCycleLimit = 2'000'000'000;
 
+/** A store-address broadcast delayed in the network (injected). */
+struct PendingBroadcast
+{
+    Addr addr;
+    unsigned size;
+    i64 iter;
+    Cycle fire;
+};
+
 class LpsuEngine
 {
   public:
     LpsuEngine(const LpsuConfig &config, MainMemory &memory,
                L1Cache &dcache_model, StatGroup &stat_group,
-               const ScanInfo &scan_info, RegFile &live_ins, i64 start_idx,
-               i64 initial_bound, u64 max_iters,
-               std::ostream *trace_out);
+               FaultInjector &fault_injector, const ScanInfo &scan_info,
+               RegFile &live_ins, i64 start_idx, i64 initial_bound,
+               u64 max_iters, std::ostream *trace_out);
 
     LpsuResult run();
 
@@ -295,7 +332,14 @@ class LpsuEngine
     bool finishBody(unsigned lane_idx, Context &ctx, Stall &stall);
     void completeIteration(Context &ctx);
     void broadcastStore(Addr addr, unsigned size, i64 store_iter);
+    void deliverBroadcast(Addr addr, unsigned size, i64 store_iter);
+    void flushPendingBroadcasts();
     void squash(Context &ctx);
+    void noteSquash();
+    void beginStormFallback();
+    void capDispatchForMigration();
+    void injectFaultsThisCycle();
+    MachineSnapshot snapshotState(const std::string &context) const;
     bool llfuRequest(const Instruction &inst);
     Cib &cibIn(unsigned lane_idx) { return cibs[lane_idx]; }
     Cib &cibOut(unsigned lane_idx)
@@ -308,6 +352,7 @@ class LpsuEngine
     MainMemory &mem;
     L1Cache &dcache;
     StatGroup &stats;
+    FaultInjector &inj;
     const ScanInfo &si;
     RegFile &liveIns;
     std::ostream *trace = nullptr;
@@ -331,15 +376,28 @@ class LpsuEngine
     bool dualEligible = false;  ///< last action allows same-cycle issue
     std::array<u32, numArchRegs> finalCir{};
     std::array<bool, numArchRegs> finalCirValid{};
+
+    // --- Robustness state --------------------------------------------
+    Cycle lastCommitCycle = 0;       ///< watchdog progress marker
+    std::deque<Cycle> squashWindow;  ///< squash times (storm detector)
+    unsigned stormCount = 0;
+    Cycle serializedUntil = 0;       ///< lanes serialized through here
+    bool stormFallbackPending = false;
+    bool stormFellBack = false;
+    bool migratePending = false;
+    std::optional<i64> dispatchCap;  ///< migration / fallback bound cap
+    std::vector<PendingBroadcast> pendingBroadcasts;
 };
 
 LpsuEngine::LpsuEngine(const LpsuConfig &config, MainMemory &memory,
                        L1Cache &dcache_model, StatGroup &stat_group,
+                       FaultInjector &fault_injector,
                        const ScanInfo &scan_info, RegFile &live_ins,
                        i64 start_idx, i64 initial_bound, u64 max_iters,
                        std::ostream *trace_out)
     : cfg(config), mem(memory), dcache(dcache_model), stats(stat_group),
-      si(scan_info), liveIns(live_ins), trace(trace_out),
+      inj(fault_injector), si(scan_info), liveIns(live_ins),
+      trace(trace_out),
       startIdx(start_idx), bound(initial_bound), maxIters(max_iters),
       cibs(cfg.lanes), llfuFree(cfg.llfus, 0),
       nextDispatch(start_idx), nextToCommit(start_idx)
@@ -368,10 +426,12 @@ LpsuEngine::LpsuEngine(const LpsuConfig &config, MainMemory &memory,
 i64
 LpsuEngine::effBound() const
 {
-    if (maxIters >= static_cast<u64>(1) << 60)
-        return bound;
-    const i64 cap = startIdx + static_cast<i64>(maxIters);
-    return std::min(bound, cap);
+    i64 b = bound;
+    if (maxIters < static_cast<u64>(1) << 60)
+        b = std::min(b, startIdx + static_cast<i64>(maxIters));
+    if (dispatchCap)
+        b = std::min(b, *dispatchCap);
+    return b;
 }
 
 void
@@ -455,6 +515,7 @@ LpsuEngine::activate(Lane &lane, Context &ctx, i64 iter)
 
     ctx.snapshot = ctx.regs;
     ctx.busyUntil = cycle + 1;  // activation occupies the issue slot
+    ctx.overflowSquashes = 0;
     stats.add("idq_pops");
 }
 
@@ -474,7 +535,14 @@ LpsuEngine::completeIteration(Context &ctx)
     ctx.active = false;
     ctx.bodyDone = false;
     ctx.lsq.clear();
+    ctx.overflowSquashes = 0;
     completed++;
+    lastCommitCycle = cycle;
+    // Injected mid-loop migration: hand the loop back to the GPP at an
+    // iteration boundary (processed at the top of the next cycle so
+    // the dispatch cap covers everything already handed out).
+    if (inj.enabled() && inj.triggerMigration())
+        migratePending = true;
     if (trace) {
         *trace << "[lpsu] iteration " << ctx.iter << " "
                << (si.ordersMemory() ? "committed" : "completed")
@@ -491,6 +559,36 @@ LpsuEngine::completeIteration(Context &ctx)
 
 void
 LpsuEngine::broadcastStore(Addr addr, unsigned size, i64 store_iter)
+{
+    // Injected network delay: the broadcast reaches consumers a few
+    // cycles late. Correctness is preserved because every pending
+    // broadcast is flushed before any younger iteration commits
+    // (see finishBody), so a violation can be detected late but
+    // never escape.
+    if (inj.enabled()) {
+        const Cycle delay = inj.broadcastDelay();
+        if (delay > 0) {
+            pendingBroadcasts.push_back(
+                {addr, size, store_iter, cycle + delay});
+            stats.add("injected_broadcast_delays");
+            return;
+        }
+    }
+    deliverBroadcast(addr, size, store_iter);
+}
+
+void
+LpsuEngine::flushPendingBroadcasts()
+{
+    while (!pendingBroadcasts.empty()) {
+        const PendingBroadcast pb = pendingBroadcasts.front();
+        pendingBroadcasts.erase(pendingBroadcasts.begin());
+        deliverBroadcast(pb.addr, pb.size, pb.iter);
+    }
+}
+
+void
+LpsuEngine::deliverBroadcast(Addr addr, unsigned size, i64 store_iter)
 {
     stats.add("store_broadcasts");
     i64 firstSquashed = std::numeric_limits<i64>::max();
@@ -555,6 +653,182 @@ LpsuEngine::squash(Context &ctx)
     ctx.iterStart = cycle;
     ctx.iterInsts = 0;
     ctx.busyUntil = cycle + 1;
+    noteSquash();
+}
+
+/**
+ * Squash-storm detector: when squashes cluster inside a sliding
+ * window, speculation is clearly wasting work — serialize the lanes
+ * (only the committing iteration runs) for an exponentially
+ * backed-off period, and past maxStorms storms abandon the loop and
+ * degrade to traditional execution at iteration granularity.
+ */
+void
+LpsuEngine::noteSquash()
+{
+    if (cfg.stormThreshold == 0)
+        return;
+    squashWindow.push_back(cycle);
+    while (!squashWindow.empty() &&
+           squashWindow.front() + cfg.stormWindow < cycle)
+        squashWindow.pop_front();
+    if (squashWindow.size() < cfg.stormThreshold)
+        return;
+    squashWindow.clear();
+    stormCount++;
+    stats.add("lpsu_storm_serializations");
+    const unsigned shift = std::min(stormCount - 1, 8u);
+    serializedUntil = cycle + (cfg.stormBackoffCycles << shift);
+    if (trace) {
+        *trace << "[lpsu] squash storm " << stormCount
+               << ": serializing lanes until cycle " << serializedUntil
+               << "\n";
+    }
+    if (stormCount > cfg.maxStorms)
+        stormFallbackPending = true;
+}
+
+/**
+ * Storm fallback: let the committing iteration finish, cancel every
+ * speculative iteration (their stores never left the LSQs), and cap
+ * dispatch so the engine drains and hands back a contiguous prefix.
+ * The GPP resumes the loop traditionally from the handed-back index.
+ */
+void
+LpsuEngine::beginStormFallback()
+{
+    stormFallbackPending = false;
+    stormFellBack = true;
+    stats.add("lpsu_fallbacks");
+    i64 cap = nextToCommit;
+    for (auto &lane : lanes)
+        for (auto &ctx : lane.ctxs)
+            if (ctx.active && ctx.iter == nextToCommit)
+                cap = nextToCommit + 1;
+    for (auto &lane : lanes) {
+        for (auto &ctx : lane.ctxs) {
+            if (ctx.active && ctx.iter >= cap) {
+                ctx.active = false;
+                ctx.bodyDone = false;
+                ctx.lsq.clear();
+                stats.add("cancelled_iterations");
+            }
+        }
+    }
+    dispatchCap = dispatchCap ? std::min(*dispatchCap, cap) : cap;
+    if (trace) {
+        *trace << "[lpsu] squash storm persists: falling back to "
+               << "traditional execution at iteration " << cap
+               << " @ cycle " << cycle << "\n";
+    }
+}
+
+/**
+ * Migration (injected or future adaptive re-profiling): stop handing
+ * out iterations past a cap that covers everything already
+ * dispatched, so completed work forms a contiguous prefix and the
+ * hand-back state is architecturally exact.
+ */
+void
+LpsuEngine::capDispatchForMigration()
+{
+    migratePending = false;
+    if (dispatchCap)
+        return;
+    i64 cap;
+    if (orderedDispatch()) {
+        cap = nextToCommit;
+        for (const auto &lane : lanes)
+            cap = std::max(cap, lane.laneNextIter[0]);
+    } else {
+        cap = nextDispatch;
+    }
+    if (cap >= effBound())
+        return;  // nothing left to cut off
+    dispatchCap = cap;
+    stats.add("injected_migrations");
+    if (trace) {
+        *trace << "[lpsu] injected migration: dispatch capped at "
+               << "iteration " << cap << " @ cycle " << cycle << "\n";
+    }
+}
+
+/** Per-cycle fault processing: matured broadcasts, forced squashes. */
+void
+LpsuEngine::injectFaultsThisCycle()
+{
+    for (size_t i = 0; i < pendingBroadcasts.size();) {
+        if (pendingBroadcasts[i].fire <= cycle) {
+            const PendingBroadcast pb = pendingBroadcasts[i];
+            pendingBroadcasts.erase(pendingBroadcasts.begin() +
+                                    static_cast<long>(i));
+            deliverBroadcast(pb.addr, pb.size, pb.iter);
+        } else {
+            i++;
+        }
+    }
+    // Forced squashes hit only speculative contexts of memory-ordered
+    // patterns — exactly the set real dependence violations can hit —
+    // so rollback is always architecturally safe.
+    if (!si.ordersMemory())
+        return;
+    for (auto &lane : lanes) {
+        for (auto &ctx : lane.ctxs) {
+            if (ctx.active && ctx.iter != nextToCommit &&
+                inj.forceSquash()) {
+                stats.add("injected_squashes");
+                squash(ctx);
+            }
+        }
+    }
+}
+
+MachineSnapshot
+LpsuEngine::snapshotState(const std::string &context) const
+{
+    MachineSnapshot s;
+    s.context = context;
+    s.cycle = cycle;
+    s.committedIters = completed;
+    s.nextToCommit = nextToCommit;
+    s.nextDispatch = nextDispatch;
+    s.effectiveBound = effBound();
+    s.memPortsLeft = memPortsLeft;
+    for (unsigned l = 0; l < lanes.size(); l++) {
+        for (unsigned c = 0; c < lanes[l].ctxs.size(); c++) {
+            const Context &ctx = lanes[l].ctxs[c];
+            LaneSnapshot ls;
+            ls.lane = l;
+            ls.ctx = c;
+            ls.active = ctx.active;
+            ls.iter = ctx.iter;
+            ls.pc = ctx.pc;
+            ls.bodyDone = ctx.bodyDone;
+            ls.busyUntil = ctx.busyUntil;
+            ls.lsqLoads = ctx.lsq.numLoads();
+            ls.lsqStores = ctx.lsq.numStores();
+            ls.lastStall = stallName(ctx.lastStall);
+            s.lanes.push_back(ls);
+        }
+        if (orderedDispatch()) {
+            s.occupancy.emplace_back(
+                strf("idq[lane", l, "].nextIter"),
+                static_cast<u64>(lanes[l].laneNextIter[0]));
+        }
+    }
+    for (unsigned l = 0; l < cibs.size(); l++) {
+        for (unsigned r = 1; r < numArchRegs; r++) {
+            if (!cibs[l].perReg[r].empty()) {
+                s.occupancy.emplace_back(
+                    strf("cib[lane", l, "][r", r, "]"),
+                    cibs[l].perReg[r].size());
+            }
+        }
+    }
+    s.occupancy.emplace_back("pending_broadcasts",
+                             pendingBroadcasts.size());
+    s.occupancy.emplace_back("storm_count", stormCount);
+    return s;
 }
 
 bool
@@ -630,7 +904,8 @@ LpsuEngine::finishBody(unsigned lane_idx, Context &ctx, Stall &stall)
         if (si.ordersRegisters()) {
             for (unsigned r = 1; r < numArchRegs; r++) {
                 if (si.isCir[r] && !ctx.cirPushed[r]) {
-                    if (cibOut(lane_idx).full(static_cast<RegId>(r))) {
+                    if (cibOut(lane_idx).full(static_cast<RegId>(r)) ||
+                        (inj.enabled() && inj.forceCibFull())) {
                         stall = Stall::CibFull;
                         return false;
                     }
@@ -662,6 +937,11 @@ LpsuEngine::finishBody(unsigned lane_idx, Context &ctx, Stall &stall)
                 }
             }
         }
+        // Commit barrier for injected broadcast delays: once this
+        // iteration commits, the next one turns non-speculative and
+        // stops recording loads, so every in-flight broadcast must
+        // land first.
+        flushPendingBroadcasts();
         completeIteration(ctx);
         return true;
     }
@@ -670,7 +950,8 @@ LpsuEngine::finishBody(unsigned lane_idx, Context &ctx, Stall &stall)
     if (si.ordersRegisters()) {
         for (unsigned r = 1; r < numArchRegs; r++) {
             if (si.isCir[r] && !ctx.cirPushed[r]) {
-                if (cibOut(lane_idx).full(static_cast<RegId>(r))) {
+                if (cibOut(lane_idx).full(static_cast<RegId>(r)) ||
+                    (inj.enabled() && inj.forceCibFull())) {
                     stall = Stall::CibFull;
                     return false;
                 }
@@ -727,7 +1008,8 @@ LpsuEngine::execInst(unsigned lane_idx, Context &ctx)
         si.pattern == LoopPattern::OR && dst < numArchRegs &&
         si.isCir[dst] && ctx.pc == si.lastCirWritePc[dst] &&
         si.earlyPushOk[dst] && !ctx.cirPushed[dst];
-    if (earlyPush && cibOut(lane_idx).full(dst))
+    if (earlyPush && (cibOut(lane_idx).full(dst) ||
+                      (inj.enabled() && inj.forceCibFull())))
         return Stall::CibFull;
 
     // 4. Resource checks.
@@ -746,10 +1028,12 @@ LpsuEngine::execInst(unsigned lane_idx, Context &ctx)
             if (inst.isAmo())
                 return Stall::AmoWait;
             if (inst.isStore()) {
-                if (ctx.lsq.storesFull())
+                if (ctx.lsq.storesFull() ||
+                    (inj.enabled() && inj.forceLsqFull()))
                     return Stall::LsqFull;
             } else {
-                if (ctx.lsq.loadsFull())
+                if (ctx.lsq.loadsFull() ||
+                    (inj.enabled() && inj.forceLsqFull()))
                     return Stall::LsqFull;
                 if (!ctx.lsq.fullyCovered(memAddr, inst.op == Op::LW ? 4 :
                                           (inst.op == Op::LH ||
@@ -787,10 +1071,25 @@ LpsuEngine::execInst(unsigned lane_idx, Context &ctx)
     ctx.iterInsts++;
     stats.add("lane_insts");
     stats.add("ib_accesses");
+    bool lsqOverflow = laneMem.overflowed;
     if (spec && inst.isLoad()) {
-        ctx.lsq.pushLoad(step.memAddr, step.memSize,
-                         laneMem.lastLoadValue);
-        stats.add("lsq_loads");
+        if (ctx.lsq.pushLoad(step.memAddr, step.memSize,
+                             laneMem.lastLoadValue))
+            stats.add("lsq_loads");
+        else
+            lsqOverflow = true;
+    }
+    if (lsqOverflow) {
+        // Structural overflow mid-instruction (only reachable under
+        // injected pressure or future capacity changes): the
+        // iteration's effects are still fully buffered, so squash
+        // and retry instead of aborting the simulation. After a few
+        // retries the context holds until it is the committing
+        // iteration, which needs no buffering (see tickContext).
+        stats.add("lsq_overflow_squashes");
+        squash(ctx);
+        ctx.overflowSquashes++;
+        return Stall::LsqFull;
     }
     if (spec && inst.isStore())
         stats.add("lsq_stores");
@@ -800,7 +1099,13 @@ LpsuEngine::execInst(unsigned lane_idx, Context &ctx)
     if (usePort) {
         memPortsLeft--;
         const bool isWrite = inst.isStore() || inst.isAmo();
-        const Cycle dlat = dcache.access(step.memAddr, isWrite);
+        Cycle dlat = dcache.access(step.memAddr, isWrite);
+        if (inj.enabled()) {
+            const Cycle jitter = inj.memJitter();
+            if (jitter > 0)
+                stats.add("injected_jitter_cycles", jitter);
+            dlat += jitter;
+        }
         latency = 1 + dlat;  // AGEN + memory
         stats.add("lane_mem_accesses");
     }
@@ -844,7 +1149,14 @@ Stall
 LpsuEngine::tickContext(unsigned lane_idx, Context &ctx)
 {
     dualEligible = false;
+    const bool serialized =
+        si.ordersMemory() && serializedUntil > cycle;
     if (!ctx.active) {
+        // Storm serialization: only the committing iteration may
+        // start while the backoff window is open.
+        if (serialized && orderedDispatch() &&
+            lanes[lane_idx].laneNextIter[0] != nextToCommit)
+            return Stall::Idle;
         const auto iter = nextIterFor(lane_idx);
         if (!iter)
             return Stall::Idle;
@@ -853,6 +1165,14 @@ LpsuEngine::tickContext(unsigned lane_idx, Context &ctx)
     }
     if (ctx.busyUntil > cycle)
         return Stall::None;  // pipeline occupied: counted as exec
+    if (serialized && ctx.iter != nextToCommit)
+        return Stall::CommitWait;  // hold speculation during the storm
+    // Bounded retry after LSQ-overflow squashes: stop burning retries
+    // and wait until this context is the committing iteration (which
+    // executes unbuffered and cannot overflow).
+    if (ctx.overflowSquashes >= 2 && si.ordersMemory() &&
+        ctx.iter != nextToCommit)
+        return Stall::LsqFull;
 
     // Mid-iteration promotion: drain buffered stores before the now
     // non-speculative lane touches memory directly.
@@ -888,9 +1208,29 @@ LpsuEngine::run()
     std::iota(order.begin(), order.end(), 0);
 
     while (!done()) {
-        if (cycle > lpsuCycleLimit)
-            fatal("LPSU specialized execution exceeded the cycle limit");
+        if (cycle > lpsuCycleLimit) {
+            throw SimError(
+                SimErrorKind::CycleLimit,
+                strf("LPSU specialized execution exceeded ",
+                     lpsuCycleLimit, " cycles"),
+                snapshotState("lpsu cycle-limit valve"));
+        }
+        if (cfg.watchdogCycles > 0 &&
+            cycle > lastCommitCycle + cfg.watchdogCycles) {
+            throw SimError(
+                SimErrorKind::Watchdog,
+                strf("no iteration committed for ", cfg.watchdogCycles,
+                     " cycles (", completed, " committed so far)"),
+                snapshotState("lpsu no-commit watchdog"));
+        }
         memPortsLeft = cfg.memPorts;
+
+        if (stormFallbackPending)
+            beginStormFallback();
+        if (migratePending)
+            capDispatchForMigration();
+        if (inj.enabled())
+            injectFaultsThisCycle();
 
         // Priority: ordered patterns give the non-speculative (lowest
         // iteration) lane first pick; uc rotates for fairness.
@@ -924,6 +1264,7 @@ LpsuEngine::run()
                     continue;
                 }
                 const Stall stall = tickContext(laneIdx, ctx);
+                ctx.lastStall = stall;
                 if (stall == Stall::None) {
                     progressed = true;
                     lane.rr = (lane.rr + c + 1) % lane.ctxs.size();
@@ -960,6 +1301,12 @@ LpsuEngine::run()
     res.finalIdx = static_cast<i32>(effBound() - 1);
     res.finalBound = static_cast<i32>(bound);
     res.boundReached = effBound() >= bound;
+    if (stormFellBack) {
+        // Partial progress is handed back exactly (index, bound,
+        // CIRs, MIVs below); the caller resumes traditionally.
+        res.fellBack = true;
+        res.reason = FallbackReason::SquashStorm;
+    }
 
     // Architectural hand-back: CIR values of the last iteration, the
     // (possibly grown) bound, the loop index, and the materialized
@@ -1002,7 +1349,7 @@ LpsuEngine::run()
 // ---------------------------------------------------------------------
 
 Lpsu::Lpsu(const LpsuConfig &config, MainMemory &memory, L1Cache &dcache)
-    : cfg(config), mem(memory), dcache(dcache)
+    : cfg(config), mem(memory), dcache(dcache), injector(config.faults)
 {
 }
 
@@ -1015,7 +1362,9 @@ Lpsu::execute(const Program &prog, Addr xloopPc, RegFile &liveIns,
     LpsuResult res;
     if (si.body.size() > cfg.ibEntries) {
         res.fellBack = true;
+        res.reason = FallbackReason::BodyTooLarge;
         statGroup.add("ib_fallbacks");
+        statGroup.add("lpsu_fallbacks");
         return res;
     }
 
@@ -1060,8 +1409,8 @@ Lpsu::execute(const Program &prog, Addr xloopPc, RegFile &liveIns,
                   << si.body.size() << " insts, " << si.numCirs
                   << " CIRs, " << scan << " scan cycles\n";
     }
-    LpsuEngine engine(cfg, mem, dcache, statGroup, si, liveIns, startIdx,
-                      bound0, maxIters, traceOut);
+    LpsuEngine engine(cfg, mem, dcache, statGroup, injector, si, liveIns,
+                      startIdx, bound0, maxIters, traceOut);
     res = engine.run();
     res.scanCycles = scan;
     statGroup.add("lpsu_scan_cycles", scan);

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "asm/program.h"
+#include "common/fault.h"
 #include "common/stats.h"
 #include "cpu/exec_core.h"
 #include "lpsu/lsq.h"
@@ -62,13 +63,42 @@ struct LpsuConfig
     unsigned scanCyclesPerInst = 1;
     unsigned scanOverheadCycles = 8;
     unsigned branchBubble = 1;      ///< taken-branch penalty in a lane
+
+    // --- Robustness / graceful degradation ---------------------------
+
+    /** Adversarial-schedule fault injection (disabled by default). */
+    FaultConfig faults;
+
+    /** No-commit watchdog: abort with a machine-state snapshot when no
+     *  iteration commits for this many cycles (0 disables). */
+    Cycle watchdogCycles = 1'000'000;
+
+    /** Squash-storm detector: more than stormThreshold squashes inside
+     *  a sliding stormWindow-cycle window serializes the lanes for an
+     *  exponentially backed-off period; after maxStorms storms the
+     *  LPSU abandons the loop and falls back to traditional execution
+     *  at iteration granularity (the paper's always-correct escape
+     *  hatch, now an explicit stat-counted mechanism). */
+    unsigned stormWindow = 512;
+    unsigned stormThreshold = 48;
+    Cycle stormBackoffCycles = 128;  ///< first serialization period
+    unsigned maxStorms = 3;          ///< storms before traditional fallback
+};
+
+/** Why the LPSU handed a loop back to the GPP before the bound. */
+enum class FallbackReason : u8
+{
+    None,          ///< ran to the (possibly capped) bound
+    BodyTooLarge,  ///< body exceeds the instruction buffers (static)
+    SquashStorm,   ///< persistent squash storm: degrade to traditional
 };
 
 /** Result of one specialized xloop execution. */
 struct LpsuResult
 {
-    bool fellBack = false;      ///< body too large: caller must run
-                                ///< the loop traditionally
+    bool fellBack = false;      ///< caller must continue the loop
+                                ///< traditionally (see reason)
+    FallbackReason reason = FallbackReason::None;
     Cycle scanCycles = 0;
     Cycle execCycles = 0;
     u64 iterations = 0;         ///< iterations executed (and committed)
@@ -144,13 +174,18 @@ class Lpsu
      *  buffers (scan can skip re-writing instructions). */
     bool isResident(Addr xloopPc) const { return residentPc == xloopPc; }
 
-    /** Forget buffered instructions and statistics (new run). */
+    /** Forget buffered instructions and statistics (new run). Also
+     *  re-seeds the fault injector so runs are reproducible. */
     void
     reset()
     {
         residentPc = ~Addr{0};
         statGroup.clear();
+        injector = FaultInjector(cfg.faults);
     }
+
+    /** The fault injector (for tests / tools inspecting injection). */
+    const FaultInjector &faultInjector() const { return injector; }
 
     /** Stream loop-level events (scan, iterations, squashes, exits)
      *  to @p out; nullptr disables. */
@@ -161,6 +196,7 @@ class Lpsu
     MainMemory &mem;
     L1Cache &dcache;
     StatGroup statGroup;
+    FaultInjector injector;
     Addr residentPc = ~Addr{0};
     std::ostream *traceOut = nullptr;
 };

@@ -15,18 +15,22 @@ overlaps(Addr a, unsigned as, Addr b, unsigned bs)
 
 } // namespace
 
-void
+bool
 LaneLsq::pushStore(Addr addr, unsigned size, u32 value)
 {
-    XL_ASSERT(!storesFull(), "store queue overflow");
+    if (storesFull())
+        return false;
     stores.push_back({addr, size, value});
+    return true;
 }
 
-void
+bool
 LaneLsq::pushLoad(Addr addr, unsigned size, u32 value)
 {
-    XL_ASSERT(!loadsFull(), "load queue overflow");
+    if (loadsFull())
+        return false;
     loads.push_back({addr, size, value});
+    return true;
 }
 
 bool

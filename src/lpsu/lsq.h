@@ -45,12 +45,19 @@ class LaneLsq
     size_t numLoads() const { return loads.size(); }
     size_t numStores() const { return stores.size(); }
 
-    /** Record a speculative store (program order preserved). */
-    void pushStore(Addr addr, unsigned size, u32 value);
+    /**
+     * Record a speculative store (program order preserved). Returns
+     * false when the queue is full: a structural-stall signal the
+     * lane must handle (squash-and-retry or stall), never an abort —
+     * capacity pressure is an expected condition, not an invariant
+     * break.
+     */
+    [[nodiscard]] bool pushStore(Addr addr, unsigned size, u32 value);
 
     /** Record a speculative load (and the value it observed) for
-     *  later violation checks. */
-    void pushLoad(Addr addr, unsigned size, u32 value = 0);
+     *  later violation checks. Returns false when full (structural
+     *  stall), like pushStore. */
+    [[nodiscard]] bool pushLoad(Addr addr, unsigned size, u32 value = 0);
 
     /** True when buffered stores supply every byte of the access. */
     bool fullyCovered(Addr addr, unsigned size) const;

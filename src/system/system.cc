@@ -1,8 +1,10 @@
 #include "system/system.h"
 
+#include <algorithm>
 #include <ostream>
 
 #include "common/log.h"
+#include "common/sim_error.h"
 #include "isa/disasm.h"
 
 namespace xloops {
@@ -45,9 +47,18 @@ XloopsSystem::specialize(const Program &prog, Addr pc, RegFile &regs,
 {
     if (fallbackPcs.count(pc))
         return false;  // known oversized body: stay traditional
+    const auto cooldown = stormCooldowns.find(pc);
+    if (cooldown != stormCooldowns.end() &&
+        cooldown->second.remaining > 0) {
+        // Degraded: a recent squash storm demoted this loop to
+        // traditional execution for a backed-off number of
+        // encounters (one encounter per traditional iteration).
+        cooldown->second.remaining--;
+        return false;
+    }
     const Cycle before = gpp->now();
     const LpsuResult lr = lpsu->execute(prog, pc, regs, maxIters);
-    if (lr.fellBack) {
+    if (lr.fellBack && lr.reason == FallbackReason::BodyTooLarge) {
         fallbackPcs.insert(pc);
         return false;
     }
@@ -56,6 +67,15 @@ XloopsSystem::specialize(const Program &prog, Addr pc, RegFile &regs,
     result.laneInsts += lr.laneInsts;
     if (lr.iterations > 0)
         result.xloopsSpecialized++;
+    if (lr.fellBack && lr.reason == FallbackReason::SquashStorm) {
+        // Partial progress was handed back exactly; back off before
+        // trying specialization on this loop again (exponentially,
+        // so a pathologically conflicting loop converges on
+        // traditional execution).
+        StormCooldown &sc = stormCooldowns[pc];
+        sc.level = std::min(sc.level + 1, 12u);
+        sc.remaining = u64{1} << sc.level;
+    }
     return true;
 }
 
@@ -133,6 +153,7 @@ XloopsSystem::run(const Program &prog, ExecMode mode, u64 maxInsts)
     gpp->reset();
     apt.reset();
     fallbackPcs.clear();
+    stormCooldowns.clear();
     if (lpsu)
         lpsu->reset();
 
@@ -171,8 +192,24 @@ XloopsSystem::run(const Program &prog, ExecMode mode, u64 maxInsts)
         if (step.halted)
             break;
         pc = step.nextPc;
-        if (result.gppInsts >= maxInsts)
-            fatal("system run exceeded instruction limit");
+        if (result.gppInsts >= maxInsts) {
+            // A silent hang used to ride this valve into a bare
+            // FatalError; dump the machine state so it is debuggable.
+            MachineSnapshot snap;
+            snap.context = "system instruction-limit valve";
+            snap.cycle = gpp->now();
+            snap.gppPc = pc;
+            snap.gppInsts = result.gppInsts;
+            snap.occupancy.emplace_back("xloops_specialized",
+                                        result.xloopsSpecialized);
+            snap.occupancy.emplace_back("lane_insts", result.laneInsts);
+            throw SimError(
+                SimErrorKind::InstLimit,
+                strf("system run exceeded ", maxInsts,
+                     " instructions without halting (mode ",
+                     execModeName(mode), ")"),
+                snap);
+        }
     }
 
     result.cycles = gpp->now();

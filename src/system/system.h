@@ -8,6 +8,7 @@
 #ifndef XLOOPS_SYSTEM_SYSTEM_H
 #define XLOOPS_SYSTEM_SYSTEM_H
 
+#include <map>
 #include <memory>
 #include <set>
 
@@ -82,12 +83,23 @@ class XloopsSystem
     /** Adaptive post-execution profiling bookkeeping. */
     void adaptivePost(Addr pc, bool branchTaken);
 
+    /** Degradation state for an xloop that hit a squash storm: the
+     *  loop runs traditionally for `remaining` further encounters,
+     *  and each new storm doubles the next cooldown (exponential
+     *  backoff, capped). */
+    struct StormCooldown
+    {
+        unsigned level = 0;
+        u64 remaining = 0;
+    };
+
     SysConfig cfg;
     MainMemory mem;
     std::unique_ptr<GppModel> gpp;
     std::unique_ptr<Lpsu> lpsu;
     AdaptiveController apt;
     std::set<Addr> fallbackPcs;  ///< xloops whose body exceeded the IB
+    std::map<Addr, StormCooldown> stormCooldowns;
     std::ostream *traceOut = nullptr;
 };
 

@@ -14,6 +14,7 @@
 #include <sstream>
 
 #include "asm/assembler.h"
+#include "common/fault.h"
 #include "common/rng.h"
 #include "cpu/functional.h"
 #include "system/system.h"
@@ -217,6 +218,47 @@ TEST_P(RandomLoops, SpecializedMatchesSerialEverywhere)
             ASSERT_EQ(sys.memory().readWord(prog.symbol("cirout")),
                       golden.readWord(prog.symbol("cirout")))
                 << cfg.name << " seed " << seed;
+        }
+    }
+}
+
+TEST_P(RandomLoops, SpecializedMatchesSerialUnderInjection)
+{
+    // The same architectural contract must hold under adversarial
+    // schedules: injected squashes, memory-latency jitter, structural
+    // (CIB/LSQ) pressure, delayed broadcasts, and forced migrations
+    // perturb timing only, never results.
+    const auto [pattern, seed] = GetParam();
+    LoopGen gen(seed, pattern);
+    const std::string src = gen.generate();
+    const Program prog = assemble(src);
+
+    MainMemory golden;
+    prog.loadInto(golden);
+    fillDat(golden, prog, seed);
+    FunctionalExecutor exec(golden);
+    exec.run(prog);
+
+    for (const double rate : {0.02, 0.10}) {
+        SysConfig cfg = configs::ioX();
+        cfg.lpsu.faults =
+            FaultConfig::uniform(0x9e3779b97f4a7c15ull ^ seed, rate);
+        for (const ExecMode mode :
+             {ExecMode::Specialized, ExecMode::Adaptive}) {
+            XloopsSystem sys(cfg);
+            sys.loadProgram(prog);
+            fillDat(sys.memory(), prog, seed);
+            sys.run(prog, mode);
+            for (unsigned i = 0; i < datWords; i++) {
+                ASSERT_EQ(sys.memory().readWord(prog.symbol("dat") + 4 * i),
+                          golden.readWord(prog.symbol("dat") + 4 * i))
+                    << "inject rate " << rate << " "
+                    << execModeName(mode) << " seed " << seed << " dat["
+                    << i << "]\nsource:\n" << src;
+            }
+            ASSERT_EQ(sys.memory().readWord(prog.symbol("cirout")),
+                      golden.readWord(prog.symbol("cirout")))
+                << "inject rate " << rate << " seed " << seed;
         }
     }
 }

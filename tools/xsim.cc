@@ -10,16 +10,27 @@
  *     -v            dump all statistics
  *     -t            trace execution (GPP commits + LPSU events)
  *     -l            list configurations and kernels
+ *     --inject-seed <n>      enable fault injection with RNG seed n
+ *     --inject-rate <p>      per-opportunity fault probability
+ *                            (default 0.02 when a seed is given)
+ *     --watchdog-cycles <n>  LPSU no-commit watchdog (0 disables)
+ *
+ * Exit codes: 0 clean, 1 user/config error, 2 golden-checker failure,
+ * 3 watchdog / simulation-limit diagnosis (machine snapshot printed),
+ * 4 simulator panic.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "asm/assembler.h"
+#include "common/fault.h"
 #include "common/log.h"
+#include "common/sim_error.h"
 #include "energy/energy.h"
 #include "kernels/kernel.h"
 
@@ -77,39 +88,59 @@ main(int argc, char **argv)
     bool energy = false;
     bool verbose = false;
     bool trace = false;
+    u64 injectSeed = 0;
+    double injectRate = 0.02;
+    u64 watchdogCycles = 0;
+    bool haveWatchdog = false;
 
-    for (int i = 1; i < argc; i++) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> std::string {
-            if (i + 1 >= argc)
-                fatal(arg + " needs an argument");
-            return argv[++i];
-        };
-        if (arg == "-c")
-            cfgName = next();
-        else if (arg == "-m")
-            modeName = next();
-        else if (arg == "-k")
-            kernelName = next();
-        else if (arg == "-e")
-            energy = true;
-        else if (arg == "-v")
-            verbose = true;
-        else if (arg == "-t")
-            trace = true;
-        else if (arg == "-l") {
-            listEverything();
-            return 0;
-        } else {
-            path = arg;
-        }
-    }
-
+    int checkerExit = 0;
     try {
-        const SysConfig cfg = configs::byName(cfgName);
+        for (int i = 1; i < argc; i++) {
+            const std::string arg = argv[i];
+            auto next = [&]() -> std::string {
+                if (i + 1 >= argc)
+                    fatal(arg + " needs an argument");
+                return argv[++i];
+            };
+            if (arg == "-c")
+                cfgName = next();
+            else if (arg == "-m")
+                modeName = next();
+            else if (arg == "-k")
+                kernelName = next();
+            else if (arg == "-e")
+                energy = true;
+            else if (arg == "-v")
+                verbose = true;
+            else if (arg == "-t")
+                trace = true;
+            else if (arg == "--inject-seed")
+                injectSeed = std::strtoull(next().c_str(), nullptr, 0);
+            else if (arg == "--inject-rate")
+                injectRate = std::strtod(next().c_str(), nullptr);
+            else if (arg == "--watchdog-cycles") {
+                watchdogCycles = std::strtoull(next().c_str(), nullptr, 0);
+                haveWatchdog = true;
+            } else if (arg == "-l") {
+                listEverything();
+                return 0;
+            } else if (!arg.empty() && arg[0] == '-') {
+                // A typo'd option must not silently become a program
+                // path (an --inject-seed typo would run un-injected).
+                fatal("unknown option '" + arg + "'");
+            } else {
+                path = arg;
+            }
+        }
+
+        SysConfig cfg = configs::byName(cfgName);
         const ExecMode mode = parseMode(modeName);
         if (mode != ExecMode::Traditional && !cfg.hasLpsu)
             fatal("mode " + modeName + " needs an LPSU (+x config)");
+        if (injectSeed != 0)
+            cfg.lpsu.faults = FaultConfig::uniform(injectSeed, injectRate);
+        if (haveWatchdog)
+            cfg.lpsu.watchdogCycles = watchdogCycles;
 
         SysResult result;
         if (!kernelName.empty()) {
@@ -120,6 +151,8 @@ main(int argc, char **argv)
                         kernelName.c_str(), cfg.name.c_str(),
                         modeName.c_str(),
                         run.passed ? "VALIDATED" : run.error.c_str());
+            if (!run.passed)
+                checkerExit = 2;
         } else {
             if (path.empty())
                 fatal("usage: xsim [-c cfg] [-m T|S|A] "
@@ -151,7 +184,15 @@ main(int argc, char **argv)
         }
         if (verbose)
             std::printf("%s", result.stats.dump("  ").c_str());
-        return 0;
+        return checkerExit;
+    } catch (const SimError &error) {
+        // Recoverable diagnosis (watchdog, cycle/inst limits): the
+        // machine snapshot is part of the message.
+        std::fprintf(stderr, "%s\n", error.what());
+        return error.exitCode();
+    } catch (const PanicError &error) {
+        std::fprintf(stderr, "%s\n", error.what());
+        return 4;
     } catch (const FatalError &error) {
         std::fprintf(stderr, "%s\n", error.what());
         return 1;
