@@ -9,8 +9,12 @@
 #define XLOOPS_BENCH_BENCH_UTIL_H
 
 #include <cstdio>
+#include <fstream>
+#include <map>
 #include <string>
+#include <vector>
 
+#include "common/json.h"
 #include "energy/energy.h"
 #include "kernels/kernel.h"
 
@@ -56,6 +60,81 @@ ratio(Cycle base, Cycle other)
                       : static_cast<double>(base) /
                             static_cast<double>(other);
 }
+
+/**
+ * Machine-readable results for one experiment harness: rows of named
+ * numeric metrics written as `BENCH_<name>.json` next to the text
+ * table, sharing the stable sorted JSON serializer with
+ * `xsim --stats-json` so downstream tooling parses one schema.
+ */
+class BenchReport
+{
+  public:
+    explicit BenchReport(const std::string &name) : benchName(name) {}
+
+    /** Start a row (e.g. one kernel); returns its index. */
+    size_t
+    beginRow(const std::string &label)
+    {
+        rows.push_back({label, {}});
+        return rows.size() - 1;
+    }
+
+    /** Add a metric to the most recent row. */
+    void
+    metric(const std::string &key, double value)
+    {
+        rows.back().metrics[key] = value;
+    }
+
+    void
+    note(const std::string &key, const std::string &value)
+    {
+        notes[key] = value;
+    }
+
+    /** Write BENCH_<name>.json into @p dir (default: cwd). */
+    bool
+    write(const std::string &dir = ".") const
+    {
+        const std::string path = dir + "/BENCH_" + benchName + ".json";
+        std::ofstream out(path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return false;
+        }
+        JsonWriter w(out, /*pretty=*/true);
+        w.beginObject();
+        w.field("schema", "xloops-bench-1");
+        w.field("bench", benchName);
+        for (const auto &[key, value] : notes)
+            w.field(key, value);
+        w.key("rows").beginArray();
+        for (const Row &row : rows) {
+            w.beginObject();
+            w.field("label", row.label);
+            for (const auto &[key, value] : row.metrics)
+                w.field(key, value);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        out << "\n";
+        std::printf("wrote %s\n", path.c_str());
+        return true;
+    }
+
+  private:
+    struct Row
+    {
+        std::string label;
+        std::map<std::string, double> metrics;
+    };
+
+    std::string benchName;
+    std::map<std::string, std::string> notes;
+    std::vector<Row> rows;
+};
 
 } // namespace xloops::benchutil
 

@@ -27,6 +27,11 @@ main()
         {configs::ooo2(), configs::ooo2X()},
         {configs::ooo4(), configs::ooo4X()},
     };
+    const char *hostTags[] = {"io", "o2", "o4"};
+
+    BenchReport report("table2");
+    report.note("normalization",
+                "serial GP-ISA binary on the same baseline GPP");
 
     bool allPassed = true;
     for (const auto &name : tableIIKernelNames()) {
@@ -39,7 +44,10 @@ main()
                           static_cast<double>(gp.xlDynInsts);
 
         std::printf("%-14s %5.2f |", name.c_str(), xg);
-        for (const auto &[base, xcfg] : hosts) {
+        report.beginRow(name);
+        report.metric("xg_inst_ratio", xg);
+        for (size_t h = 0; h < hosts.size(); h++) {
+            const auto &[base, xcfg] = hosts[h];
             const Cell g = gpBaseline(name, base);
             const Cell t = runCell(name, base, ExecMode::Traditional);
             const Cell s = runCell(name, xcfg, ExecMode::Specialized);
@@ -48,9 +56,17 @@ main()
             std::printf(" %5.2f %5.2f %5.2f |", ratio(g.cycles, t.cycles),
                         ratio(g.cycles, s.cycles),
                         ratio(g.cycles, a.cycles));
+            const std::string tag = hostTags[h];
+            report.metric(tag + "_T", ratio(g.cycles, t.cycles));
+            report.metric(tag + "_S", ratio(g.cycles, s.cycles));
+            report.metric(tag + "_A", ratio(g.cycles, a.cycles));
+            report.metric(tag + "_base_cycles",
+                          static_cast<double>(g.cycles));
         }
         std::printf("\n");
     }
     std::printf("\nvalidation: %s\n", allPassed ? "ALL PASSED" : "FAILED");
+    report.note("validation", allPassed ? "pass" : "fail");
+    report.write();
     return allPassed ? 0 : 1;
 }

@@ -1,0 +1,432 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.h"
+
+namespace xloops {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char ch : s) {
+        const unsigned char c = static_cast<unsigned char>(ch);
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonUnescape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (size_t i = 0; i < s.size(); i++) {
+        if (s[i] != '\\') {
+            out += s[i];
+            continue;
+        }
+        if (i + 1 >= s.size())
+            fatal("jsonUnescape: dangling backslash");
+        const char e = s[++i];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (i + 4 >= s.size())
+                fatal("jsonUnescape: truncated \\u escape");
+            u32 cp = 0;
+            for (unsigned k = 0; k < 4; k++) {
+                const char h = s[++i];
+                cp <<= 4;
+                if (h >= '0' && h <= '9')
+                    cp |= static_cast<u32>(h - '0');
+                else if (h >= 'a' && h <= 'f')
+                    cp |= static_cast<u32>(h - 'a' + 10);
+                else if (h >= 'A' && h <= 'F')
+                    cp |= static_cast<u32>(h - 'A' + 10);
+                else
+                    fatal("jsonUnescape: bad hex digit in \\u escape");
+            }
+            // UTF-8 encode (basic multilingual plane only — enough for
+            // everything jsonEscape produces).
+            if (cp < 0x80) {
+                out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+                out += static_cast<char>(0xc0 | (cp >> 6));
+                out += static_cast<char>(0x80 | (cp & 0x3f));
+            } else {
+                out += static_cast<char>(0xe0 | (cp >> 12));
+                out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+                out += static_cast<char>(0x80 | (cp & 0x3f));
+            }
+            break;
+          }
+          default:
+            fatal(strf("jsonUnescape: unknown escape '\\", e, "'"));
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Validating recursive-descent parser (structure only, no tree).
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct Parser
+{
+    const std::string &text;
+    size_t pos = 0;
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            pos++;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const size_t n = std::string(word).size();
+        if (text.compare(pos, n, word) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (pos >= text.size() || text[pos] != '"')
+            return false;
+        pos++;
+        while (pos < text.size() && text[pos] != '"') {
+            if (static_cast<unsigned char>(text[pos]) < 0x20)
+                return false;  // raw control character
+            if (text[pos] == '\\') {
+                pos++;
+                if (pos >= text.size())
+                    return false;
+                const char e = text[pos];
+                if (e == 'u') {
+                    for (unsigned k = 0; k < 4; k++) {
+                        pos++;
+                        if (pos >= text.size() ||
+                            !std::isxdigit(
+                                static_cast<unsigned char>(text[pos])))
+                            return false;
+                    }
+                } else if (std::string("\"\\/bfnrt").find(e) ==
+                           std::string::npos) {
+                    return false;
+                }
+            }
+            pos++;
+        }
+        if (pos >= text.size())
+            return false;
+        pos++;  // closing quote
+        return true;
+    }
+
+    bool
+    number()
+    {
+        const size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            pos++;
+        size_t digits = 0;
+        while (pos < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[pos]))) {
+            pos++;
+            digits++;
+        }
+        if (digits == 0)
+            return false;
+        if (pos < text.size() && text[pos] == '.') {
+            pos++;
+            size_t frac = 0;
+            while (pos < text.size() &&
+                   std::isdigit(static_cast<unsigned char>(text[pos]))) {
+                pos++;
+                frac++;
+            }
+            if (frac == 0)
+                return false;
+        }
+        if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+            pos++;
+            if (pos < text.size() &&
+                (text[pos] == '+' || text[pos] == '-'))
+                pos++;
+            size_t exp = 0;
+            while (pos < text.size() &&
+                   std::isdigit(static_cast<unsigned char>(text[pos]))) {
+                pos++;
+                exp++;
+            }
+            if (exp == 0)
+                return false;
+        }
+        return pos > start;
+    }
+
+    bool
+    value()
+    {
+        skipWs();
+        if (pos >= text.size())
+            return false;
+        const char c = text[pos];
+        if (c == '"')
+            return string();
+        if (c == '{') {
+            pos++;
+            skipWs();
+            if (pos < text.size() && text[pos] == '}') {
+                pos++;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                if (!string())
+                    return false;
+                skipWs();
+                if (pos >= text.size() || text[pos] != ':')
+                    return false;
+                pos++;
+                if (!value())
+                    return false;
+                skipWs();
+                if (pos >= text.size())
+                    return false;
+                if (text[pos] == ',') {
+                    pos++;
+                    continue;
+                }
+                if (text[pos] == '}') {
+                    pos++;
+                    return true;
+                }
+                return false;
+            }
+        }
+        if (c == '[') {
+            pos++;
+            skipWs();
+            if (pos < text.size() && text[pos] == ']') {
+                pos++;
+                return true;
+            }
+            while (true) {
+                if (!value())
+                    return false;
+                skipWs();
+                if (pos >= text.size())
+                    return false;
+                if (text[pos] == ',') {
+                    pos++;
+                    continue;
+                }
+                if (text[pos] == ']') {
+                    pos++;
+                    return true;
+                }
+                return false;
+            }
+        }
+        if (c == 't')
+            return literal("true");
+        if (c == 'f')
+            return literal("false");
+        if (c == 'n')
+            return literal("null");
+        return number();
+    }
+};
+
+} // namespace
+
+bool
+jsonValidate(const std::string &text)
+{
+    Parser p{text};
+    if (!p.value())
+        return false;
+    p.skipWs();
+    return p.pos == text.size();
+}
+
+// ---------------------------------------------------------------------
+// JsonWriter.
+// ---------------------------------------------------------------------
+
+JsonWriter::JsonWriter(std::ostream &out, bool pretty_print)
+    : os(out), pretty(pretty_print)
+{
+}
+
+void
+JsonWriter::newline()
+{
+    if (!pretty)
+        return;
+    os << "\n";
+    for (size_t i = 0; i < stack.size(); i++)
+        os << "  ";
+}
+
+void
+JsonWriter::separate()
+{
+    if (pendingKey) {
+        pendingKey = false;
+        return;  // value follows its key on the same line
+    }
+    if (stack.empty())
+        return;
+    if (stack.back().count > 0)
+        os << ",";
+    newline();
+    stack.back().count++;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    os << "{";
+    stack.push_back({true, 0});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    XL_ASSERT(!stack.empty() && stack.back().isObject,
+              "endObject outside an object");
+    const bool empty = stack.back().count == 0;
+    stack.pop_back();
+    if (!empty)
+        newline();
+    os << "}";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate();
+    os << "[";
+    stack.push_back({false, 0});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    XL_ASSERT(!stack.empty() && !stack.back().isObject,
+              "endArray outside an array");
+    const bool empty = stack.back().count == 0;
+    stack.pop_back();
+    if (!empty)
+        newline();
+    os << "]";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    XL_ASSERT(!stack.empty() && stack.back().isObject,
+              "key outside an object");
+    separate();
+    os << "\"" << jsonEscape(name) << "\":" << (pretty ? " " : "");
+    pendingKey = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    separate();
+    os << "\"" << jsonEscape(v) << "\"";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(u64 v)
+{
+    separate();
+    os << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(i64 v)
+{
+    separate();
+    os << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    separate();
+    if (!std::isfinite(v)) {
+        os << "null";  // JSON has no NaN/Inf
+        return *this;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    os << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separate();
+    os << (v ? "true" : "false");
+    return *this;
+}
+
+} // namespace xloops

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Minimal JSON emission shared by every machine-readable output path
+ * (`xsim --stats-json`, `xsim --trace`, the bench reporters). One
+ * escaping/formatting implementation so all producers agree, plus a
+ * small validating parser for tests and tools.
+ */
+
+#ifndef XLOOPS_COMMON_JSON_H
+#define XLOOPS_COMMON_JSON_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace xloops {
+
+/** Escape @p s for inclusion inside a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/** Inverse of jsonEscape (resolves \uXXXX to UTF-8). */
+std::string jsonUnescape(const std::string &s);
+
+/** True when @p text is one complete, well-formed JSON value. */
+bool jsonValidate(const std::string &text);
+
+/**
+ * Streaming JSON writer with explicit structure calls. Callers are
+ * responsible for key order; producers in this codebase iterate
+ * std::map so output is deterministically sorted.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &out, bool pretty = true);
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; must be followed by exactly one value. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(u64 v);
+    JsonWriter &value(i64 v);
+    JsonWriter &value(unsigned v) { return value(static_cast<u64>(v)); }
+    JsonWriter &value(int v) { return value(static_cast<i64>(v)); }
+    JsonWriter &value(double v);
+    JsonWriter &value(bool v);
+
+    template <typename T>
+    JsonWriter &
+    field(const std::string &k, T v)
+    {
+        key(k);
+        return value(v);
+    }
+
+  private:
+    void separate();
+    void newline();
+
+    std::ostream &os;
+    bool pretty;
+    bool pendingKey = false;
+
+    struct Level
+    {
+        bool isObject;
+        size_t count;
+    };
+    std::vector<Level> stack;
+};
+
+} // namespace xloops
+
+#endif // XLOOPS_COMMON_JSON_H

@@ -1,0 +1,104 @@
+#include "common/loop_profile.h"
+
+#include <sstream>
+
+#include "common/json.h"
+#include "common/log.h"
+
+namespace xloops {
+
+Cycle
+LoopProfile::totalStallCycles() const
+{
+    Cycle sum = 0;
+    for (const Cycle c : stallCycles)
+        sum += c;
+    return sum;
+}
+
+LoopProfile &
+LoopProfiler::loop(Addr pc)
+{
+    LoopProfile &p = table[pc];
+    p.pc = pc;
+    return p;
+}
+
+std::string
+LoopProfiler::dump() const
+{
+    std::ostringstream os;
+    for (const auto &[pc, p] : table) {
+        os << "xloop @ 0x" << std::hex << pc << std::dec;
+        if (!p.pattern.empty())
+            os << " (" << p.pattern << ")";
+        os << ": " << p.specIters << " specialized + " << p.tradIters
+           << " traditional iterations, " << p.invocations
+           << " LPSU runs, " << p.squashes << " squashes\n";
+        if (p.engineCycles > 0) {
+            os << "  cycles: scan " << p.scanCycles << ", exec "
+               << p.engineCycles << " (lane busy " << p.busyCycles
+               << ", stalled " << p.totalStallCycles() << ")\n";
+            os << "  stalls:";
+            for (unsigned k = 1; k < numStallKinds; k++) {
+                if (p.stallCycles[k] > 0)
+                    os << " " << stallKindName(static_cast<StallKind>(k))
+                       << "=" << p.stallCycles[k];
+            }
+            os << "\n";
+        }
+        if (p.iterCycles.count() > 0)
+            os << "  iter cycles: " << p.iterCycles.dump() << "\n";
+        for (const MigrationRecord &m : p.migrations) {
+            os << "  adaptive @ cycle " << m.atCycle << ": gpp "
+               << m.gppCyclesPerIter << " vs lpsu " << m.lpsuCyclesPerIter
+               << " cycles/iter -> "
+               << (m.choseLpsu ? "specialized" : "traditional") << "\n";
+        }
+    }
+    return os.str();
+}
+
+void
+LoopProfiler::writeJson(JsonWriter &w) const
+{
+    w.key("loops").beginObject();
+    for (const auto &[pc, p] : table) {
+        w.key(strf("0x", std::hex, pc)).beginObject();
+        w.field("pattern", p.pattern);
+        w.field("invocations", p.invocations);
+        w.field("spec_iters", p.specIters);
+        w.field("trad_iters", p.tradIters);
+        w.field("squashes", p.squashes);
+        w.field("fallbacks", p.fallbacks);
+        w.field("scan_cycles", p.scanCycles);
+        w.field("engine_cycles", p.engineCycles);
+        w.field("busy_cycles", p.busyCycles);
+        w.key("stall_cycles").beginObject();
+        for (unsigned k = 1; k < numStallKinds; k++) {
+            w.field(stallKindName(static_cast<StallKind>(k)),
+                    p.stallCycles[k]);
+        }
+        w.endObject();
+        w.key("iter_cycles");
+        p.iterCycles.writeJson(w);
+        w.key("cib_occupancy");
+        p.cibOccupancy.writeJson(w);
+        w.key("lsq_occupancy");
+        p.lsqOccupancy.writeJson(w);
+        w.key("migrations").beginArray();
+        for (const MigrationRecord &m : p.migrations) {
+            w.beginObject();
+            w.field("at_cycle", m.atCycle);
+            w.field("gpp_cycles_per_iter", m.gppCyclesPerIter);
+            w.field("lpsu_cycles_per_iter", m.lpsuCyclesPerIter);
+            w.field("chose_lpsu", m.choseLpsu);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endObject();
+}
+
+} // namespace xloops

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Per-loop profiler: rolls simulator activity up per `xloop` PC so the
+ * paper's "where do the cycles go" questions (Figures 5–9, Table II)
+ * can be answered for one loop at a time — iterations per execution
+ * mode, the lane stall-cycle breakdown, CIB/LSQ occupancy histograms,
+ * and the adaptive controller's migration decisions with the profiled
+ * cycles-per-iteration that justified them.
+ *
+ * The profiler is passive: components update it when attached (see
+ * XloopsSystem::setObserver); the simulated timing is identical with
+ * or without it. Invariant (asserted in tests/test_trace.cc): for each
+ * loop, busyCycles + sum(stallCycles) == lanes * engineCycles — every
+ * lane-cycle of specialized execution is attributed to exactly one
+ * category.
+ */
+
+#ifndef XLOOPS_COMMON_LOOP_PROFILE_H
+#define XLOOPS_COMMON_LOOP_PROFILE_H
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/trace.h"
+
+namespace xloops {
+
+class JsonWriter;
+
+/** One adaptive-controller decision for a loop. */
+struct MigrationRecord
+{
+    Cycle atCycle = 0;
+    double gppCyclesPerIter = 0;   ///< profiled traditional CPI basis
+    double lpsuCyclesPerIter = 0;  ///< profiled specialized CPI basis
+    bool choseLpsu = false;
+};
+
+/** Everything the profiler knows about one xloop PC. */
+struct LoopProfile
+{
+    Addr pc = 0;
+    std::string pattern;   ///< "uc", "or", "om", ... ("+db"/"+de")
+    u64 invocations = 0;   ///< LPSU specialized executions
+    u64 specIters = 0;     ///< iterations committed on the LPSU
+    u64 tradIters = 0;     ///< iterations executed traditionally
+    u64 squashes = 0;
+    u64 fallbacks = 0;     ///< storm / body-size hand-backs
+    Cycle scanCycles = 0;
+    Cycle engineCycles = 0;  ///< specialized-execution cycles
+    Cycle busyCycles = 0;    ///< lane-cycles that made progress
+    /** Lane-cycles lost per StallKind (index = StallKind). */
+    std::array<Cycle, numStallKinds> stallCycles{};
+    Histogram iterCycles;    ///< committed-iteration latency
+    Histogram cibOccupancy;  ///< total queued CIB values, per cycle
+    Histogram lsqOccupancy;  ///< total queued LSQ entries, per cycle
+    std::vector<MigrationRecord> migrations;
+
+    Cycle totalStallCycles() const;
+};
+
+/** PC-indexed roll-up over a whole run. */
+class LoopProfiler
+{
+  public:
+    /** The profile for @p pc (created on first use). */
+    LoopProfile &loop(Addr pc);
+
+    const std::map<Addr, LoopProfile> &loops() const { return table; }
+
+    void clear() { table.clear(); }
+
+    /** Human-readable per-loop report (benches, -v dumps). */
+    std::string dump() const;
+
+    /** Emit `"loops": {"0x...": {...}}` into the current object. */
+    void writeJson(JsonWriter &w) const;
+
+  private:
+    std::map<Addr, LoopProfile> table;
+};
+
+} // namespace xloops
+
+#endif // XLOOPS_COMMON_LOOP_PROFILE_H

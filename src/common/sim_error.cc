@@ -46,6 +46,11 @@ MachineSnapshot::render() const
     }
     for (const auto &[name, count] : occupancy)
         os << "  " << name << " = " << count << "\n";
+    if (!recentEvents.empty()) {
+        os << "  last " << recentEvents.size() << " trace events:\n";
+        for (const TraceEvent &ev : recentEvents)
+            os << "    " << traceEventLine(ev) << "\n";
+    }
     return os.str();
 }
 

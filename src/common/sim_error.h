@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/log.h"
+#include "common/trace.h"
 #include "common/types.h"
 
 namespace xloops {
@@ -77,6 +78,9 @@ struct MachineSnapshot
     std::vector<LaneSnapshot> lanes;
     /** CIB occupancy per register with queued values ("cib[r3]", n). */
     std::vector<std::pair<std::string, u64>> occupancy;
+    /** The last trace events before the failure (when a Tracer was
+     *  attached): post-mortem context for *how* the machine wedged. */
+    std::vector<TraceEvent> recentEvents;
 
     std::string render() const;
 };

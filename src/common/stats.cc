@@ -1,8 +1,108 @@
 #include "common/stats.h"
 
+#include <algorithm>
 #include <sstream>
 
+#include "common/json.h"
+
 namespace xloops {
+
+// ---------------------------------------------------------------------
+// Histogram.
+// ---------------------------------------------------------------------
+
+unsigned
+Histogram::bucketIndex(u64 value)
+{
+    if (value == 0)
+        return 0;
+    unsigned index = 1;
+    while (value > 1) {
+        value >>= 1;
+        index++;
+    }
+    return index;
+}
+
+u64
+Histogram::bucketLo(unsigned index)
+{
+    return index == 0 ? 0 : u64{1} << (index - 1);
+}
+
+void
+Histogram::sample(u64 value, u64 weight)
+{
+    const unsigned index = bucketIndex(value);
+    if (index >= counts.size())
+        counts.resize(index + 1, 0);
+    counts[index] += weight;
+    n += weight;
+    total += value * weight;
+    lo = std::min(lo, value);
+    hi = std::max(hi, value);
+}
+
+double
+Histogram::mean() const
+{
+    return n == 0 ? 0.0
+                  : static_cast<double>(total) / static_cast<double>(n);
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.n == 0)
+        return;
+    if (other.counts.size() > counts.size())
+        counts.resize(other.counts.size(), 0);
+    for (size_t i = 0; i < other.counts.size(); i++)
+        counts[i] += other.counts[i];
+    n += other.n;
+    total += other.total;
+    lo = std::min(lo, other.lo);
+    hi = std::max(hi, other.hi);
+}
+
+void
+Histogram::clear()
+{
+    counts.clear();
+    n = 0;
+    total = 0;
+    lo = ~u64{0};
+    hi = 0;
+}
+
+std::string
+Histogram::dump() const
+{
+    std::ostringstream os;
+    os << "count=" << n << " min=" << min() << " max=" << hi
+       << " mean=" << mean();
+    return os.str();
+}
+
+void
+Histogram::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.field("count", n);
+    w.field("sum", total);
+    w.field("min", min());
+    w.field("max", hi);
+    w.field("mean", mean());
+    w.key("buckets").beginArray();
+    for (const u64 c : counts)
+        w.value(c);
+    w.endArray();
+    w.endObject();
+}
+
+// ---------------------------------------------------------------------
+// StatGroup.
+// ---------------------------------------------------------------------
 
 u64
 StatGroup::get(const std::string &name) const
@@ -16,6 +116,8 @@ StatGroup::merge(const StatGroup &other)
 {
     for (const auto &[name, value] : other.counters)
         counters[name] += value;
+    for (const auto &[name, histogram] : other.histograms)
+        histograms[name].merge(histogram);
 }
 
 std::string
@@ -24,7 +126,24 @@ StatGroup::dump(const std::string &prefix) const
     std::ostringstream os;
     for (const auto &[name, value] : counters)
         os << prefix << name << " = " << value << "\n";
+    for (const auto &[name, histogram] : histograms)
+        os << prefix << name << " = " << histogram.dump() << "\n";
     return os.str();
+}
+
+void
+StatGroup::writeJson(JsonWriter &w) const
+{
+    w.key("counters").beginObject();
+    for (const auto &[name, value] : counters)
+        w.field(name, value);
+    w.endObject();
+    w.key("histograms").beginObject();
+    for (const auto &[name, histogram] : histograms) {
+        w.key(name);
+        histogram.writeJson(w);
+    }
+    w.endObject();
 }
 
 } // namespace xloops

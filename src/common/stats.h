@@ -1,7 +1,9 @@
 /**
  * @file
- * Lightweight named statistic counters, in the spirit of gem5's stats
- * package but scoped per simulated component.
+ * Lightweight named statistics, in the spirit of gem5's stats package
+ * but scoped per simulated component: u64 counters plus log2-bucketed
+ * histograms, with text dumping for benches and a stable sorted JSON
+ * serialization shared by `xsim --stats-json` and the bench reporters.
  */
 
 #ifndef XLOOPS_COMMON_STATS_H
@@ -9,12 +11,58 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/types.h"
 
 namespace xloops {
 
-/** A bag of named u64 counters with string dumping for benches. */
+class JsonWriter;
+
+/**
+ * Power-of-two-bucketed histogram: bucket 0 holds the value 0 and
+ * bucket k (k >= 1) holds values in [2^(k-1), 2^k). Tracks count,
+ * sum, min, max alongside the buckets, so mean is exact even though
+ * buckets are coarse.
+ */
+class Histogram
+{
+  public:
+    /** Bucket index for @p value (see class comment). */
+    static unsigned bucketIndex(u64 value);
+
+    /** Inclusive lower bound of bucket @p index. */
+    static u64 bucketLo(unsigned index);
+
+    void sample(u64 value, u64 weight = 1);
+
+    u64 count() const { return n; }
+    u64 sum() const { return total; }
+    u64 min() const { return n == 0 ? 0 : lo; }
+    u64 max() const { return hi; }
+    double mean() const;
+
+    /** Bucket counts, index 0 upward (trailing zero buckets trimmed). */
+    const std::vector<u64> &buckets() const { return counts; }
+
+    void merge(const Histogram &other);
+    void clear();
+
+    /** Compact one-line rendering for text dumps. */
+    std::string dump() const;
+
+    /** {"count":..,"min":..,"max":..,"mean":..,"buckets":[..]} */
+    void writeJson(JsonWriter &w) const;
+
+  private:
+    std::vector<u64> counts;
+    u64 n = 0;
+    u64 total = 0;
+    u64 lo = ~u64{0};
+    u64 hi = 0;
+};
+
+/** A bag of named u64 counters and histograms with string dumping. */
 class StatGroup
 {
   public:
@@ -27,18 +75,43 @@ class StatGroup
     /** Read counter @p name (0 if never touched). */
     u64 get(const std::string &name) const;
 
-    /** Merge all counters from @p other into this group. */
+    /** The histogram @p name (created on first use). */
+    Histogram &hist(const std::string &name) { return histograms[name]; }
+
+    /** Record one histogram sample (shorthand for hist().sample()). */
+    void sample(const std::string &name, u64 value)
+    {
+        histograms[name].sample(value);
+    }
+
+    /** Merge all counters and histograms from @p other into this. */
     void merge(const StatGroup &other);
 
-    void clear() { counters.clear(); }
+    void clear()
+    {
+        counters.clear();
+        histograms.clear();
+    }
 
     const std::map<std::string, u64> &all() const { return counters; }
+    const std::map<std::string, Histogram> &allHists() const
+    {
+        return histograms;
+    }
 
-    /** Render "name = value" lines, one per counter. */
+    /** Render "name = value" lines (sorted), histograms last. */
     std::string dump(const std::string &prefix = "") const;
+
+    /**
+     * Emit `"counters": {...}, "histograms": {...}` into the writer's
+     * current object — stable sorted key order, shared formatting for
+     * every machine-readable stats consumer.
+     */
+    void writeJson(JsonWriter &w) const;
 
   private:
     std::map<std::string, u64> counters;
+    std::map<std::string, Histogram> histograms;
 };
 
 } // namespace xloops

@@ -1,0 +1,242 @@
+#include "common/trace.h"
+
+#include <algorithm>
+
+#include "common/json.h"
+#include "common/log.h"
+
+namespace xloops {
+
+const char *
+stallKindName(StallKind kind)
+{
+    switch (kind) {
+      case StallKind::None: return "none";
+      case StallKind::Idle: return "idle";
+      case StallKind::Raw: return "raw";
+      case StallKind::Cir: return "cir";
+      case StallKind::CibFull: return "cib-full";
+      case StallKind::MemPort: return "mem-port";
+      case StallKind::Llfu: return "llfu";
+      case StallKind::LsqFull: return "lsq-full";
+      case StallKind::CommitWait: return "commit-wait";
+      case StallKind::AmoWait: return "amo-wait";
+    }
+    return "?";
+}
+
+const char *
+traceKindName(TraceKind kind)
+{
+    switch (kind) {
+      case TraceKind::ScanDone: return "scan";
+      case TraceKind::IterBegin: return "iter-begin";
+      case TraceKind::IterEnd: return "iter";
+      case TraceKind::LaneStall: return "stall";
+      case TraceKind::Squash: return "squash";
+      case TraceKind::Replay: return "replay";
+      case TraceKind::Commit: return "commit";
+      case TraceKind::CibPush: return "cib-push";
+      case TraceKind::CibConsume: return "cib-consume";
+      case TraceKind::StoreBroadcast: return "store-broadcast";
+      case TraceKind::LsqDrain: return "lsq-drain";
+      case TraceKind::CacheMiss: return "cache-miss";
+      case TraceKind::BranchRedirect: return "branch-redirect";
+      case TraceKind::XloopSlice: return "xloop";
+      case TraceKind::AdaptiveDecide: return "adaptive-decide";
+      case TraceKind::StormSerialize: return "storm-serialize";
+      case TraceKind::StormFallback: return "storm-fallback";
+      case TraceKind::Migration: return "migration";
+      case TraceKind::FaultInject: return "fault-inject";
+    }
+    return "?";
+}
+
+const char *
+traceCompName(TraceComp comp)
+{
+    switch (comp) {
+      case TraceComp::Gpp: return "GPP";
+      case TraceComp::Lmu: return "LMU";
+      case TraceComp::Lane: return "lane";
+      case TraceComp::Cib: return "CIB";
+      case TraceComp::Lsq: return "LSQ";
+      case TraceComp::Mem: return "MEM";
+      case TraceComp::Sys: return "SYS";
+    }
+    return "?";
+}
+
+Tracer::Tracer(size_t capacity) : ring(std::max<size_t>(capacity, 16))
+{
+}
+
+size_t
+Tracer::size() const
+{
+    return total < ring.size() ? static_cast<size_t>(total) : ring.size();
+}
+
+const TraceEvent &
+Tracer::at(size_t i) const
+{
+    XL_ASSERT(i < size(), "trace event index out of range");
+    if (total <= ring.size())
+        return ring[i];
+    return ring[(head + i) % ring.size()];
+}
+
+std::vector<TraceEvent>
+Tracer::lastEvents(size_t n) const
+{
+    const size_t have = size();
+    const size_t take = std::min(n, have);
+    std::vector<TraceEvent> out;
+    out.reserve(take);
+    for (size_t i = have - take; i < have; i++)
+        out.push_back(at(i));
+    return out;
+}
+
+void
+Tracer::clear()
+{
+    head = 0;
+    total = 0;
+}
+
+std::string
+traceEventLine(const TraceEvent &ev)
+{
+    return strf("cycle ", ev.cycle, " ", traceCompName(ev.comp),
+                (ev.comp == TraceComp::Lane || ev.comp == TraceComp::Lsq
+                     ? strf(" ", unsigned{ev.index})
+                     : ""),
+                " ", traceKindName(ev.kind), " a0=", ev.a0,
+                " a1=", ev.a1);
+}
+
+// ---------------------------------------------------------------------
+// Chrome trace_event rendering.
+// ---------------------------------------------------------------------
+
+namespace {
+
+constexpr int tracePid = 1;
+constexpr int laneTidBase = 10;
+
+int
+tidFor(const TraceEvent &ev)
+{
+    switch (ev.comp) {
+      case TraceComp::Gpp: return 0;
+      case TraceComp::Lmu: return 1;
+      case TraceComp::Cib: return 2;
+      case TraceComp::Mem: return 3;
+      case TraceComp::Sys: return 4;
+      case TraceComp::Lane:
+      case TraceComp::Lsq: return laneTidBase + ev.index;
+    }
+    return 4;
+}
+
+/** Slice kinds are stamped at their end cycle with the length in a1
+ *  (a0 for XloopSlice-style kinds where noted). */
+bool
+isSlice(TraceKind kind)
+{
+    return kind == TraceKind::IterEnd || kind == TraceKind::LaneStall ||
+           kind == TraceKind::ScanDone || kind == TraceKind::XloopSlice;
+}
+
+std::string
+sliceName(const TraceEvent &ev)
+{
+    switch (ev.kind) {
+      case TraceKind::IterEnd: return strf("iter ", ev.a0);
+      case TraceKind::LaneStall:
+        return strf("stall:",
+                    stallKindName(static_cast<StallKind>(ev.a0)));
+      case TraceKind::ScanDone: return "scan";
+      case TraceKind::XloopSlice:
+        return strf("xloop@0x", std::hex, ev.a0);
+      default: return traceKindName(ev.kind);
+    }
+}
+
+Cycle
+sliceCycles(const TraceEvent &ev)
+{
+    return static_cast<Cycle>(
+        ev.kind == TraceKind::ScanDone ? ev.a0 : ev.a1);
+}
+
+} // namespace
+
+void
+Tracer::writeChromeJson(std::ostream &out) const
+{
+    JsonWriter w(out, false);
+    w.beginObject();
+    w.key("displayTimeUnit").value("ns");
+    w.key("otherData").beginObject();
+    w.field("dropped_events", dropped());
+    w.field("total_events", totalEmitted());
+    w.endObject();
+    w.key("traceEvents").beginArray();
+
+    // Thread-name metadata: one track per lane plus the fixed tracks.
+    int maxLane = -1;
+    for (size_t i = 0; i < size(); i++) {
+        const TraceEvent &ev = at(i);
+        if (ev.comp == TraceComp::Lane || ev.comp == TraceComp::Lsq)
+            maxLane = std::max(maxLane, static_cast<int>(ev.index));
+    }
+    auto meta = [&](int tid, const std::string &name) {
+        w.beginObject();
+        w.field("ph", "M");
+        w.field("pid", tracePid);
+        w.field("tid", tid);
+        w.field("name", "thread_name");
+        w.key("args").beginObject().field("name", name).endObject();
+        w.endObject();
+    };
+    meta(0, "GPP");
+    meta(1, "LMU");
+    meta(2, "CIB");
+    meta(3, "MEM");
+    meta(4, "SYS");
+    for (int l = 0; l <= maxLane; l++)
+        meta(laneTidBase + l, strf("lane ", l));
+
+    for (size_t i = 0; i < size(); i++) {
+        const TraceEvent &ev = at(i);
+        w.beginObject();
+        w.field("pid", tracePid);
+        w.field("tid", tidFor(ev));
+        if (isSlice(ev.kind)) {
+            const Cycle dur = std::max<Cycle>(sliceCycles(ev), 1);
+            const Cycle begin = ev.cycle >= dur ? ev.cycle - dur : 0;
+            w.field("ph", "X");
+            w.field("ts", begin);
+            w.field("dur", dur);
+            w.field("name", sliceName(ev));
+        } else {
+            w.field("ph", "i");
+            w.field("ts", ev.cycle);
+            w.field("s", "t");
+            w.field("name", traceKindName(ev.kind));
+        }
+        w.key("args")
+            .beginObject()
+            .field("a0", ev.a0)
+            .field("a1", ev.a1)
+            .endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    out << "\n";
+}
+
+} // namespace xloops

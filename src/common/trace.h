@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Cycle-accurate structured event tracing.
+ *
+ * Components emit compact fixed-size TraceEvent records (cycle,
+ * component, kind, two payload words) into a ring buffer through the
+ * XTRACE macro. The disabled path is a single predictable
+ * null-pointer/flag test (and compiles out entirely under
+ * -DXLOOPS_TRACE_DISABLED), so tracing costs nothing when off and the
+ * simulated timing is identical either way — the tracer only
+ * *observes*.
+ *
+ * The buffer renders to Chrome trace_event JSON (`xsim --trace
+ * out.json`) viewable in Perfetto / chrome://tracing: one track per
+ * LPSU lane plus LMU, CIB, GPP, MEM, and SYS tracks. Iterations,
+ * stalls, scans, and LPSU loop ownership appear as duration slices;
+ * squashes, replays, CIB traffic, broadcasts, cache misses, and
+ * adaptive decisions as instant events.
+ *
+ * Events are emitted in nondecreasing cycle order (duration-slice
+ * records are stamped at their *end* cycle and carry the length, so
+ * emission order stays monotone; the JSON writer converts them to
+ * begin+duration form, which Perfetto re-sorts).
+ */
+
+#ifndef XLOOPS_COMMON_TRACE_H
+#define XLOOPS_COMMON_TRACE_H
+
+#include <ostream>
+#include <vector>
+
+#include "common/types.h"
+
+namespace xloops {
+
+/** Which hardware structure emitted an event (selects the track). */
+enum class TraceComp : u8
+{
+    Gpp,   ///< the host general-purpose processor
+    Lmu,   ///< lane management unit (scan, dispatch, commit, storms)
+    Lane,  ///< one in-order lane (index = lane number)
+    Cib,   ///< cross-iteration buffer network
+    Lsq,   ///< a lane's load-store queue (index = lane number)
+    Mem,   ///< memory hierarchy (cache misses)
+    Sys,   ///< system / adaptive controller
+};
+
+/**
+ * Why a lane could not make progress in a cycle (Figure 6 taxonomy).
+ * Shared between the LPSU engine's per-cycle accounting, the per-loop
+ * profiler, and trace stall slices so all three agree exactly.
+ */
+enum class StallKind : u8
+{
+    None,        ///< made progress
+    Idle,        ///< no iteration available
+    Raw,         ///< scoreboard RAW hazard
+    Cir,         ///< waiting on a cross-iteration register value
+    CibFull,     ///< outbound CIB has no free slot
+    MemPort,     ///< shared data-memory ports exhausted
+    Llfu,        ///< shared long-latency FUs busy
+    LsqFull,     ///< LSQ structural (capacity / overflow-retry hold)
+    CommitWait,  ///< speculative iteration waiting to become oldest
+    AmoWait,     ///< AMO must wait for non-speculative execution
+};
+
+constexpr unsigned numStallKinds = 10;
+
+const char *stallKindName(StallKind kind);
+
+/** What happened. Payload meaning (a0/a1) is per kind. */
+enum class TraceKind : u8
+{
+    ScanDone,       ///< Lmu: a0 = scan cycles, a1 = body insts (slice)
+    IterBegin,      ///< Lane: a0 = iteration index
+    IterEnd,        ///< Lane: a0 = iteration, a1 = cycles (slice)
+    LaneStall,      ///< Lane: a0 = StallKind, a1 = cycles (slice)
+    Squash,         ///< Lane: a0 = iteration, a1 = wasted cycles
+    Replay,         ///< Lane: a0 = iteration (re-issue after a squash)
+    Commit,         ///< Lmu: a0 = iteration
+    CibPush,        ///< Cib: a0 = register, a1 = iteration
+    CibConsume,     ///< Cib: a0 = register, a1 = iteration
+    StoreBroadcast, ///< Lmu: a0 = address, a1 = iteration
+    LsqDrain,       ///< Lsq: a0 = address, a1 = iteration
+    CacheMiss,      ///< Mem: a0 = address, a1 = latency
+    BranchRedirect, ///< Gpp: a0 = pc
+    XloopSlice,     ///< Gpp: a0 = xloop pc, a1 = cycles (slice)
+    AdaptiveDecide, ///< Sys: a0 = gpp cpi x1000, a1 = lpsu cpi x1000;
+                    ///< index = 1 when the LPSU won
+    StormSerialize, ///< Lmu: a0 = storm count, a1 = serialized until
+    StormFallback,  ///< Lmu: a0 = fallback iteration cap
+    Migration,      ///< Lmu: a0 = dispatch cap (injected migration)
+    FaultInject,    ///< Lmu: a0 = kind-specific detail
+};
+
+const char *traceKindName(TraceKind kind);
+const char *traceCompName(TraceComp comp);
+
+/** One fixed-size trace record. */
+struct TraceEvent
+{
+    Cycle cycle = 0;
+    TraceComp comp = TraceComp::Sys;
+    u8 index = 0;    ///< lane number for Lane/Lsq, else 0
+    TraceKind kind = TraceKind::FaultInject;
+    i64 a0 = 0;
+    i64 a1 = 0;
+};
+
+/**
+ * Bounded ring buffer of trace events. Oldest records are overwritten
+ * once `capacity` is exceeded (`dropped()` reports how many); memory
+ * use is therefore fixed no matter how long the run.
+ */
+class Tracer
+{
+  public:
+    explicit Tracer(size_t capacity = size_t{1} << 20);
+
+    bool enabled() const { return on; }
+    void enable(bool e = true) { on = e; }
+
+    void
+    emit(Cycle cycle, TraceComp comp, unsigned index, TraceKind kind,
+         i64 a0 = 0, i64 a1 = 0)
+    {
+        TraceEvent &ev = ring[head];
+        ev.cycle = cycle;
+        ev.comp = comp;
+        ev.index = static_cast<u8>(index);
+        ev.kind = kind;
+        ev.a0 = a0;
+        ev.a1 = a1;
+        head = (head + 1) % ring.size();
+        total++;
+    }
+
+    /** Events currently held (≤ capacity). */
+    size_t size() const;
+
+    /** Total events ever emitted (including overwritten ones). */
+    u64 totalEmitted() const { return total; }
+
+    /** Events lost to ring-buffer wrap. */
+    u64 dropped() const { return total - size(); }
+
+    /** The i-th held event, oldest first. */
+    const TraceEvent &at(size_t i) const;
+
+    /** The newest @p n events, oldest first (for post-mortems). */
+    std::vector<TraceEvent> lastEvents(size_t n) const;
+
+    void clear();
+
+    /** Render the buffer as Chrome trace_event JSON. */
+    void writeChromeJson(std::ostream &out) const;
+
+  private:
+    std::vector<TraceEvent> ring;
+    size_t head = 0;
+    u64 total = 0;
+    bool on = false;
+};
+
+/** Render one event as a short human-readable line (post-mortems). */
+std::string traceEventLine(const TraceEvent &ev);
+
+} // namespace xloops
+
+/**
+ * Emission macro: `XTRACE(tracer, cycle, comp, index, kind, a0, a1)`.
+ * `tracer` is a `Tracer *` that may be null; the whole statement
+ * compiles away under -DXLOOPS_TRACE_DISABLED.
+ */
+#ifdef XLOOPS_TRACE_DISABLED
+#define XTRACE(tr, ...) \
+    do {                \
+    } while (0)
+#else
+#define XTRACE(tr, ...)                    \
+    do {                                   \
+        if ((tr) && (tr)->enabled())       \
+            (tr)->emit(__VA_ARGS__);       \
+    } while (0)
+#endif
+
+#endif // XLOOPS_COMMON_TRACE_H

@@ -16,6 +16,7 @@
 #include <memory>
 
 #include "common/stats.h"
+#include "common/trace.h"
 #include "cpu/exec_core.h"
 #include "mem/cache.h"
 
@@ -62,8 +63,18 @@ class GppModel
     StatGroup &stats() { return statGroup; }
     const StatGroup &stats() const { return statGroup; }
 
+    /** Stream pipeline events (branch redirects, cache misses) to
+     *  @p t; nullptr disables. Timing is unaffected either way. */
+    void
+    setTracer(Tracer *t)
+    {
+        tracer = t;
+        dcacheModel().setTracer(t);
+    }
+
   protected:
     StatGroup statGroup;
+    Tracer *tracer = nullptr;
 };
 
 /** Build the model described by @p config. */

@@ -68,7 +68,7 @@ InOrderCpu::retire(const Instruction &inst, Addr pc, const StepResult &step)
     Cycle blockCycles = 0;
     if (step.memAccess) {
         const bool isWrite = inst.isStore() || inst.isAmo();
-        const Cycle dlat = dcache.access(step.memAddr, isWrite);
+        const Cycle dlat = dcache.access(step.memAddr, isWrite, issue);
         latency += dlat - 1;  // traits latency already includes 1 hit cycle
         if (dlat > cfg.dcache.hitLatency) {
             blockCycles = dlat - cfg.dcache.hitLatency;
@@ -94,6 +94,8 @@ InOrderCpu::retire(const Instruction &inst, Addr pc, const StepResult &step)
         nextIssue += cfg.branchPenalty;
         statGroup.add("branch_redirects");
         statGroup.add("branch_stall_cycles", cfg.branchPenalty);
+        XTRACE(tracer, issue, TraceComp::Gpp, 0,
+               TraceKind::BranchRedirect, static_cast<i64>(pc), 0);
     }
     if (inst.isBranch() || inst.isXloop())
         statGroup.add("branches");

@@ -152,7 +152,10 @@ OooCpu::retire(const Instruction &inst, Addr pc, const StepResult &step)
             }
         }
         if (!forwarded) {
-            const Cycle dlat = dcache.access(step.memAddr, false);
+            // Trace events are stamped at the retire frontier, which
+            // is monotone (issue times are not, out of order).
+            const Cycle dlat =
+                dcache.access(step.memAddr, false, retireCycle);
             latency += dlat - 1;
         }
         statGroup.add(inst.isAmo() ? "amos" : "loads");
@@ -161,7 +164,7 @@ OooCpu::retire(const Instruction &inst, Addr pc, const StepResult &step)
     } else if (step.memAccess) {
         // Store: address/data ready at issue; cache written at commit.
         issue = allocPort(memPorts, operandsReady);
-        dcache.access(step.memAddr, true);
+        dcache.access(step.memAddr, true, retireCycle);
         storeQueue.push_back({step.memAddr, step.memSize, issue + 1});
         if (storeQueue.size() > cfg.lsqEntries)
             storeQueue.pop_front();
@@ -189,6 +192,8 @@ OooCpu::retire(const Instruction &inst, Addr pc, const StepResult &step)
         const bool correct = bpred.predictAndTrain(pc, step.branchTaken);
         if (!correct) {
             statGroup.add("mispredicts");
+            XTRACE(tracer, retireCycle, TraceComp::Gpp, 0,
+                   TraceKind::BranchRedirect, static_cast<i64>(pc), 0);
             const Cycle redirect = complete + cfg.branchPenalty;
             if (redirect > fetchCycle) {
                 fetchCycle = redirect;

@@ -122,7 +122,7 @@ serializeToGpIsa(const std::string &source)
 
 KernelRun
 runKernel(const Kernel &kernel, const SysConfig &cfg, ExecMode mode,
-          bool useGpIsaBinary)
+          bool useGpIsaBinary, const RunHooks &hooks)
 {
     KernelRun run;
     const std::string src =
@@ -133,6 +133,9 @@ runKernel(const Kernel &kernel, const SysConfig &cfg, ExecMode mode,
     sys.loadProgram(prog);
     if (kernel.setup)
         kernel.setup(sys.memory(), prog);
+    sys.setObserver(hooks.tracer, hooks.profiler);
+    if (hooks.traceText)
+        sys.setTrace(hooks.traceText);
     run.result = sys.run(prog, mode);
 
     // Serial golden model on an identical memory image.

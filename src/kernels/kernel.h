@@ -76,14 +76,25 @@ struct KernelRun
     std::string error;
 };
 
+/** Observers threaded into the system a kernel run constructs
+ *  internally (all optional; see XloopsSystem::setObserver). */
+struct RunHooks
+{
+    Tracer *tracer = nullptr;         ///< structured event trace
+    LoopProfiler *profiler = nullptr; ///< per-loop rollups
+    std::ostream *traceText = nullptr; ///< human-readable stream trace
+};
+
 /**
  * Assemble, set up, run, and validate @p kernel.
  *
  * @param useGpIsaBinary run the serialized GP-ISA binary instead
  *                       (mode must be Traditional)
+ * @param hooks observers attached to the internally built system
  */
 KernelRun runKernel(const Kernel &kernel, const SysConfig &cfg,
-                    ExecMode mode, bool useGpIsaBinary = false);
+                    ExecMode mode, bool useGpIsaBinary = false,
+                    const RunHooks &hooks = {});
 
 } // namespace xloops
 

@@ -141,38 +141,10 @@ struct Cib
     }
 };
 
-/** Why a context could not issue this cycle (Figure 6 categories). */
-enum class Stall
-{
-    None,       // made progress
-    Idle,       // no iteration available
-    Raw,
-    Cir,
-    CibFull,
-    MemPort,
-    Llfu,
-    LsqFull,
-    CommitWait,
-    AmoWait,
-};
-
-const char *
-stallName(Stall s)
-{
-    switch (s) {
-      case Stall::Idle: return "idle";
-      case Stall::Raw: return "raw";
-      case Stall::Cir: return "cir";
-      case Stall::CibFull: return "cib-full";
-      case Stall::MemPort: return "mem-port";
-      case Stall::Llfu: return "llfu";
-      case Stall::LsqFull: return "lsq-full";
-      case Stall::CommitWait: return "commit-wait";
-      case Stall::AmoWait: return "amo-wait";
-      case Stall::None: break;
-    }
-    return "";
-}
+/** Why a context could not issue this cycle (Figure 6 categories).
+ *  The taxonomy lives in common/trace.h so the trace, the per-loop
+ *  profiler, and these counters agree exactly. */
+using Stall = StallKind;
 
 const char *
 stallCounter(Stall s)
@@ -216,6 +188,9 @@ struct Context
     u64 iterInsts = 0;
     unsigned overflowSquashes = 0;  ///< LSQ-overflow retries this iter
     Stall lastStall = Stall::None;  ///< for machine-state snapshots
+    unsigned laneIdx = 0;           ///< owning lane (trace track id)
+    bool pendingReplay = false;     ///< squashed; Replay event on
+                                    ///< next issued instruction
 };
 
 /** MemIface routing a lane's accesses directly or through its LSQ. */
@@ -308,7 +283,8 @@ class LpsuEngine
                L1Cache &dcache_model, StatGroup &stat_group,
                FaultInjector &fault_injector, const ScanInfo &scan_info,
                RegFile &live_ins, i64 start_idx, i64 initial_bound,
-               u64 max_iters, std::ostream *trace_out);
+               u64 max_iters, std::ostream *trace_out, Tracer *tracer,
+               LoopProfile *loop_profile, Cycle abs_base);
 
     LpsuResult run();
 
@@ -324,6 +300,16 @@ class LpsuEngine
     bool orderedDispatch() const { return si.pattern != LoopPattern::UC; }
     bool done() const;
     void seedCibs();
+
+    /** Engine cycle on the absolute system timeline (trace stamps). */
+    Cycle absCycle() const { return absBase + cycle; }
+
+    /** Per-cycle observer work: lane stall-slice transitions, per-loop
+     *  stall attribution, occupancy histograms. Timing-neutral. */
+    void observeLaneCycle(unsigned lane_idx, Stall outcome);
+    void observeOccupancy();
+    void flushStallSlices();
+
     void activate(Lane &lane, Context &ctx, i64 iter);
     std::optional<i64> nextIterFor(unsigned lane_idx);
     Stall tickContext(unsigned lane_idx, Context &ctx);
@@ -356,6 +342,17 @@ class LpsuEngine
     const ScanInfo &si;
     RegFile &liveIns;
     std::ostream *trace = nullptr;
+    Tracer *tr = nullptr;
+    LoopProfile *prof = nullptr;
+    Cycle absBase = 0;
+
+    /** Per-lane open stall interval (for LaneStall trace slices). */
+    struct StallObs
+    {
+        Stall kind = Stall::None;
+        Cycle since = 0;
+    };
+    std::vector<StallObs> laneObs;
 
     i64 startIdx;
     i64 bound;
@@ -394,10 +391,12 @@ LpsuEngine::LpsuEngine(const LpsuConfig &config, MainMemory &memory,
                        FaultInjector &fault_injector,
                        const ScanInfo &scan_info, RegFile &live_ins,
                        i64 start_idx, i64 initial_bound, u64 max_iters,
-                       std::ostream *trace_out)
+                       std::ostream *trace_out, Tracer *tracer,
+                       LoopProfile *loop_profile, Cycle abs_base)
     : cfg(config), mem(memory), dcache(dcache_model), stats(stat_group),
       inj(fault_injector), si(scan_info), liveIns(live_ins),
-      trace(trace_out),
+      trace(trace_out), tr(tracer), prof(loop_profile), absBase(abs_base),
+      laneObs(cfg.lanes),
       startIdx(start_idx), bound(initial_bound), maxIters(max_iters),
       cibs(cfg.lanes), llfuFree(cfg.llfus, 0),
       nextDispatch(start_idx), nextToCommit(start_idx)
@@ -405,19 +404,19 @@ LpsuEngine::LpsuEngine(const LpsuConfig &config, MainMemory &memory,
     const bool mt = cfg.multithreading && si.pattern == LoopPattern::UC;
     const unsigned ctxsPerLane = mt ? 2 : 1;
     lanes.resize(cfg.lanes);
-    for (auto &lane : lanes) {
+    for (unsigned l = 0; l < cfg.lanes; l++) {
+        Lane &lane = lanes[l];
         for (unsigned c = 0; c < ctxsPerLane; c++) {
             lane.ctxs.emplace_back(cfg.lsqLoadEntries, cfg.lsqStoreEntries);
             Context &ctx = lane.ctxs.back();
             ctx.regs = liveIns;
             ctx.snapshot = liveIns;
+            ctx.laneIdx = l;
             for (unsigned r = 0; r < numArchRegs; r++)
                 ctx.mivLastIter[r] = startIdx - 1;  // GPP ran iter idx0
         }
-        lane.laneNextIter.push_back(0);  // filled below
+        lane.laneNextIter.push_back(startIdx + l);
     }
-    for (unsigned l = 0; l < cfg.lanes; l++)
-        lanes[l].laneNextIter[0] = startIdx + l;
     for (auto &cib : cibs)
         cib.depth = cfg.cibDepth;
     seedCibs();
@@ -516,6 +515,9 @@ LpsuEngine::activate(Lane &lane, Context &ctx, i64 iter)
     ctx.snapshot = ctx.regs;
     ctx.busyUntil = cycle + 1;  // activation occupies the issue slot
     ctx.overflowSquashes = 0;
+    ctx.pendingReplay = false;
+    XTRACE(tr, absCycle(), TraceComp::Lane, ctx.laneIdx,
+           TraceKind::IterBegin, iter, 0);
     stats.add("idq_pops");
 }
 
@@ -527,11 +529,21 @@ LpsuEngine::pushCir(unsigned lane_idx, Context &ctx, RegId reg, u32 value)
     finalCir[reg] = value;
     finalCirValid[reg] = true;
     stats.add("cib_pushes");
+    XTRACE(tr, absCycle(), TraceComp::Cib, lane_idx, TraceKind::CibPush,
+           static_cast<i64>(reg), ctx.iter);
 }
 
 void
 LpsuEngine::completeIteration(Context &ctx)
 {
+    const Cycle iterDur = cycle >= ctx.iterStart ? cycle - ctx.iterStart : 0;
+    stats.sample("iter_cycles", iterDur);
+    if (prof)
+        prof->iterCycles.sample(iterDur);
+    XTRACE(tr, absCycle(), TraceComp::Lane, ctx.laneIdx, TraceKind::IterEnd,
+           ctx.iter, static_cast<i64>(iterDur));
+    XTRACE(tr, absCycle(), TraceComp::Lmu, 0, TraceKind::Commit,
+           ctx.iter, 0);
     ctx.active = false;
     ctx.bodyDone = false;
     ctx.lsq.clear();
@@ -591,6 +603,8 @@ void
 LpsuEngine::deliverBroadcast(Addr addr, unsigned size, i64 store_iter)
 {
     stats.add("store_broadcasts");
+    XTRACE(tr, absCycle(), TraceComp::Lmu, 0, TraceKind::StoreBroadcast,
+           static_cast<i64>(addr), store_iter);
     i64 firstSquashed = std::numeric_limits<i64>::max();
     for (auto &lane : lanes) {
         for (auto &ctx : lane.ctxs) {
@@ -643,6 +657,12 @@ LpsuEngine::squash(Context &ctx)
     stats.add("squash_cycles", cycle > ctx.iterStart
                                    ? cycle - ctx.iterStart : 0);
     stats.add("squashed_insts", ctx.iterInsts);
+    if (prof)
+        prof->squashes++;
+    XTRACE(tr, absCycle(), TraceComp::Lane, ctx.laneIdx, TraceKind::Squash,
+           ctx.iter, static_cast<i64>(cycle > ctx.iterStart
+                                          ? cycle - ctx.iterStart : 0));
+    ctx.pendingReplay = true;
     ctx.regs = ctx.snapshot;
     ctx.regReady.fill(cycle + 1);
     ctx.lsq.clear();
@@ -679,6 +699,9 @@ LpsuEngine::noteSquash()
     stats.add("lpsu_storm_serializations");
     const unsigned shift = std::min(stormCount - 1, 8u);
     serializedUntil = cycle + (cfg.stormBackoffCycles << shift);
+    XTRACE(tr, absCycle(), TraceComp::Lmu, 0, TraceKind::StormSerialize,
+           static_cast<i64>(stormCount),
+           static_cast<i64>(absBase + serializedUntil));
     if (trace) {
         *trace << "[lpsu] squash storm " << stormCount
                << ": serializing lanes until cycle " << serializedUntil
@@ -700,6 +723,8 @@ LpsuEngine::beginStormFallback()
     stormFallbackPending = false;
     stormFellBack = true;
     stats.add("lpsu_fallbacks");
+    if (prof)
+        prof->fallbacks++;
     i64 cap = nextToCommit;
     for (auto &lane : lanes)
         for (auto &ctx : lane.ctxs)
@@ -716,6 +741,8 @@ LpsuEngine::beginStormFallback()
         }
     }
     dispatchCap = dispatchCap ? std::min(*dispatchCap, cap) : cap;
+    XTRACE(tr, absCycle(), TraceComp::Lmu, 0, TraceKind::StormFallback,
+           cap, 0);
     if (trace) {
         *trace << "[lpsu] squash storm persists: falling back to "
                << "traditional execution at iteration " << cap
@@ -747,6 +774,7 @@ LpsuEngine::capDispatchForMigration()
         return;  // nothing left to cut off
     dispatchCap = cap;
     stats.add("injected_migrations");
+    XTRACE(tr, absCycle(), TraceComp::Lmu, 0, TraceKind::Migration, cap, 0);
     if (trace) {
         *trace << "[lpsu] injected migration: dispatch capped at "
                << "iteration " << cap << " @ cycle " << cycle << "\n";
@@ -777,6 +805,8 @@ LpsuEngine::injectFaultsThisCycle()
             if (ctx.active && ctx.iter != nextToCommit &&
                 inj.forceSquash()) {
                 stats.add("injected_squashes");
+                XTRACE(tr, absCycle(), TraceComp::Lmu, 0,
+                       TraceKind::FaultInject, ctx.iter, 0);
                 squash(ctx);
             }
         }
@@ -807,7 +837,7 @@ LpsuEngine::snapshotState(const std::string &context) const
             ls.busyUntil = ctx.busyUntil;
             ls.lsqLoads = ctx.lsq.numLoads();
             ls.lsqStores = ctx.lsq.numStores();
-            ls.lastStall = stallName(ctx.lastStall);
+            ls.lastStall = stallKindName(ctx.lastStall);
             s.lanes.push_back(ls);
         }
         if (orderedDispatch()) {
@@ -828,6 +858,8 @@ LpsuEngine::snapshotState(const std::string &context) const
     s.occupancy.emplace_back("pending_broadcasts",
                              pendingBroadcasts.size());
     s.occupancy.emplace_back("storm_count", stormCount);
+    if (tr)
+        s.recentEvents = tr->lastEvents(16);
     return s;
 }
 
@@ -870,6 +902,8 @@ LpsuEngine::drainUnreadCirs(unsigned lane_idx, Context &ctx, Stall &stall)
             ctx.regs.set(static_cast<RegId>(r), *value);
         ctx.cirConsumed[r] = true;
         stats.add("cib_consumes");
+        XTRACE(tr, absCycle(), TraceComp::Cib, lane_idx,
+               TraceKind::CibConsume, static_cast<i64>(r), ctx.iter);
     }
     return true;
 }
@@ -896,6 +930,8 @@ LpsuEngine::finishBody(unsigned lane_idx, Context &ctx, Stall &stall)
             mem.write(st.addr, st.size, st.value);
             dcache.access(st.addr, true);
             stats.add("lsq_drain_stores");
+            XTRACE(tr, absCycle(), TraceComp::Lsq, lane_idx,
+                   TraceKind::LsqDrain, static_cast<i64>(st.addr), ctx.iter);
             broadcastStore(st.addr, st.size, ctx.iter);
             return true;
         }
@@ -973,6 +1009,13 @@ LpsuEngine::execInst(unsigned lane_idx, Context &ctx)
 
     if (inst.op == Op::HALT)
         fatal("halt inside an xloop body");
+
+    // First issue after a squash: close the squash/replay pair.
+    if (ctx.pendingReplay) {
+        ctx.pendingReplay = false;
+        XTRACE(tr, absCycle(), TraceComp::Lane, lane_idx,
+               TraceKind::Replay, ctx.iter, 0);
+    }
 
     // 1. CIR consumption: the first read of a CIR in an iteration
     //    takes the value from the inbound CIB (or stalls).
@@ -1185,6 +1228,8 @@ LpsuEngine::tickContext(unsigned lane_idx, Context &ctx)
         mem.write(st.addr, st.size, st.value);
         dcache.access(st.addr, true);
         stats.add("lsq_drain_stores");
+        XTRACE(tr, absCycle(), TraceComp::Lsq, lane_idx,
+               TraceKind::LsqDrain, static_cast<i64>(st.addr), ctx.iter);
         broadcastStore(st.addr, st.size, ctx.iter);
         if (!ctx.lsq.hasStores())
             ctx.lsq.clearLoads();  // non-speculative now
@@ -1197,6 +1242,77 @@ LpsuEngine::tickContext(unsigned lane_idx, Context &ctx)
         return stall;
     }
     return execInst(lane_idx, ctx);
+}
+
+/**
+ * Attribute one lane-cycle to its outcome (busy or one stall kind) in
+ * the per-loop profile and maintain the per-lane stall slice for the
+ * trace: a slice opens when the stall kind changes and is emitted —
+ * stamped at its end cycle, duration in a1 — when it closes. Exactly
+ * one call per lane per engine cycle keeps the profiler invariant
+ * busyCycles + sum(stallCycles) == lanes * engineCycles.
+ */
+void
+LpsuEngine::observeLaneCycle(unsigned lane_idx, Stall outcome)
+{
+    if (prof) {
+        if (outcome == Stall::None)
+            prof->busyCycles++;
+        else
+            prof->stallCycles[static_cast<size_t>(outcome)]++;
+    }
+#ifndef XLOOPS_TRACE_DISABLED
+    if (!tr || !tr->enabled())
+        return;
+    StallObs &obs = laneObs[lane_idx];
+    if (obs.kind == outcome)
+        return;
+    if (obs.kind != Stall::None) {
+        tr->emit(absCycle(), TraceComp::Lane, lane_idx,
+                 TraceKind::LaneStall, static_cast<i64>(obs.kind),
+                 static_cast<i64>(cycle - obs.since));
+    }
+    obs.kind = outcome;
+    obs.since = cycle;
+#endif
+}
+
+/** Occupancy histograms: profiler-gated so stats stay byte-identical
+ *  when no observer is attached. */
+void
+LpsuEngine::observeOccupancy()
+{
+    if (!prof)
+        return;
+    u64 cibOcc = 0;
+    for (const auto &cib : cibs)
+        for (unsigned r = 1; r < numArchRegs; r++)
+            cibOcc += cib.perReg[r].size();
+    u64 lsqOcc = 0;
+    for (const auto &lane : lanes)
+        for (const auto &ctx : lane.ctxs)
+            lsqOcc += ctx.lsq.numLoads() + ctx.lsq.numStores();
+    prof->cibOccupancy.sample(cibOcc);
+    prof->lsqOccupancy.sample(lsqOcc);
+}
+
+/** Close any stall slice still open when the engine drains. */
+void
+LpsuEngine::flushStallSlices()
+{
+#ifndef XLOOPS_TRACE_DISABLED
+    if (!tr || !tr->enabled())
+        return;
+    for (unsigned l = 0; l < laneObs.size(); l++) {
+        StallObs &obs = laneObs[l];
+        if (obs.kind != Stall::None && cycle > obs.since) {
+            tr->emit(absCycle(), TraceComp::Lane, l, TraceKind::LaneStall,
+                     static_cast<i64>(obs.kind),
+                     static_cast<i64>(cycle - obs.since));
+        }
+        obs.kind = Stall::None;
+    }
+#endif
 }
 
 LpsuResult
@@ -1287,11 +1403,19 @@ LpsuEngine::run()
             }
             if (progressed || sawBusy) {
                 stats.add("lane_exec_cycles");
+                observeLaneCycle(laneIdx, Stall::None);
             } else {
                 stats.add(stallCounter(firstStall));
+                observeLaneCycle(laneIdx, firstStall);
             }
         }
+        observeOccupancy();
         cycle++;
+    }
+    flushStallSlices();
+    if (prof) {
+        prof->specIters += completed;
+        prof->engineCycles += cycle;
     }
 
     res.execCycles = cycle;
@@ -1355,9 +1479,16 @@ Lpsu::Lpsu(const LpsuConfig &config, MainMemory &memory, L1Cache &dcache)
 
 LpsuResult
 Lpsu::execute(const Program &prog, Addr xloopPc, RegFile &liveIns,
-              u64 maxIters)
+              u64 maxIters, Cycle traceBase)
 {
     const ScanInfo si = scanXloop(prog, xloopPc, liveIns);
+
+    LoopProfile *prof = profiler ? &profiler->loop(xloopPc) : nullptr;
+    if (prof && prof->pattern.empty()) {
+        prof->pattern = strf(patternName(si.pattern),
+                             si.dynamicBound ? ".db" : "",
+                             si.dataDepExit ? ".de" : "");
+    }
 
     LpsuResult res;
     if (si.body.size() > cfg.ibEntries) {
@@ -1365,6 +1496,8 @@ Lpsu::execute(const Program &prog, Addr xloopPc, RegFile &liveIns,
         res.reason = FallbackReason::BodyTooLarge;
         statGroup.add("ib_fallbacks");
         statGroup.add("lpsu_fallbacks");
+        if (prof)
+            prof->fallbacks++;
         return res;
     }
 
@@ -1409,8 +1542,15 @@ Lpsu::execute(const Program &prog, Addr xloopPc, RegFile &liveIns,
                   << si.body.size() << " insts, " << si.numCirs
                   << " CIRs, " << scan << " scan cycles\n";
     }
+    if (prof) {
+        prof->invocations++;
+        prof->scanCycles += scan;
+    }
+    XTRACE(tracer, traceBase + scan, TraceComp::Lmu, 0, TraceKind::ScanDone,
+           static_cast<i64>(scan), static_cast<i64>(si.body.size()));
     LpsuEngine engine(cfg, mem, dcache, statGroup, injector, si, liveIns,
-                      startIdx, bound0, maxIters, traceOut);
+                      startIdx, bound0, maxIters, traceOut, tracer, prof,
+                      traceBase + scan);
     res = engine.run();
     res.scanCycles = scan;
     statGroup.add("lpsu_scan_cycles", scan);

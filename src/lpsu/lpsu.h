@@ -37,7 +37,9 @@
 
 #include "asm/program.h"
 #include "common/fault.h"
+#include "common/loop_profile.h"
 #include "common/stats.h"
+#include "common/trace.h"
 #include "cpu/exec_core.h"
 #include "lpsu/lsq.h"
 #include "mem/cache.h"
@@ -162,9 +164,11 @@ class Lpsu
      * values, and (for *.db) the bound in @p liveIns.
      *
      * @param maxIters cap for adaptive profiling (default: unlimited)
+     * @param traceBase absolute cycle the LPSU took ownership (trace
+     *                  events are stamped on the system timeline)
      */
     LpsuResult execute(const Program &prog, Addr xloopPc, RegFile &liveIns,
-                       u64 maxIters = ~u64{0});
+                       u64 maxIters = ~u64{0}, Cycle traceBase = 0);
 
     const LpsuConfig &config() const { return cfg; }
     StatGroup &stats() { return statGroup; }
@@ -191,6 +195,12 @@ class Lpsu
      *  to @p out; nullptr disables. */
     void setTrace(std::ostream *out) { traceOut = out; }
 
+    /** Emit structured trace events to @p t; nullptr disables. */
+    void setTracer(Tracer *t) { tracer = t; }
+
+    /** Roll per-loop statistics up into @p p; nullptr disables. */
+    void setProfiler(LoopProfiler *p) { profiler = p; }
+
   private:
     LpsuConfig cfg;
     MainMemory &mem;
@@ -199,6 +209,8 @@ class Lpsu
     FaultInjector injector;
     Addr residentPc = ~Addr{0};
     std::ostream *traceOut = nullptr;
+    Tracer *tracer = nullptr;
+    LoopProfiler *profiler = nullptr;
 };
 
 } // namespace xloops

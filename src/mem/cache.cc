@@ -59,6 +59,17 @@ L1Cache::access(Addr addr, bool is_write)
     return latency;
 }
 
+Cycle
+L1Cache::access(Addr addr, bool is_write, Cycle now)
+{
+    const Cycle latency = access(addr, is_write);
+    if (latency > cfg.hitLatency) {
+        XTRACE(tracer, now, TraceComp::Mem, 0, TraceKind::CacheMiss,
+               static_cast<i64>(addr), static_cast<i64>(latency));
+    }
+    return latency;
+}
+
 void
 L1Cache::flush()
 {

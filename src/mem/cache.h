@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "common/trace.h"
 #include "common/types.h"
 
 namespace xloops {
@@ -33,6 +34,13 @@ class L1Cache
     /** Model one access; returns its latency in cycles. */
     Cycle access(Addr addr, bool is_write);
 
+    /** Like access(), but also emits a CacheMiss trace event stamped
+     *  at @p now when the access missed and a tracer is attached. */
+    Cycle access(Addr addr, bool is_write, Cycle now);
+
+    /** Stream miss events to @p t (nullptr disables; see trace.h). */
+    void setTracer(Tracer *t) { tracer = t; }
+
     /** Drop all lines (e.g., between benchmark phases). */
     void flush();
 
@@ -54,6 +62,7 @@ class L1Cache
     std::vector<Line> lines;  // numSets * assoc
     u64 stamp = 0;
     StatGroup statGroup;
+    Tracer *tracer = nullptr;
 };
 
 } // namespace xloops

@@ -41,6 +41,18 @@ XloopsSystem::setTrace(std::ostream *out)
         lpsu->setTrace(out);
 }
 
+void
+XloopsSystem::setObserver(Tracer *t, LoopProfiler *p)
+{
+    tracer = t;
+    profiler = p;
+    gpp->setTracer(t);
+    if (lpsu) {
+        lpsu->setTracer(t);
+        lpsu->setProfiler(p);
+    }
+}
+
 bool
 XloopsSystem::specialize(const Program &prog, Addr pc, RegFile &regs,
                          u64 maxIters, SysResult &result)
@@ -57,13 +69,16 @@ XloopsSystem::specialize(const Program &prog, Addr pc, RegFile &regs,
         return false;
     }
     const Cycle before = gpp->now();
-    const LpsuResult lr = lpsu->execute(prog, pc, regs, maxIters);
+    const LpsuResult lr = lpsu->execute(prog, pc, regs, maxIters, before);
     if (lr.fellBack && lr.reason == FallbackReason::BodyTooLarge) {
         fallbackPcs.insert(pc);
         return false;
     }
     // The GPP stalls while the LPSU owns the loop (scan + execution).
     gpp->advanceTo(before + lr.scanCycles + lr.execCycles);
+    XTRACE(tracer, before + lr.scanCycles + lr.execCycles, TraceComp::Gpp,
+           0, TraceKind::XloopSlice, static_cast<i64>(pc),
+           static_cast<i64>(lr.scanCycles + lr.execCycles));
     result.laneInsts += lr.laneInsts;
     if (lr.iterations > 0)
         result.xloopsSpecialized++;
@@ -99,12 +114,17 @@ XloopsSystem::adaptivePre(const Program &prog, Addr pc, RegFile &regs,
         // profiling phase for the same number of iterations.
         const u64 profIters = entry.gppIters;
         const Cycle before = gpp->now();
-        const LpsuResult lr = lpsu->execute(prog, pc, regs, profIters);
+        const LpsuResult lr =
+            lpsu->execute(prog, pc, regs, profIters, before);
         if (lr.fellBack) {
             entry.state = AptEntry::State::DecidedGpp;
             return;
         }
         gpp->advanceTo(before + lr.scanCycles + lr.execCycles);
+        XTRACE(tracer, before + lr.scanCycles + lr.execCycles,
+               TraceComp::Gpp, 0, TraceKind::XloopSlice,
+               static_cast<i64>(pc),
+               static_cast<i64>(lr.scanCycles + lr.execCycles));
         result.laneInsts += lr.laneInsts;
 
         // Compare cycles-per-iteration of the two phases.
@@ -115,7 +135,16 @@ XloopsSystem::adaptivePre(const Program &prog, Addr pc, RegFile &regs,
                 ? gppRate + 1.0
                 : static_cast<double>(lr.execCycles) /
                       static_cast<double>(lr.iterations);
-        if (lpsuRate <= gppRate) {
+        const bool choseLpsu = lpsuRate <= gppRate;
+        XTRACE(tracer, gpp->now(), TraceComp::Sys, choseLpsu ? 1 : 0,
+               TraceKind::AdaptiveDecide,
+               static_cast<i64>(gppRate * 1000.0),
+               static_cast<i64>(lpsuRate * 1000.0));
+        if (profiler) {
+            profiler->loop(pc).migrations.push_back(
+                {gpp->now(), gppRate, lpsuRate, choseLpsu});
+        }
+        if (choseLpsu) {
             entry.state = AptEntry::State::DecidedLpsu;
             // Finish the remaining iterations on the LPSU now.
             specialize(prog, pc, regs, ~u64{0}, result);
@@ -189,6 +218,15 @@ XloopsSystem::run(const Program &prog, ExecMode mode, u64 maxInsts)
             adaptivePost(pc, step.branchTaken);
         }
 
+        // A taken xloop back-branch is one traditionally executed
+        // iteration (the LPSU accounts specialized ones itself).
+        if (profiler && inst.isXloop() && step.branchTaken) {
+            LoopProfile &lp = profiler->loop(pc);
+            lp.tradIters++;
+            if (lp.pattern.empty())
+                lp.pattern = patternName(inst.pattern());
+        }
+
         if (step.halted)
             break;
         pc = step.nextPc;
@@ -203,6 +241,8 @@ XloopsSystem::run(const Program &prog, ExecMode mode, u64 maxInsts)
             snap.occupancy.emplace_back("xloops_specialized",
                                         result.xloopsSpecialized);
             snap.occupancy.emplace_back("lane_insts", result.laneInsts);
+            if (tracer)
+                snap.recentEvents = tracer->lastEvents(16);
             throw SimError(
                 SimErrorKind::InstLimit,
                 strf("system run exceeded ", maxInsts,

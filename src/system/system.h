@@ -70,6 +70,14 @@ class XloopsSystem
      */
     void setTrace(std::ostream *out);
 
+    /**
+     * Attach structured observers: a cycle-accurate event tracer and
+     * a per-loop profiler (either may be null). Observers never alter
+     * timing or statistics — stats dumps are byte-identical with and
+     * without them.
+     */
+    void setObserver(Tracer *tracer, LoopProfiler *profiler);
+
   private:
     /** Run LPSU specialized execution for the xloop at @p pc;
      *  returns false when the LPSU fell back (body too large). */
@@ -101,6 +109,8 @@ class XloopsSystem
     std::set<Addr> fallbackPcs;  ///< xloops whose body exceeded the IB
     std::map<Addr, StormCooldown> stormCooldowns;
     std::ostream *traceOut = nullptr;
+    Tracer *tracer = nullptr;
+    LoopProfiler *profiler = nullptr;
 };
 
 } // namespace xloops

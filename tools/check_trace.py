@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Validate xsim observability artifacts.
+
+Checks that `xsim --trace` output is well-formed Chrome trace_event
+JSON (loadable by Perfetto / chrome://tracing) and that `xsim
+--stats-json` output matches the xloops-stats-1 schema, including the
+per-loop stall-breakdown invariant. Used by CI and the cli_check_trace
+ctest; exits non-zero with a message on the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: no traceEvents array")
+
+    thread_names = {}
+    for ev in events:
+        for key in ("ph", "pid", "tid"):
+            if key not in ev:
+                fail(f"{path}: event missing '{key}': {ev}")
+        ph = ev["ph"]
+        if ph == "M":
+            if ev.get("name") != "thread_name":
+                fail(f"{path}: unexpected metadata event: {ev}")
+            thread_names[ev["tid"]] = ev["args"]["name"]
+            continue
+        if "ts" not in ev or "name" not in ev:
+            fail(f"{path}: event missing ts/name: {ev}")
+        if ph == "X":
+            if "dur" not in ev or ev["dur"] <= 0:
+                fail(f"{path}: complete event without positive dur: {ev}")
+        elif ph == "i":
+            if ev.get("s") not in ("t", "p", "g"):
+                fail(f"{path}: instant event without scope: {ev}")
+        else:
+            fail(f"{path}: unexpected phase '{ph}'")
+        if ev["tid"] not in thread_names:
+            fail(f"{path}: event on unnamed track tid={ev['tid']}")
+
+    named = set(thread_names.values())
+    for required in ("GPP", "LMU", "CIB", "lane 0"):
+        if required not in named:
+            fail(f"{path}: missing '{required}' track (have {sorted(named)})")
+
+    other = doc.get("otherData", {})
+    if "total_events" not in other or "dropped_events" not in other:
+        fail(f"{path}: otherData missing event accounting")
+
+    n = sum(1 for ev in events if ev["ph"] != "M")
+    print(f"check_trace: {path}: {n} events on {len(named)} tracks OK")
+
+
+def check_stats(path):
+    with open(path) as f:
+        doc = json.load(f)
+
+    if doc.get("schema") != "xloops-stats-1":
+        fail(f"{path}: schema is {doc.get('schema')!r}")
+    for key in ("config", "mode", "workload", "result", "counters",
+                "histograms", "loops"):
+        if key not in doc:
+            fail(f"{path}: missing top-level key '{key}'")
+    result = doc["result"]
+    for key in ("cycles", "gpp_insts", "lane_insts", "xloops_specialized"):
+        if not isinstance(result.get(key), int):
+            fail(f"{path}: result.{key} missing or not an integer")
+
+    for name, hist in doc["histograms"].items():
+        for key in ("count", "min", "max", "mean", "buckets"):
+            if key not in hist:
+                fail(f"{path}: histogram '{name}' missing '{key}'")
+        if sum(hist["buckets"]) != hist["count"]:
+            fail(f"{path}: histogram '{name}' buckets do not sum to count")
+
+    for pc, loop in doc["loops"].items():
+        stalls = loop.get("stall_cycles")
+        if not isinstance(stalls, dict):
+            fail(f"{path}: loop {pc} missing stall_cycles")
+        if loop["engine_cycles"] > 0:
+            # Every lane-cycle is attributed exactly once; the lane
+            # count is engine-config dependent, so check divisibility
+            # and exact per-lane balance.
+            attributed = loop["busy_cycles"] + sum(stalls.values())
+            if attributed % loop["engine_cycles"] != 0:
+                fail(f"{path}: loop {pc}: busy+stall ({attributed}) is "
+                     f"not a lane-multiple of engine cycles "
+                     f"({loop['engine_cycles']})")
+
+    print(f"check_trace: {path}: {len(doc['counters'])} counters, "
+          f"{len(doc['loops'])} loops OK")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--trace", help="Chrome trace_event JSON from --trace")
+    ap.add_argument("--stats", help="stats JSON from --stats-json")
+    args = ap.parse_args()
+    if not args.trace and not args.stats:
+        ap.error("give --trace and/or --stats")
+    if args.trace:
+        check_trace(args.trace)
+    if args.stats:
+        check_stats(args.stats)
+
+
+if __name__ == "__main__":
+    main()

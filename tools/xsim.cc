@@ -2,18 +2,15 @@
  * @file
  * xsim — whole-system simulator driver.
  *
- *   xsim [options] program.s
- *     -c <config>   system configuration (default io+x); see -l
- *     -m <T|S|A>    execution mode (default S)
- *     -k <kernel>   run a registered kernel instead of a file
- *     -e            print the dynamic energy estimate
- *     -v            dump all statistics
- *     -t            trace execution (GPP commits + LPSU events)
- *     -l            list configurations and kernels
- *     --inject-seed <n>      enable fault injection with RNG seed n
- *     --inject-rate <p>      per-opportunity fault probability
- *                            (default 0.02 when a seed is given)
- *     --watchdog-cycles <n>  LPSU no-commit watchdog (0 disables)
+ * Run `xsim --help` for usage; the help text is generated from the
+ * same flag table the parser uses, so the two cannot drift apart.
+ *
+ * Observability outputs:
+ *  - `--trace out.json` writes a Chrome trace_event JSON timeline
+ *    (one track per LPSU lane plus GPP/LMU/CIB/MEM/SYS) viewable in
+ *    Perfetto or chrome://tracing.
+ *  - `--stats-json out.json` writes every counter, histogram, and
+ *    per-loop profile as stable sorted JSON for downstream tooling.
  *
  * Exit codes: 0 clean, 1 user/config error, 2 golden-checker failure,
  * 3 watchdog / simulation-limit diagnosis (machine snapshot printed),
@@ -29,14 +26,60 @@
 
 #include "asm/assembler.h"
 #include "common/fault.h"
+#include "common/json.h"
 #include "common/log.h"
+#include "common/loop_profile.h"
 #include "common/sim_error.h"
+#include "common/trace.h"
 #include "energy/energy.h"
 #include "kernels/kernel.h"
 
 using namespace xloops;
 
 namespace {
+
+/** One command-line option: the usage text is rendered from this
+ *  table, so `--help` always matches what the parser accepts. */
+struct Flag
+{
+    const char *name;
+    const char *arg;   ///< metavariable, or nullptr for boolean flags
+    const char *help;
+};
+
+const Flag flagTable[] = {
+    {"-c", "<config>", "system configuration (default io+x); see -l"},
+    {"-m", "<T|S|A>", "execution mode (default S)"},
+    {"-k", "<kernel>", "run a registered kernel instead of a file"},
+    {"-e", nullptr, "print the dynamic energy estimate"},
+    {"-v", nullptr, "dump all statistics"},
+    {"-t", nullptr, "stream a text trace (GPP commits + LPSU events)"},
+    {"-l", nullptr, "list configurations and kernels"},
+    {"--trace", "<file>",
+     "write a Chrome trace_event JSON timeline (Perfetto-viewable)"},
+    {"--stats-json", "<file>",
+     "write counters, histograms, and per-loop profiles as JSON"},
+    {"--profile", nullptr, "print the per-loop profile after the run"},
+    {"--inject-seed", "<n>", "enable fault injection with RNG seed n"},
+    {"--inject-rate", "<p>",
+     "per-opportunity fault probability (default 0.02 with a seed)"},
+    {"--watchdog-cycles", "<n>", "LPSU no-commit watchdog (0 disables)"},
+    {"--help", nullptr, "print this usage and exit"},
+};
+
+void
+printUsage(std::FILE *out)
+{
+    std::fprintf(out, "usage: xsim [options] (program.s | -k kernel)\n");
+    for (const Flag &f : flagTable) {
+        std::string head = f.name;
+        if (f.arg) {
+            head += ' ';
+            head += f.arg;
+        }
+        std::fprintf(out, "  %-22s %s\n", head.c_str(), f.help);
+    }
+}
 
 std::string
 readFile(const std::string &path)
@@ -76,6 +119,39 @@ listEverything()
                     k.patterns.c_str(), k.suite.c_str());
 }
 
+void
+writeStatsJson(const std::string &path, const std::string &cfgName,
+               const std::string &modeName, const std::string &workload,
+               const SysResult &result, const LoopProfiler &profiler,
+               const Tracer *tracer)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write " + path);
+    JsonWriter w(out, /*pretty=*/true);
+    w.beginObject();
+    w.field("schema", "xloops-stats-1");
+    w.field("config", cfgName);
+    w.field("mode", modeName);
+    w.field("workload", workload);
+    w.key("result").beginObject();
+    w.field("cycles", result.cycles);
+    w.field("gpp_insts", result.gppInsts);
+    w.field("lane_insts", result.laneInsts);
+    w.field("xloops_specialized", result.xloopsSpecialized);
+    w.endObject();
+    result.stats.writeJson(w);
+    profiler.writeJson(w);
+    if (tracer) {
+        w.key("trace").beginObject();
+        w.field("total_emitted", tracer->totalEmitted());
+        w.field("dropped", tracer->dropped());
+        w.endObject();
+    }
+    w.endObject();
+    out << "\n";
+}
+
 } // namespace
 
 int
@@ -85,9 +161,12 @@ main(int argc, char **argv)
     std::string modeName = "S";
     std::string kernelName;
     std::string path;
+    std::string tracePath;
+    std::string statsJsonPath;
     bool energy = false;
     bool verbose = false;
     bool trace = false;
+    bool profile = false;
     u64 injectSeed = 0;
     double injectRate = 0.02;
     u64 watchdogCycles = 0;
@@ -114,6 +193,12 @@ main(int argc, char **argv)
                 verbose = true;
             else if (arg == "-t")
                 trace = true;
+            else if (arg == "--trace")
+                tracePath = next();
+            else if (arg == "--stats-json")
+                statsJsonPath = next();
+            else if (arg == "--profile")
+                profile = true;
             else if (arg == "--inject-seed")
                 injectSeed = std::strtoull(next().c_str(), nullptr, 0);
             else if (arg == "--inject-rate")
@@ -121,12 +206,16 @@ main(int argc, char **argv)
             else if (arg == "--watchdog-cycles") {
                 watchdogCycles = std::strtoull(next().c_str(), nullptr, 0);
                 haveWatchdog = true;
+            } else if (arg == "--help" || arg == "-h") {
+                printUsage(stdout);
+                return 0;
             } else if (arg == "-l") {
                 listEverything();
                 return 0;
             } else if (!arg.empty() && arg[0] == '-') {
                 // A typo'd option must not silently become a program
                 // path (an --inject-seed typo would run un-injected).
+                printUsage(stderr);
                 fatal("unknown option '" + arg + "'");
             } else {
                 path = arg;
@@ -142,10 +231,21 @@ main(int argc, char **argv)
         if (haveWatchdog)
             cfg.lpsu.watchdogCycles = watchdogCycles;
 
+        Tracer tracer;
+        tracer.enable(!tracePath.empty());
+        LoopProfiler profiler;
+        Tracer *tr = tracePath.empty() ? nullptr : &tracer;
+        LoopProfiler *prof =
+            (!statsJsonPath.empty() || profile) ? &profiler : nullptr;
+
         SysResult result;
         if (!kernelName.empty()) {
-            const KernelRun run =
-                runKernel(kernelByName(kernelName), cfg, mode);
+            RunHooks hooks;
+            hooks.tracer = tr;
+            hooks.profiler = prof;
+            hooks.traceText = trace ? &std::cout : nullptr;
+            const KernelRun run = runKernel(kernelByName(kernelName), cfg,
+                                            mode, false, hooks);
             result = run.result;
             std::printf("kernel %s on %s mode %s: %s\n",
                         kernelName.c_str(), cfg.name.c_str(),
@@ -154,13 +254,15 @@ main(int argc, char **argv)
             if (!run.passed)
                 checkerExit = 2;
         } else {
-            if (path.empty())
-                fatal("usage: xsim [-c cfg] [-m T|S|A] "
-                      "(program.s | -k kernel)");
+            if (path.empty()) {
+                printUsage(stderr);
+                fatal("no program given");
+            }
             const Program prog = assemble(readFile(path));
             XloopsSystem sys(cfg);
             if (trace)
                 sys.setTrace(&std::cout);
+            sys.setObserver(tr, prof);
             sys.loadProgram(prog);
             result = sys.run(prog, mode);
         }
@@ -184,6 +286,25 @@ main(int argc, char **argv)
         }
         if (verbose)
             std::printf("%s", result.stats.dump("  ").c_str());
+        if (profile)
+            std::printf("%s", profiler.dump().c_str());
+
+        if (!tracePath.empty()) {
+            std::ofstream out(tracePath);
+            if (!out)
+                fatal("cannot write " + tracePath);
+            tracer.writeChromeJson(out);
+            std::printf("trace: %llu events -> %s\n",
+                        static_cast<unsigned long long>(
+                            tracer.totalEmitted()),
+                        tracePath.c_str());
+        }
+        if (!statsJsonPath.empty()) {
+            writeStatsJson(statsJsonPath, cfgName, modeName,
+                           kernelName.empty() ? path : kernelName, result,
+                           profiler, tr);
+            std::printf("stats: %s\n", statsJsonPath.c_str());
+        }
         return checkerExit;
     } catch (const SimError &error) {
         // Recoverable diagnosis (watchdog, cycle/inst limits): the
