@@ -1,6 +1,9 @@
 #include "asm/program.h"
 
+#include "common/json.h"
 #include "common/log.h"
+#include "common/rng.h"
+#include "common/serialize.h"
 #include "mem/memory.h"
 
 namespace xloops {
@@ -30,6 +33,71 @@ Program::fetch(Addr pc) const
         fatal(strf("instruction fetch outside text segment: 0x", std::hex,
                    pc));
     return Instruction::decode(text[(pc - textBase) / 4]);
+}
+
+u64
+Program::hash() const
+{
+    u64 h = mix64(textBase) ^ mix64(entry + 1);
+    for (const u32 word : text)
+        h = mix64(h ^ word);
+    for (const auto &chunk : data) {
+        h = mix64(h ^ chunk.base);
+        for (const u8 b : chunk.bytes)
+            h = mix64(h ^ b);
+    }
+    return h;
+}
+
+void
+Program::saveState(JsonWriter &w) const
+{
+    w.field("text_base", static_cast<u64>(textBase));
+    w.field("entry", static_cast<u64>(entry));
+    std::vector<u8> bytes;
+    bytes.reserve(text.size() * 4);
+    for (const u32 word : text)
+        for (unsigned i = 0; i < 4; i++)
+            bytes.push_back(static_cast<u8>(word >> (8 * i)));
+    w.field("text", hexEncode(bytes.data(), bytes.size()));
+    w.key("data").beginArray();
+    for (const auto &chunk : data) {
+        w.beginObject();
+        w.field("base", static_cast<u64>(chunk.base));
+        w.field("bytes", hexEncode(chunk.bytes.data(), chunk.bytes.size()));
+        w.endObject();
+    }
+    w.endArray();
+    w.key("symbols").beginObject();
+    for (const auto &[name, addr] : symbols)
+        w.field(name, static_cast<u64>(addr));
+    w.endObject();
+}
+
+Program
+Program::fromJson(const JsonValue &v)
+{
+    Program p;
+    p.textBase = static_cast<Addr>(v.at("text_base").asU64());
+    p.entry = static_cast<Addr>(v.at("entry").asU64());
+    const std::vector<u8> bytes = hexDecode(v.at("text").asString());
+    if (bytes.size() % 4 != 0)
+        fatal("capsule text segment is not word-aligned");
+    p.text.reserve(bytes.size() / 4);
+    for (size_t i = 0; i < bytes.size(); i += 4) {
+        p.text.push_back(u32{bytes[i]} | (u32{bytes[i + 1]} << 8) |
+                         (u32{bytes[i + 2]} << 16) |
+                         (u32{bytes[i + 3]} << 24));
+    }
+    for (const JsonValue &cv : v.at("data").array()) {
+        DataChunk chunk;
+        chunk.base = static_cast<Addr>(cv.at("base").asU64());
+        chunk.bytes = hexDecode(cv.at("bytes").asString());
+        p.data.push_back(std::move(chunk));
+    }
+    for (const auto &[name, addr] : v.at("symbols").members())
+        p.symbols[name] = static_cast<Addr>(addr.asU64());
+    return p;
 }
 
 } // namespace xloops

@@ -18,6 +18,8 @@
 namespace xloops {
 
 class MainMemory;
+class JsonWriter;
+class JsonValue;
 
 /** Default base address of the text segment. */
 constexpr Addr textBaseDefault = 0x1000;
@@ -66,6 +68,16 @@ class Program
 
     /** Number of instructions in the text segment. */
     size_t numInsts() const { return text.size(); }
+
+    /** Stable content hash (capsules verify replay uses the same
+     *  image the failing run did). */
+    u64 hash() const;
+
+    /** Serialize the complete image (capsule embedding). */
+    void saveState(JsonWriter &w) const;
+
+    /** Inverse of saveState. */
+    static Program fromJson(const JsonValue &v);
 };
 
 } // namespace xloops

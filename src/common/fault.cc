@@ -1,5 +1,7 @@
 #include "common/fault.h"
 
+#include "common/json.h"
+
 namespace xloops {
 
 FaultConfig
@@ -17,6 +19,38 @@ FaultConfig::uniform(u64 seed, double rate)
     // is scaled down to keep the LPSU exercising specialized paths.
     cfg.migrationRate = rate / 8.0;
     return cfg;
+}
+
+void
+FaultInjector::saveState(JsonWriter &w) const
+{
+    w.key("rng").beginObject();
+    pool.saveState(w);
+    w.endObject();
+    w.key("counters").beginObject();
+    w.field("jitters", jitters);
+    w.field("squashes", squashes);
+    w.field("cib_pressures", cibPressures);
+    w.field("lsq_pressures", lsqPressures);
+    w.field("broadcast_delays", broadcastDelays);
+    w.field("migrations", migrations);
+    w.field("arch_corruptions", archCorruptions);
+    w.endObject();
+}
+
+void
+FaultInjector::loadState(const JsonValue &v)
+{
+    pool.loadState(v.at("rng"));
+    bindStreams();
+    const JsonValue &c = v.at("counters");
+    jitters = c.at("jitters").asU64();
+    squashes = c.at("squashes").asU64();
+    cibPressures = c.at("cib_pressures").asU64();
+    lsqPressures = c.at("lsq_pressures").asU64();
+    broadcastDelays = c.at("broadcast_delays").asU64();
+    migrations = c.at("migrations").asU64();
+    archCorruptions = c.at("arch_corruptions").asU64();
 }
 
 } // namespace xloops

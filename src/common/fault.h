@@ -14,6 +14,18 @@
  * injected schedule must therefore still pass the kernel golden
  * checkers; the injector only shakes the timing tree.
  *
+ * One deliberate exception exists for exercising the differential
+ * lockstep checker: the *architectural corruption* class (off unless
+ * archCorruptRate is set explicitly; never part of uniform()) flips a
+ * bit in a register handed back by the LPSU. It models the failure the
+ * lockstep checker is built to catch, so a seeded corruption becomes a
+ * reproducible Divergence capsule instead of a silent wrong answer.
+ *
+ * Every stochastic choice draws from a *named* RNG stream (one per
+ * fault class) of an RngPool: one class's consumption never perturbs
+ * another's schedule, and the pool state is captured/restored by
+ * checkpoints, so replay is deterministic even mid-fault-storm.
+ *
  * Injection is off by default (seed == 0) and the hot-path guard is a
  * single branch on a bool, so disabled overhead is ~0 (see
  * bench/ablation_faults).
@@ -26,6 +38,9 @@
 #include "common/types.h"
 
 namespace xloops {
+
+class JsonWriter;
+class JsonValue;
 
 /** Per-fault-class rates; all probabilities are per opportunity. */
 struct FaultConfig
@@ -45,24 +60,53 @@ struct FaultConfig
 
     double migrationRate = 0.0;     ///< mid-loop migration, per commit
 
+    /** Architectural register corruption, per LPSU hand-back. NOT a
+     *  timing fault: it breaks the architectural contract on purpose
+     *  so the lockstep checker has a real divergence to catch. Never
+     *  enabled by uniform(); only by an explicit CLI/test request. */
+    double archCorruptRate = 0.0;
+
     bool enabled() const { return seed != 0; }
 
-    /** All fault classes at the same @p rate (the CLI's --inject-rate). */
+    /** All timing-fault classes at the same @p rate (the CLI's
+     *  --inject-rate); archCorruptRate stays 0. */
     static FaultConfig uniform(u64 seed, double rate);
 };
 
 /**
- * Deterministic fault source. One instance per LPSU; its RNG stream
- * depends only on (seed, sequence of queries), so a given (program,
- * config, seed) triple replays the exact same adversarial schedule.
+ * Deterministic fault source. One instance per LPSU; each fault class
+ * draws from its own named stream, so a given (program, config, seed)
+ * triple replays the exact same adversarial schedule, and restoring a
+ * checkpoint mid-run resumes the same schedule.
  */
 class FaultInjector
 {
   public:
     FaultInjector() = default;
     explicit FaultInjector(const FaultConfig &config)
-        : cfg(config), rng(config.seed), on(config.enabled())
-    {}
+        : cfg(config), pool(config.seed), on(config.enabled())
+    {
+        bindStreams();
+    }
+
+    FaultInjector(const FaultInjector &other) { *this = other; }
+
+    FaultInjector &
+    operator=(const FaultInjector &other)
+    {
+        cfg = other.cfg;
+        pool = other.pool;
+        on = other.on;
+        jitters = other.jitters;
+        squashes = other.squashes;
+        cibPressures = other.cibPressures;
+        lsqPressures = other.lsqPressures;
+        broadcastDelays = other.broadcastDelays;
+        migrations = other.migrations;
+        archCorruptions = other.archCorruptions;
+        bindStreams();
+        return *this;
+    }
 
     /** Fast-path guard: callers must skip all hooks when false. */
     bool enabled() const { return on; }
@@ -71,17 +115,17 @@ class FaultInjector
     Cycle
     memJitter()
     {
-        if (!roll(cfg.memJitterRate))
+        if (!roll(jitterRng, cfg.memJitterRate))
             return 0;
         jitters++;
-        return 1 + rng.nextBelow(cfg.memJitterMax);
+        return 1 + jitterRng->nextBelow(cfg.memJitterMax);
     }
 
     /** Force a speculative context to squash and restart. */
     bool
     forceSquash()
     {
-        if (!roll(cfg.squashRate))
+        if (!roll(squashRng, cfg.squashRate))
             return false;
         squashes++;
         return true;
@@ -91,7 +135,7 @@ class FaultInjector
     bool
     forceCibFull()
     {
-        if (!roll(cfg.cibPressureRate))
+        if (!roll(cibRng, cfg.cibPressureRate))
             return false;
         cibPressures++;
         return true;
@@ -101,7 +145,7 @@ class FaultInjector
     bool
     forceLsqFull()
     {
-        if (!roll(cfg.lsqPressureRate))
+        if (!roll(lsqRng, cfg.lsqPressureRate))
             return false;
         lsqPressures++;
         return true;
@@ -111,20 +155,36 @@ class FaultInjector
     Cycle
     broadcastDelay()
     {
-        if (!roll(cfg.broadcastDelayRate))
+        if (!roll(broadcastRng, cfg.broadcastDelayRate))
             return 0;
         broadcastDelays++;
-        return 1 + rng.nextBelow(cfg.broadcastDelayMax);
+        return 1 + broadcastRng->nextBelow(cfg.broadcastDelayMax);
     }
 
     /** Trigger a mid-loop migration back to the GPP. */
     bool
     triggerMigration()
     {
-        if (!roll(cfg.migrationRate))
+        if (!roll(migrationRng, cfg.migrationRate))
             return false;
         migrations++;
         return true;
+    }
+
+    /**
+     * Architectural corruption opportunity (one per LPSU hand-back):
+     * returns the bit to flip (register index in [1,31] in the high
+     * byte, bit position in the low byte), or 0 for no corruption.
+     */
+    u32
+    corruptHandBack()
+    {
+        if (!roll(archRng, cfg.archCorruptRate))
+            return 0;
+        archCorruptions++;
+        const u32 reg = 1 + archRng->nextBelow(31);  // r1..r31
+        const u32 bit = archRng->nextBelow(32);
+        return (reg << 8) | bit;
     }
 
     u64 injectedJitters() const { return jitters; }
@@ -133,19 +193,45 @@ class FaultInjector
     u64 injectedLsqPressures() const { return lsqPressures; }
     u64 injectedBroadcastDelays() const { return broadcastDelays; }
     u64 injectedMigrations() const { return migrations; }
+    u64 injectedArchCorruptions() const { return archCorruptions; }
+
+    /** Checkpoint capture: RNG stream states plus event counters. */
+    void saveState(JsonWriter &w) const;
+    void loadState(const JsonValue &v);
 
   private:
+    void
+    bindStreams()
+    {
+        jitterRng = &pool.stream("fault.memjitter");
+        squashRng = &pool.stream("fault.squash");
+        cibRng = &pool.stream("fault.cib");
+        lsqRng = &pool.stream("fault.lsq");
+        broadcastRng = &pool.stream("fault.broadcast");
+        migrationRng = &pool.stream("fault.migration");
+        archRng = &pool.stream("fault.arch");
+    }
+
     bool
-    roll(double rate)
+    roll(Rng *rng, double rate)
     {
         if (!on || rate <= 0.0)
             return false;
-        return rng.nextFloat() < rate;
+        return rng->nextFloat() < rate;
     }
 
     FaultConfig cfg;
-    Rng rng;
+    RngPool pool;
     bool on = false;
+
+    // Bound once (map nodes are pointer-stable); rebound on copy/load.
+    Rng *jitterRng = nullptr;
+    Rng *squashRng = nullptr;
+    Rng *cibRng = nullptr;
+    Rng *lsqRng = nullptr;
+    Rng *broadcastRng = nullptr;
+    Rng *migrationRng = nullptr;
+    Rng *archRng = nullptr;
 
     u64 jitters = 0;
     u64 squashes = 0;
@@ -153,6 +239,7 @@ class FaultInjector
     u64 lsqPressures = 0;
     u64 broadcastDelays = 0;
     u64 migrations = 0;
+    u64 archCorruptions = 0;
 };
 
 } // namespace xloops

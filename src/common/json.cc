@@ -1,8 +1,10 @@
 #include "common/json.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/log.h"
 
@@ -289,6 +291,256 @@ jsonValidate(const std::string &text)
 }
 
 // ---------------------------------------------------------------------
+// JsonValue / jsonParse.
+// ---------------------------------------------------------------------
+
+bool
+JsonValue::asBool() const
+{
+    if (k != Kind::Bool)
+        fatal("json: expected a boolean");
+    return boolean;
+}
+
+u64
+JsonValue::asU64() const
+{
+    if (k != Kind::Number || text.empty() || text[0] == '-' ||
+        text.find_first_of(".eE") != std::string::npos)
+        fatal(strf("json: expected an unsigned integer, got '", text, "'"));
+    errno = 0;
+    char *end = nullptr;
+    const u64 v = std::strtoull(text.c_str(), &end, 10);
+    if (errno != 0 || end != text.c_str() + text.size())
+        fatal(strf("json: integer out of range: '", text, "'"));
+    return v;
+}
+
+i64
+JsonValue::asI64() const
+{
+    if (k != Kind::Number || text.find_first_of(".eE") != std::string::npos)
+        fatal(strf("json: expected an integer, got '", text, "'"));
+    errno = 0;
+    char *end = nullptr;
+    const i64 v = std::strtoll(text.c_str(), &end, 10);
+    if (errno != 0 || end != text.c_str() + text.size())
+        fatal(strf("json: integer out of range: '", text, "'"));
+    return v;
+}
+
+double
+JsonValue::asDouble() const
+{
+    if (k != Kind::Number)
+        fatal("json: expected a number");
+    return std::strtod(text.c_str(), nullptr);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (k != Kind::String)
+        fatal("json: expected a string");
+    return text;
+}
+
+const std::vector<JsonValue> &
+JsonValue::array() const
+{
+    if (k != Kind::Array)
+        fatal("json: expected an array");
+    return elems;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const
+{
+    if (k != Kind::Object)
+        fatal("json: expected an object");
+    return fields;
+}
+
+bool
+JsonValue::has(const std::string &name) const
+{
+    if (k != Kind::Object)
+        return false;
+    for (const auto &[key, value] : fields)
+        if (key == name)
+            return true;
+    return false;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &name) const
+{
+    for (const auto &[key, value] : members())
+        if (key == name)
+            return value;
+    fatal(strf("json: missing member '", name, "'"));
+}
+
+u64
+JsonValue::getU64(const std::string &name, u64 fallback) const
+{
+    return has(name) ? at(name).asU64() : fallback;
+}
+
+/** Recursive-descent parser building JsonValue trees. */
+struct ValueParser
+{
+    const std::string &text;
+    size_t pos = 0;
+
+    [[noreturn]] void
+    err(const std::string &what)
+    {
+        fatal(strf("json parse error at offset ", pos, ": ", what));
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            pos++;
+    }
+
+    char
+    peek()
+    {
+        if (pos >= text.size())
+            err("unexpected end of input");
+        return text[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            err(strf("expected '", c, "'"));
+        pos++;
+    }
+
+    std::string
+    stringBody()
+    {
+        expect('"');
+        const size_t start = pos;
+        while (pos < text.size() && text[pos] != '"') {
+            if (text[pos] == '\\')
+                pos++;  // skip the escaped character
+            pos++;
+        }
+        if (pos >= text.size())
+            err("unterminated string");
+        const std::string raw = text.substr(start, pos - start);
+        pos++;  // closing quote
+        return jsonUnescape(raw);
+    }
+
+    JsonValue
+    parseValue(unsigned depth)
+    {
+        if (depth > 64)
+            err("nesting too deep");
+        skipWs();
+        JsonValue v;
+        const char c = peek();
+        if (c == '{') {
+            pos++;
+            v.k = JsonValue::Kind::Object;
+            skipWs();
+            if (peek() == '}') {
+                pos++;
+                return v;
+            }
+            while (true) {
+                skipWs();
+                std::string key = stringBody();
+                skipWs();
+                expect(':');
+                v.fields.emplace_back(std::move(key),
+                                      parseValue(depth + 1));
+                skipWs();
+                if (peek() == ',') {
+                    pos++;
+                    continue;
+                }
+                expect('}');
+                return v;
+            }
+        }
+        if (c == '[') {
+            pos++;
+            v.k = JsonValue::Kind::Array;
+            skipWs();
+            if (peek() == ']') {
+                pos++;
+                return v;
+            }
+            while (true) {
+                v.elems.push_back(parseValue(depth + 1));
+                skipWs();
+                if (peek() == ',') {
+                    pos++;
+                    continue;
+                }
+                expect(']');
+                return v;
+            }
+        }
+        if (c == '"') {
+            v.k = JsonValue::Kind::String;
+            v.text = stringBody();
+            return v;
+        }
+        if (text.compare(pos, 4, "true") == 0) {
+            pos += 4;
+            v.k = JsonValue::Kind::Bool;
+            v.boolean = true;
+            return v;
+        }
+        if (text.compare(pos, 5, "false") == 0) {
+            pos += 5;
+            v.k = JsonValue::Kind::Bool;
+            return v;
+        }
+        if (text.compare(pos, 4, "null") == 0) {
+            pos += 4;
+            return v;
+        }
+        // Number: capture the lexeme verbatim.
+        const size_t start = pos;
+        if (peek() == '-')
+            pos++;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+                text[pos] == '+' || text[pos] == '-'))
+            pos++;
+        if (pos == start)
+            err("expected a value");
+        v.k = JsonValue::Kind::Number;
+        v.text = text.substr(start, pos - start);
+        return v;
+    }
+};
+
+JsonValue
+jsonParse(const std::string &text)
+{
+    ValueParser p{text};
+    JsonValue v = p.parseValue(0);
+    p.skipWs();
+    if (p.pos != text.size())
+        p.err("trailing characters after value");
+    return v;
+}
+
+// ---------------------------------------------------------------------
 // JsonWriter.
 // ---------------------------------------------------------------------
 
@@ -427,6 +679,47 @@ JsonWriter::value(bool v)
     separate();
     os << (v ? "true" : "false");
     return *this;
+}
+
+JsonWriter &
+JsonWriter::rawNumber(const std::string &lexeme)
+{
+    separate();
+    os << lexeme;
+    return *this;
+}
+
+void
+writeJsonValue(JsonWriter &w, const JsonValue &v)
+{
+    switch (v.kind()) {
+      case JsonValue::Kind::Null:
+        w.rawNumber("null");  // verbatim token, not a number
+        return;
+      case JsonValue::Kind::Bool:
+        w.value(v.asBool());
+        return;
+      case JsonValue::Kind::Number:
+        w.rawNumber(v.text);
+        return;
+      case JsonValue::Kind::String:
+        w.value(v.asString());
+        return;
+      case JsonValue::Kind::Array:
+        w.beginArray();
+        for (const JsonValue &e : v.array())
+            writeJsonValue(w, e);
+        w.endArray();
+        return;
+      case JsonValue::Kind::Object:
+        w.beginObject();
+        for (const auto &[name, member] : v.members()) {
+            w.key(name);
+            writeJsonValue(w, member);
+        }
+        w.endObject();
+        return;
+    }
 }
 
 } // namespace xloops

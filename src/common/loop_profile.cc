@@ -4,6 +4,7 @@
 
 #include "common/json.h"
 #include "common/log.h"
+#include "common/serialize.h"
 
 namespace xloops {
 
@@ -99,6 +100,83 @@ LoopProfiler::writeJson(JsonWriter &w) const
         w.endObject();
     }
     w.endObject();
+}
+
+void
+LoopProfiler::saveState(JsonWriter &w) const
+{
+    w.key("loops").beginObject();
+    for (const auto &[pc, p] : table) {
+        w.key(strf("0x", std::hex, pc)).beginObject();
+        w.field("pattern", p.pattern);
+        w.field("invocations", p.invocations);
+        w.field("spec_iters", p.specIters);
+        w.field("trad_iters", p.tradIters);
+        w.field("squashes", p.squashes);
+        w.field("fallbacks", p.fallbacks);
+        w.field("scan_cycles", p.scanCycles);
+        w.field("engine_cycles", p.engineCycles);
+        w.field("busy_cycles", p.busyCycles);
+        w.key("stall_cycles");
+        writeU64Array(w, {p.stallCycles.begin(), p.stallCycles.end()});
+        w.key("iter_cycles").beginObject();
+        p.iterCycles.saveState(w);
+        w.endObject();
+        w.key("cib_occupancy").beginObject();
+        p.cibOccupancy.saveState(w);
+        w.endObject();
+        w.key("lsq_occupancy").beginObject();
+        p.lsqOccupancy.saveState(w);
+        w.endObject();
+        w.key("migrations").beginArray();
+        for (const MigrationRecord &m : p.migrations) {
+            w.beginObject();
+            w.field("at_cycle", m.atCycle);
+            w.field("gpp_cpi_bits", doubleBits(m.gppCyclesPerIter));
+            w.field("lpsu_cpi_bits", doubleBits(m.lpsuCyclesPerIter));
+            w.field("chose_lpsu", m.choseLpsu);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endObject();
+}
+
+void
+LoopProfiler::loadState(const JsonValue &v)
+{
+    table.clear();
+    for (const auto &[key, lv] : v.at("loops").members()) {
+        LoopProfile &p = loop(static_cast<Addr>(parseU64(key)));
+        p.pattern = lv.at("pattern").asString();
+        p.invocations = lv.at("invocations").asU64();
+        p.specIters = lv.at("spec_iters").asU64();
+        p.tradIters = lv.at("trad_iters").asU64();
+        p.squashes = lv.at("squashes").asU64();
+        p.fallbacks = lv.at("fallbacks").asU64();
+        p.scanCycles = lv.at("scan_cycles").asU64();
+        p.engineCycles = lv.at("engine_cycles").asU64();
+        p.busyCycles = lv.at("busy_cycles").asU64();
+        const std::vector<u64> stalls = readU64Array(lv.at("stall_cycles"));
+        if (stalls.size() != p.stallCycles.size())
+            fatal("checkpoint stall_cycles size mismatch");
+        std::copy(stalls.begin(), stalls.end(), p.stallCycles.begin());
+        p.iterCycles.loadState(lv.at("iter_cycles"));
+        p.cibOccupancy.loadState(lv.at("cib_occupancy"));
+        p.lsqOccupancy.loadState(lv.at("lsq_occupancy"));
+        p.migrations.clear();
+        for (const JsonValue &mv : lv.at("migrations").array()) {
+            MigrationRecord m;
+            m.atCycle = mv.at("at_cycle").asU64();
+            m.gppCyclesPerIter =
+                doubleFromBits(mv.at("gpp_cpi_bits").asString());
+            m.lpsuCyclesPerIter =
+                doubleFromBits(mv.at("lpsu_cpi_bits").asString());
+            m.choseLpsu = mv.at("chose_lpsu").asBool();
+            p.migrations.push_back(m);
+        }
+    }
 }
 
 } // namespace xloops

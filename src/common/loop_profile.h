@@ -79,6 +79,11 @@ class LoopProfiler
     /** Emit `"loops": {"0x...": {...}}` into the current object. */
     void writeJson(JsonWriter &w) const;
 
+    /** Exact checkpoint capture/restore (bit-pattern doubles, raw
+     *  histogram state), unlike the reporting-oriented writeJson. */
+    void saveState(JsonWriter &w) const;
+    void loadState(const JsonValue &v);
+
   private:
     std::map<Addr, LoopProfile> table;
 };

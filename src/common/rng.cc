@@ -1,0 +1,27 @@
+#include "common/rng.h"
+
+#include "common/json.h"
+#include "common/serialize.h"
+
+namespace xloops {
+
+void
+RngPool::saveState(JsonWriter &w) const
+{
+    w.field("root", rootSeed);
+    w.key("streams").beginObject();
+    for (const auto &[name, rng] : streams)
+        w.field(name, rng.rawState());
+    w.endObject();
+}
+
+void
+RngPool::loadState(const JsonValue &v)
+{
+    rootSeed = v.at("root").asU64();
+    streams.clear();
+    for (const auto &[name, state] : v.at("streams").members())
+        stream(name).setRawState(state.asU64());
+}
+
+} // namespace xloops

@@ -2,14 +2,37 @@
  * @file
  * Deterministic xorshift RNG so kernels and property tests are
  * reproducible across platforms (no std::mt19937 distribution skew).
+ *
+ * Every stochastic choice the simulator makes (fault injection today,
+ * any future randomness) must draw from a *named* stream of an RngPool
+ * rather than a shared generator: streams are seeded independently
+ * from (rootSeed, name), so consumption on one stream never perturbs
+ * another, and the pool's state can be captured and restored by
+ * checkpoints — replay stays deterministic even mid-fault-storm.
  */
 
 #ifndef XLOOPS_COMMON_RNG_H
 #define XLOOPS_COMMON_RNG_H
 
+#include <map>
+#include <string>
+
 #include "common/types.h"
 
 namespace xloops {
+
+class JsonWriter;
+class JsonValue;
+
+/** splitmix64 finalizer: cheap, well-mixed 64-bit hash step. */
+inline u64
+mix64(u64 x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
 
 /** xorshift64* generator; deterministic across platforms. */
 class Rng
@@ -25,6 +48,10 @@ class Rng
         state ^= state >> 27;
         return state * 0x2545f4914f6cdd1dull;
     }
+
+    /** Raw generator state (checkpoint capture / restore). */
+    u64 rawState() const { return state; }
+    void setRawState(u64 s) { state = s ? s : 1; }
 
     /** Uniform value in [0, bound). @p bound must be nonzero. */
     u32 nextBelow(u32 bound) { return static_cast<u32>(next() % bound); }
@@ -45,6 +72,44 @@ class Rng
 
   private:
     u64 state;
+};
+
+/**
+ * A set of independently seeded, named RNG streams. Stream "x" of a
+ * pool rooted at seed S always starts in the same state regardless of
+ * which other streams exist or how much they have been consumed.
+ */
+class RngPool
+{
+  public:
+    RngPool() = default;
+    explicit RngPool(u64 root_seed) : rootSeed(root_seed) {}
+
+    u64 rootSeedValue() const { return rootSeed; }
+
+    /** The stream named @p name (created deterministically on first use). */
+    Rng &
+    stream(const std::string &name)
+    {
+        auto it = streams.find(name);
+        if (it == streams.end()) {
+            u64 h = rootSeed;
+            for (const char c : name)
+                h = mix64(h ^ static_cast<u8>(c));
+            it = streams.emplace(name, Rng(h)).first;
+        }
+        return it->second;
+    }
+
+    /** Emit {"root": .., "streams": {name: state, ..}} fields. */
+    void saveState(JsonWriter &w) const;
+
+    /** Restore from the object saveState produced. */
+    void loadState(const JsonValue &v);
+
+  private:
+    u64 rootSeed = 0;
+    std::map<std::string, Rng> streams;
 };
 
 } // namespace xloops

@@ -1,0 +1,104 @@
+#include "common/serialize.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/json.h"
+#include "common/log.h"
+
+namespace xloops {
+
+std::string
+hexEncode(const u8 *bytes, size_t n)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(2 * n);
+    for (size_t i = 0; i < n; i++) {
+        out += digits[bytes[i] >> 4];
+        out += digits[bytes[i] & 0xf];
+    }
+    return out;
+}
+
+namespace {
+
+unsigned
+hexDigit(char c)
+{
+    if (c >= '0' && c <= '9')
+        return static_cast<unsigned>(c - '0');
+    if (c >= 'a' && c <= 'f')
+        return static_cast<unsigned>(c - 'a' + 10);
+    if (c >= 'A' && c <= 'F')
+        return static_cast<unsigned>(c - 'A' + 10);
+    fatal(strf("bad hex digit '", c, "'"));
+}
+
+} // namespace
+
+std::vector<u8>
+hexDecode(const std::string &hex)
+{
+    if (hex.size() % 2 != 0)
+        fatal("hex blob has odd length");
+    std::vector<u8> out(hex.size() / 2);
+    for (size_t i = 0; i < out.size(); i++)
+        out[i] = static_cast<u8>((hexDigit(hex[2 * i]) << 4) |
+                                 hexDigit(hex[2 * i + 1]));
+    return out;
+}
+
+std::string
+doubleBits(double v)
+{
+    u64 bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "0x%016llx",
+                  static_cast<unsigned long long>(bits));
+    return buf;
+}
+
+double
+doubleFromBits(const std::string &s)
+{
+    const u64 bits = parseU64(s);
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+}
+
+u64
+parseU64(const std::string &s)
+{
+    errno = 0;
+    char *end = nullptr;
+    const u64 v = std::strtoull(s.c_str(), &end, 0);
+    if (s.empty() || errno != 0 || end != s.c_str() + s.size())
+        fatal(strf("malformed u64 '", s, "'"));
+    return v;
+}
+
+void
+writeU64Array(JsonWriter &w, const std::vector<u64> &values)
+{
+    w.beginArray();
+    for (const u64 v : values)
+        w.value(v);
+    w.endArray();
+}
+
+std::vector<u64>
+readU64Array(const JsonValue &v)
+{
+    std::vector<u64> out;
+    out.reserve(v.array().size());
+    for (const JsonValue &e : v.array())
+        out.push_back(e.asU64());
+    return out;
+}
+
+} // namespace xloops

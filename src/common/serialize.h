@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared helpers for the checkpoint/capsule serialization layer: hex
+ * blob codecs for memory pages and predictor tables, and bit-exact
+ * double round-tripping (doubles are stored as their IEEE-754 bit
+ * pattern so a restored run reproduces byte-identical statistics).
+ *
+ * Components participate in checkpointing by implementing the pair
+ *   void saveState(JsonWriter &w) const;  // fields of current object
+ *   void loadState(const JsonValue &v);   // inverse
+ * and the system-level writer (system/checkpoint.cc) composes them.
+ */
+
+#ifndef XLOOPS_COMMON_SERIALIZE_H
+#define XLOOPS_COMMON_SERIALIZE_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace xloops {
+
+class JsonWriter;
+class JsonValue;
+
+/** Lowercase hex encoding of @p n bytes. */
+std::string hexEncode(const u8 *bytes, size_t n);
+
+/** Inverse of hexEncode; throws FatalError on odd length / bad digit. */
+std::vector<u8> hexDecode(const std::string &hex);
+
+/** IEEE-754 bit pattern of @p v as "0x..." (exact round trip). */
+std::string doubleBits(double v);
+
+/** Inverse of doubleBits. */
+double doubleFromBits(const std::string &s);
+
+/** Parse a "0x..." or decimal u64 string; throws on malformed input. */
+u64 parseU64(const std::string &s);
+
+/** Emit @p values as a JSON array of u64. */
+void writeU64Array(JsonWriter &w, const std::vector<u64> &values);
+
+/** Read a JSON array of u64. */
+std::vector<u64> readU64Array(const JsonValue &v);
+
+} // namespace xloops
+
+#endif // XLOOPS_COMMON_SERIALIZE_H

@@ -12,8 +12,53 @@ simErrorKindName(SimErrorKind kind)
       case SimErrorKind::CycleLimit: return "cycle-limit";
       case SimErrorKind::InstLimit: return "inst-limit";
       case SimErrorKind::StructuralHang: return "structural-hang";
+      case SimErrorKind::Divergence: return "divergence";
     }
     return "unknown";
+}
+
+std::string
+DivergenceInfo::render() const
+{
+    std::ostringstream os;
+    os << "divergence at " << site << " site, pc 0x" << std::hex << pc
+       << std::dec << ", inst " << instIndex;
+    if (iteration >= 0)
+        os << ", loop iteration " << iteration;
+    os << "\n";
+    if (regMismatch) {
+        os << "  first mismatching register: r" << unsigned{reg}
+           << " timing=0x" << std::hex << mainValue << " golden=0x"
+           << shadowValue << std::dec << "\n";
+    }
+    if (memMismatch) {
+        os << "  first mismatching memory byte: 0x" << std::hex << memAddr
+           << " timing=0x" << unsigned{mainByte} << " golden=0x"
+           << unsigned{shadowByte} << std::dec << "\n";
+    }
+    return os.str();
+}
+
+bool
+DivergenceInfo::sameAs(const DivergenceInfo &other) const
+{
+    return site == other.site && pc == other.pc &&
+           iteration == other.iteration &&
+           regMismatch == other.regMismatch && reg == other.reg &&
+           mainValue == other.mainValue &&
+           shadowValue == other.shadowValue &&
+           memMismatch == other.memMismatch && memAddr == other.memAddr &&
+           mainByte == other.mainByte && shadowByte == other.shadowByte;
+}
+
+DivergenceError::DivergenceError(const std::string &msg,
+                                 DivergenceInfo divergence_info,
+                                 MachineSnapshot snapshot)
+    : SimError(SimErrorKind::Divergence,
+               strf(msg, "\n", divergence_info.render()),
+               std::move(snapshot)),
+      info(std::move(divergence_info))
+{
 }
 
 std::string

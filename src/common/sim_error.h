@@ -15,6 +15,9 @@
  *   checker failure    exit 2   (golden output mismatch)
  *   watchdog / limits  exit 3   (SimError, recoverable diagnosis)
  *   simulator panic    exit 4   (PanicError / non-recoverable)
+ *   lockstep diverged  exit 5   (DivergenceError: timing model's
+ *                                architectural state left the golden
+ *                                model's; carries the first mismatch)
  *
  * SimError derives from FatalError so existing catch sites keep
  * working; tools that care about the taxonomy catch SimError first.
@@ -40,6 +43,7 @@ enum class SimErrorKind
     CycleLimit,     ///< LPSU engine exceeded its cycle valve
     InstLimit,      ///< system run exceeded its instruction valve
     StructuralHang, ///< deadlocked structural resources (no retry left)
+    Divergence,     ///< lockstep shadow disagreed with the timing model
 };
 
 const char *simErrorKindName(SimErrorKind kind);
@@ -100,11 +104,57 @@ class SimError : public FatalError
     bool recoverable() const { return true; }
 
     /** Process exit code for tools (see file comment taxonomy). */
-    int exitCode() const { return 3; }
+    virtual int exitCode() const { return 3; }
 
   private:
     SimErrorKind errorKind;
     MachineSnapshot snap;
+};
+
+/**
+ * The first point where the differential lockstep checker saw the
+ * timing model's architectural state disagree with the shadow golden
+ * model. Plain data so replay can verify a reproduced divergence is
+ * *identical* (same site, pc, iteration, register/address) and tests
+ * can assert on individual fields.
+ */
+struct DivergenceInfo
+{
+    std::string site;      ///< "xloop-entry", "xloop-exit", "control",
+                           ///< "post-inst", or "halt"
+    Addr pc = 0;           ///< xloop pc (loop sites) or faulting pc
+    u64 instIndex = 0;     ///< committed GPP instructions at detection
+    i64 iteration = -1;    ///< loop index register value, when known
+
+    bool regMismatch = false;
+    RegId reg = 0;
+    u32 mainValue = 0;     ///< timing model's register value
+    u32 shadowValue = 0;   ///< golden model's register value
+
+    bool memMismatch = false;
+    Addr memAddr = 0;      ///< first differing byte address
+    u8 mainByte = 0;
+    u8 shadowByte = 0;
+
+    std::string render() const;
+
+    /** Identity for replay verification (site+pc+iter+reg/addr). */
+    bool sameAs(const DivergenceInfo &other) const;
+};
+
+/** Lockstep divergence: distinct exit code, first-mismatch payload. */
+class DivergenceError : public SimError
+{
+  public:
+    DivergenceError(const std::string &msg, DivergenceInfo info,
+                    MachineSnapshot snap);
+
+    const DivergenceInfo &divergence() const { return info; }
+
+    int exitCode() const override { return 5; }
+
+  private:
+    DivergenceInfo info;
 };
 
 } // namespace xloops

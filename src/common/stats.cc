@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/json.h"
+#include "common/serialize.h"
 
 namespace xloops {
 
@@ -144,6 +145,53 @@ StatGroup::writeJson(JsonWriter &w) const
         histogram.writeJson(w);
     }
     w.endObject();
+}
+
+void
+Histogram::saveState(JsonWriter &w) const
+{
+    w.field("n", n);
+    w.field("total", total);
+    w.field("lo", lo);
+    w.field("hi", hi);
+    w.key("buckets");
+    writeU64Array(w, counts);
+}
+
+void
+Histogram::loadState(const JsonValue &v)
+{
+    n = v.at("n").asU64();
+    total = v.at("total").asU64();
+    lo = v.at("lo").asU64();
+    hi = v.at("hi").asU64();
+    counts = readU64Array(v.at("buckets"));
+}
+
+void
+StatGroup::saveState(JsonWriter &w) const
+{
+    w.key("counters").beginObject();
+    for (const auto &[name, value] : counters)
+        w.field(name, value);
+    w.endObject();
+    w.key("histograms").beginObject();
+    for (const auto &[name, histogram] : histograms) {
+        w.key(name).beginObject();
+        histogram.saveState(w);
+        w.endObject();
+    }
+    w.endObject();
+}
+
+void
+StatGroup::loadState(const JsonValue &v)
+{
+    clear();
+    for (const auto &[name, value] : v.at("counters").members())
+        counters[name] = value.asU64();
+    for (const auto &[name, histogram] : v.at("histograms").members())
+        histograms[name].loadState(histogram);
 }
 
 } // namespace xloops

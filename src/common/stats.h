@@ -18,6 +18,7 @@
 namespace xloops {
 
 class JsonWriter;
+class JsonValue;
 
 /**
  * Power-of-two-bucketed histogram: bucket 0 holds the value 0 and
@@ -53,6 +54,11 @@ class Histogram
 
     /** {"count":..,"min":..,"max":..,"mean":..,"buckets":[..]} */
     void writeJson(JsonWriter &w) const;
+
+    /** Exact raw-state capture for checkpoints (unlike writeJson,
+     *  which renders a lossy mean). */
+    void saveState(JsonWriter &w) const;
+    void loadState(const JsonValue &v);
 
   private:
     std::vector<u64> counts;
@@ -108,6 +114,10 @@ class StatGroup
      * every machine-readable stats consumer.
      */
     void writeJson(JsonWriter &w) const;
+
+    /** Exact counter + histogram state capture for checkpoints. */
+    void saveState(JsonWriter &w) const;
+    void loadState(const JsonValue &v);
 
   private:
     std::map<std::string, u64> counters;

@@ -22,6 +22,8 @@
 
 namespace xloops {
 
+class JsonValue;
+
 /** Configuration of a general-purpose processor model. */
 struct GppConfig
 {
@@ -59,6 +61,14 @@ class GppModel
 
     /** The data cache timing model (shared with the LPSU). */
     virtual L1Cache &dcacheModel() = 0;
+
+    /**
+     * Checkpoint capture of the complete timing state (pipeline
+     * occupancy, predictor tables, caches, statistics): a restored
+     * model continues cycle-for-cycle identically.
+     */
+    virtual void saveState(JsonWriter &w) const = 0;
+    virtual void loadState(const JsonValue &v) = 0;
 
     StatGroup &stats() { return statGroup; }
     const StatGroup &stats() const { return statGroup; }

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "common/json.h"
+#include "common/log.h"
+#include "common/serialize.h"
+
 namespace xloops {
 
 InOrderCpu::InOrderCpu(const GppConfig &config)
@@ -102,6 +106,43 @@ InOrderCpu::retire(const Instruction &inst, Addr pc, const StepResult &step)
 
     lastComplete = std::max(lastComplete, issue + latency);
     statGroup.set("cycles", lastComplete);
+}
+
+void
+InOrderCpu::saveState(JsonWriter &w) const
+{
+    w.field("kind", "io");
+    w.field("next_issue", nextIssue);
+    w.field("llfu_free", llfuFree);
+    w.field("last_complete", lastComplete);
+    w.key("reg_ready");
+    writeU64Array(w, {regReady.begin(), regReady.end()});
+    w.key("icache").beginObject();
+    icache.saveState(w);
+    w.endObject();
+    w.key("dcache").beginObject();
+    dcache.saveState(w);
+    w.endObject();
+    w.key("stats").beginObject();
+    statGroup.saveState(w);
+    w.endObject();
+}
+
+void
+InOrderCpu::loadState(const JsonValue &v)
+{
+    if (v.at("kind").asString() != "io")
+        fatal("checkpoint GPP kind does not match configuration (io)");
+    nextIssue = v.at("next_issue").asU64();
+    llfuFree = v.at("llfu_free").asU64();
+    lastComplete = v.at("last_complete").asU64();
+    const std::vector<u64> ready = readU64Array(v.at("reg_ready"));
+    if (ready.size() != regReady.size())
+        fatal("checkpoint regReady size mismatch");
+    std::copy(ready.begin(), ready.end(), regReady.begin());
+    icache.loadState(v.at("icache"));
+    dcache.loadState(v.at("dcache"));
+    statGroup.loadState(v.at("stats"));
 }
 
 } // namespace xloops

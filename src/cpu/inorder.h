@@ -28,6 +28,9 @@ class InOrderCpu : public GppModel
     L1Cache &dcacheModel() override { return dcache; }
     L1Cache &icacheModel() { return icache; }
 
+    void saveState(JsonWriter &w) const override;
+    void loadState(const JsonValue &v) override;
+
   private:
     GppConfig cfg;
     L1Cache icache;

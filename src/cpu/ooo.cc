@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/json.h"
 #include "common/log.h"
+#include "common/serialize.h"
 
 namespace xloops {
 
@@ -217,6 +219,109 @@ OooCpu::retire(const Instruction &inst, Addr pc, const StepResult &step)
     lastRetire = std::max(lastRetire, ret);
     seq++;
     statGroup.set("cycles", lastRetire);
+}
+
+void
+GsharePredictor::saveState(JsonWriter &w) const
+{
+    w.field("history", static_cast<u64>(history));
+    w.field("counters", hexEncode(counters.data(), counters.size()));
+}
+
+void
+GsharePredictor::loadState(const JsonValue &v)
+{
+    history = static_cast<u32>(v.at("history").asU64());
+    const std::vector<u8> table = hexDecode(v.at("counters").asString());
+    if (table.size() != counters.size())
+        fatal("checkpoint gshare table size mismatch");
+    counters = table;
+}
+
+void
+OooCpu::saveState(JsonWriter &w) const
+{
+    w.field("kind", "ooo");
+    w.field("fetch_cycle", fetchCycle);
+    w.field("fetched_this_cycle", static_cast<u64>(fetchedThisCycle));
+    w.field("seq", seq);
+    w.field("last_retire", lastRetire);
+    w.field("retired_this_cycle", static_cast<u64>(retiredThisCycle));
+    w.field("retire_cycle", retireCycle);
+    w.field("div_free", divFree);
+    w.key("rob_retire");
+    writeU64Array(w, robRetire);
+    w.key("iq_issue");
+    writeU64Array(w, iqIssue);
+    w.key("reg_ready");
+    writeU64Array(w, {regReady.begin(), regReady.end()});
+    w.key("issue_ports");
+    writeU64Array(w, issuePorts);
+    w.key("mem_ports");
+    writeU64Array(w, memPorts);
+    w.key("store_queue").beginArray();
+    for (const SqEntry &e : storeQueue) {
+        w.beginObject();
+        w.field("addr", static_cast<u64>(e.addr));
+        w.field("size", static_cast<u64>(e.size));
+        w.field("data_ready", e.dataReady);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("bpred").beginObject();
+    bpred.saveState(w);
+    w.endObject();
+    w.key("icache").beginObject();
+    icache.saveState(w);
+    w.endObject();
+    w.key("dcache").beginObject();
+    dcache.saveState(w);
+    w.endObject();
+    w.key("stats").beginObject();
+    statGroup.saveState(w);
+    w.endObject();
+}
+
+void
+OooCpu::loadState(const JsonValue &v)
+{
+    if (v.at("kind").asString() != "ooo")
+        fatal("checkpoint GPP kind does not match configuration (ooo)");
+    fetchCycle = v.at("fetch_cycle").asU64();
+    fetchedThisCycle = static_cast<unsigned>(
+        v.at("fetched_this_cycle").asU64());
+    seq = v.at("seq").asU64();
+    lastRetire = v.at("last_retire").asU64();
+    retiredThisCycle = static_cast<unsigned>(
+        v.at("retired_this_cycle").asU64());
+    retireCycle = v.at("retire_cycle").asU64();
+    divFree = v.at("div_free").asU64();
+
+    auto loadVec = [&](const char *key, std::vector<Cycle> &out) {
+        const std::vector<u64> raw = readU64Array(v.at(key));
+        if (raw.size() != out.size())
+            fatal(strf("checkpoint ", key, " size mismatch"));
+        std::copy(raw.begin(), raw.end(), out.begin());
+    };
+    loadVec("rob_retire", robRetire);
+    loadVec("iq_issue", iqIssue);
+    loadVec("issue_ports", issuePorts);
+    loadVec("mem_ports", memPorts);
+    const std::vector<u64> ready = readU64Array(v.at("reg_ready"));
+    if (ready.size() != regReady.size())
+        fatal("checkpoint regReady size mismatch");
+    std::copy(ready.begin(), ready.end(), regReady.begin());
+
+    storeQueue.clear();
+    for (const JsonValue &e : v.at("store_queue").array()) {
+        storeQueue.push_back({static_cast<Addr>(e.at("addr").asU64()),
+                              static_cast<unsigned>(e.at("size").asU64()),
+                              e.at("data_ready").asU64()});
+    }
+    bpred.loadState(v.at("bpred"));
+    icache.loadState(v.at("icache"));
+    dcache.loadState(v.at("dcache"));
+    statGroup.loadState(v.at("stats"));
 }
 
 } // namespace xloops

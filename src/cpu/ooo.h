@@ -29,6 +29,9 @@ class GsharePredictor
 
     void reset();
 
+    void saveState(JsonWriter &w) const;
+    void loadState(const JsonValue &v);
+
   private:
     unsigned tableBits;
     std::vector<u8> counters;
@@ -47,6 +50,9 @@ class OooCpu : public GppModel
     void reset() override;
 
     L1Cache &dcacheModel() override { return dcache; }
+
+    void saveState(JsonWriter &w) const override;
+    void loadState(const JsonValue &v) override;
 
   private:
     /** Allocate a slot on the least-loaded of @p ports, >= @p earliest. */

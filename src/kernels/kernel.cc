@@ -6,6 +6,7 @@
 #include "asm/assembler.h"
 #include "common/log.h"
 #include "cpu/functional.h"
+#include "system/capsule.h"
 
 namespace xloops {
 
@@ -136,7 +137,29 @@ runKernel(const Kernel &kernel, const SysConfig &cfg, ExecMode mode,
     sys.setObserver(hooks.tracer, hooks.profiler);
     if (hooks.traceText)
         sys.setTrace(hooks.traceText);
-    run.result = sys.run(prog, mode);
+    if (hooks.capsule) {
+        // Capture the context a capsule needs *before* running: the
+        // initial image includes kernel input data written after the
+        // program load, which a Program alone cannot reproduce.
+        hooks.capsule->valid = true;
+        hooks.capsule->program = prog;
+        hooks.capsule->initialMem.copyFrom(sys.memory());
+    }
+    const auto captureCheckpoint = [&] {
+        if (hooks.capsule) {
+            hooks.capsule->lastCheckpoint = sys.lastCheckpoint();
+            hooks.capsule->lastCheckpointInst = sys.lastCheckpointInst();
+        }
+    };
+    try {
+        run.result =
+            sys.run(prog, mode, 500'000'000,
+                    hooks.runOptions ? *hooks.runOptions : RunOptions{});
+    } catch (...) {
+        captureCheckpoint();
+        throw;
+    }
+    captureCheckpoint();
 
     // Serial golden model on an identical memory image.
     MainMemory golden;

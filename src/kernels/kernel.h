@@ -24,6 +24,8 @@
 
 namespace xloops {
 
+struct CapsuleContext;
+
 /** One benchmark kernel. */
 struct Kernel
 {
@@ -83,6 +85,16 @@ struct RunHooks
     Tracer *tracer = nullptr;         ///< structured event trace
     LoopProfiler *profiler = nullptr; ///< per-loop rollups
     std::ostream *traceText = nullptr; ///< human-readable stream trace
+
+    /** Robustness options (lockstep / checkpoint / restore) forwarded
+     *  to the internally built system's run(). */
+    const RunOptions *runOptions = nullptr;
+
+    /** When set, filled with the capsule-relevant run context (program
+     *  image, post-setup initial memory, nearest checkpoint) — kept
+     *  up to date even when the run throws, so the caller can write a
+     *  divergence capsule from its catch site. */
+    CapsuleContext *capsule = nullptr;
 };
 
 /**

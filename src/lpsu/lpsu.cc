@@ -4,6 +4,7 @@
 #include <limits>
 #include <numeric>
 
+#include "common/json.h"
 #include "common/log.h"
 #include "common/sim_error.h"
 
@@ -1552,9 +1553,50 @@ Lpsu::execute(const Program &prog, Addr xloopPc, RegFile &liveIns,
                       startIdx, bound0, maxIters, traceOut, tracer, prof,
                       traceBase + scan);
     res = engine.run();
+
+    // Architectural-corruption fault class: deliberately flip one bit
+    // in a hand-back register. Unlike the timing fault classes this
+    // breaks architectural equivalence — it exists so the lockstep
+    // checker has a real, seed-reproducible divergence to catch.
+    if (const u32 c = injector.corruptHandBack()) {
+        const RegId reg = static_cast<RegId>(c >> 8);
+        const u32 bit = c & 31;
+        liveIns.set(reg, liveIns.get(reg) ^ (1u << bit));
+        statGroup.add("arch_corruptions");
+        if (traceOut) {
+            *traceOut << "[lpsu] FAULT arch-corrupt r" << unsigned{reg}
+                      << " bit " << bit << "\n";
+        }
+    }
+
     res.scanCycles = scan;
     statGroup.add("lpsu_scan_cycles", scan);
     return res;
+}
+
+void
+Lpsu::saveState(JsonWriter &w) const
+{
+    if (residentPc == ~Addr{0})
+        w.field("resident_pc", "none");
+    else
+        w.field("resident_pc", static_cast<u64>(residentPc));
+    w.key("injector").beginObject();
+    injector.saveState(w);
+    w.endObject();
+    w.key("stats").beginObject();
+    statGroup.saveState(w);
+    w.endObject();
+}
+
+void
+Lpsu::loadState(const JsonValue &v)
+{
+    const JsonValue &rp = v.at("resident_pc");
+    residentPc = rp.kind() == JsonValue::Kind::String ? ~Addr{0}
+                                                      : rp.asU64();
+    injector.loadState(v.at("injector"));
+    statGroup.loadState(v.at("stats"));
 }
 
 } // namespace xloops

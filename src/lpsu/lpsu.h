@@ -201,6 +201,11 @@ class Lpsu
     /** Roll per-loop statistics up into @p p; nullptr disables. */
     void setProfiler(LoopProfiler *p) { profiler = p; }
 
+    /** Checkpoint capture/restore of buffer residency, statistics and
+     *  the fault injector's RNG streams. */
+    void saveState(JsonWriter &w) const;
+    void loadState(const JsonValue &v);
+
   private:
     LpsuConfig cfg;
     MainMemory &mem;

@@ -1,6 +1,8 @@
 #include "mem/cache.h"
 
+#include "common/json.h"
 #include "common/log.h"
+#include "common/serialize.h"
 
 namespace xloops {
 
@@ -75,6 +77,52 @@ L1Cache::flush()
 {
     for (auto &line : lines)
         line = Line{};
+}
+
+void
+L1Cache::saveState(JsonWriter &w) const
+{
+    w.field("stamp", stamp);
+    // Lines as four parallel arrays: flags packed (valid | dirty<<1),
+    // then tags and LRU stamps. Compact and order-exact.
+    std::vector<u64> flags, tags, lru;
+    flags.reserve(lines.size());
+    tags.reserve(lines.size());
+    lru.reserve(lines.size());
+    for (const Line &line : lines) {
+        flags.push_back(static_cast<u64>(line.valid) |
+                        (static_cast<u64>(line.dirty) << 1));
+        tags.push_back(line.tag);
+        lru.push_back(line.lruStamp);
+    }
+    w.key("flags");
+    writeU64Array(w, flags);
+    w.key("tags");
+    writeU64Array(w, tags);
+    w.key("lru");
+    writeU64Array(w, lru);
+    w.key("stats").beginObject();
+    statGroup.saveState(w);
+    w.endObject();
+}
+
+void
+L1Cache::loadState(const JsonValue &v)
+{
+    stamp = v.at("stamp").asU64();
+    const std::vector<u64> flags = readU64Array(v.at("flags"));
+    const std::vector<u64> tags = readU64Array(v.at("tags"));
+    const std::vector<u64> lru = readU64Array(v.at("lru"));
+    if (flags.size() != lines.size() || tags.size() != lines.size() ||
+        lru.size() != lines.size())
+        fatal("checkpoint cache geometry does not match configuration");
+    for (size_t i = 0; i < lines.size(); i++) {
+        lines[i].valid = (flags[i] & 1) != 0;
+        lines[i].dirty = (flags[i] & 2) != 0;
+        lines[i].tag = static_cast<u32>(tags[i]);
+        lines[i].lruStamp = lru[i];
+    }
+    statGroup.loadState(v.at("stats"));
 }
 
 } // namespace xloops

@@ -16,6 +16,8 @@
 
 namespace xloops {
 
+class JsonValue;
+
 struct CacheConfig
 {
     u32 sizeBytes = 16 * 1024;
@@ -47,6 +49,10 @@ class L1Cache
     const CacheConfig &config() const { return cfg; }
     StatGroup &stats() { return statGroup; }
     const StatGroup &stats() const { return statGroup; }
+
+    /** Checkpoint capture of lines, LRU stamps, and statistics. */
+    void saveState(JsonWriter &w) const;
+    void loadState(const JsonValue &v);
 
   private:
     struct Line

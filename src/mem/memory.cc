@@ -1,8 +1,12 @@
 #include "mem/memory.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstring>
 
+#include "common/json.h"
 #include "common/log.h"
+#include "common/serialize.h"
 
 namespace xloops {
 
@@ -50,8 +54,14 @@ MainMemory::write(Addr addr, unsigned size, u32 value)
     checkAccess(addr, size);
     u8 *page = pageFor(addr);
     const Addr off = addr & pageMask;
-    for (unsigned i = 0; i < size; i++)
-        page[off + i] = static_cast<u8>(value >> (8 * i));
+    for (unsigned i = 0; i < size; i++) {
+        const u8 nb = static_cast<u8>(value >> (8 * i));
+        u8 &ob = page[off + i];
+        if (ob != nb) {
+            dig ^= byteContrib(addr + i, ob) ^ byteContrib(addr + i, nb);
+            ob = nb;
+        }
+    }
 }
 
 u32
@@ -103,9 +113,107 @@ void
 MainMemory::loadBytes(Addr base, const std::vector<u8> &bytes)
 {
     for (size_t i = 0; i < bytes.size(); i++) {
-        u8 *page = pageFor(base + static_cast<Addr>(i));
-        page[(base + i) & pageMask] = bytes[i];
+        const Addr addr = base + static_cast<Addr>(i);
+        u8 *page = pageFor(addr);
+        u8 &ob = page[addr & pageMask];
+        if (ob != bytes[i]) {
+            dig ^= byteContrib(addr, ob) ^ byteContrib(addr, bytes[i]);
+            ob = bytes[i];
+        }
     }
+}
+
+void
+MainMemory::copyFrom(const MainMemory &other)
+{
+    pages.clear();
+    for (const auto &[pageNum, page] : other.pages) {
+        auto copy = std::make_unique<u8[]>(pageSize);
+        std::memcpy(copy.get(), page.get(), pageSize);
+        pages.emplace(pageNum, std::move(copy));
+    }
+    dig = other.dig;
+}
+
+Addr
+MainMemory::firstDifference(const MainMemory &a, const MainMemory &b)
+{
+    std::vector<u32> pageNums;
+    for (const auto &[pageNum, page] : a.pages)
+        pageNums.push_back(pageNum);
+    for (const auto &[pageNum, page] : b.pages)
+        if (!a.pages.count(pageNum))
+            pageNums.push_back(pageNum);
+    std::sort(pageNums.begin(), pageNums.end());
+
+    static const u8 zeros[pageSize] = {};
+    for (const u32 pageNum : pageNums) {
+        const auto ita = a.pages.find(pageNum);
+        const auto itb = b.pages.find(pageNum);
+        const u8 *pa = ita == a.pages.end() ? zeros : ita->second.get();
+        const u8 *pb = itb == b.pages.end() ? zeros : itb->second.get();
+        if (std::memcmp(pa, pb, pageSize) == 0)
+            continue;
+        for (Addr off = 0; off < pageSize; off++)
+            if (pa[off] != pb[off])
+                return (static_cast<Addr>(pageNum) << pageBits) | off;
+    }
+    return ~Addr{0};
+}
+
+void
+MainMemory::saveState(JsonWriter &w) const
+{
+    char digBuf[24];
+    std::snprintf(digBuf, sizeof digBuf, "0x%016llx",
+                  static_cast<unsigned long long>(dig));
+    w.field("digest", std::string(digBuf));
+
+    std::vector<u32> pageNums;
+    for (const auto &[pageNum, page] : pages)
+        pageNums.push_back(pageNum);
+    std::sort(pageNums.begin(), pageNums.end());
+
+    w.key("pages").beginObject();
+    for (const u32 pageNum : pageNums) {
+        const u8 *page = pages.at(pageNum).get();
+        // Trim at the last nonzero byte; all-zero pages are omitted
+        // (indistinguishable from untouched ones).
+        size_t len = pageSize;
+        while (len > 0 && page[len - 1] == 0)
+            len--;
+        if (len == 0)
+            continue;
+        char key[16];
+        std::snprintf(key, sizeof key, "0x%x", pageNum);
+        w.field(key, hexEncode(page, len));
+    }
+    w.endObject();
+}
+
+void
+MainMemory::loadState(const JsonValue &v)
+{
+    pages.clear();
+    dig = 0;
+    for (const auto &[key, blob] : v.at("pages").members()) {
+        const u32 pageNum = static_cast<u32>(parseU64(key));
+        const std::vector<u8> bytes = hexDecode(blob.asString());
+        if (bytes.size() > pageSize)
+            fatal(strf("checkpoint page ", key, " exceeds page size"));
+        auto page = std::make_unique<u8[]>(pageSize);
+        std::memset(page.get(), 0, pageSize);
+        std::memcpy(page.get(), bytes.data(), bytes.size());
+        const Addr base = static_cast<Addr>(pageNum) << pageBits;
+        for (size_t i = 0; i < bytes.size(); i++)
+            dig ^= byteContrib(base + static_cast<Addr>(i), bytes[i]);
+        pages.emplace(pageNum, std::move(page));
+    }
+    const u64 expect = parseU64(v.at("digest").asString());
+    if (dig != expect)
+        fatal(strf("checkpoint memory digest mismatch: stored ",
+                   v.at("digest").asString(), ", recomputed 0x", std::hex,
+                   dig));
 }
 
 } // namespace xloops

@@ -3,6 +3,15 @@
  * Functional memory: a sparse paged byte-addressable 32-bit space,
  * plus the abstract port through which all simulated engines access
  * memory (so the LPSU can interpose per-lane load-store queues).
+ *
+ * The memory maintains an *incremental content digest*: an XOR over a
+ * per-byte hash of (address, value), updated on every write, where a
+ * zero byte contributes nothing (so untouched and zero-filled pages
+ * are indistinguishable, as they are architecturally). Two memories
+ * hold identical content iff their digests match, which lets the
+ * differential lockstep checker compare full images in O(1) at every
+ * sync point and fall back to a byte walk only to name the first
+ * mismatching address after a divergence fires.
  */
 
 #ifndef XLOOPS_MEM_MEMORY_H
@@ -12,10 +21,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/types.h"
 #include "isa/opcodes.h"
 
 namespace xloops {
+
+class JsonWriter;
+class JsonValue;
 
 /**
  * Abstract functional memory interface. Sizes are 1, 2, or 4 bytes;
@@ -51,14 +64,45 @@ class MainMemory : public MemIface
     /** Apply the AMO combine function (shared with LSQ drains). */
     static u32 amoCompute(Op op, u32 old, u32 operand);
 
+    /**
+     * Incremental content digest: equal iff the byte images are equal
+     * (up to hash collision; 64-bit, adversary-free). O(1) to read.
+     */
+    u64 digest() const { return dig; }
+
+    /** Deep-copy @p other's pages and digest (lockstep shadow init). */
+    void copyFrom(const MainMemory &other);
+
+    /**
+     * First byte address at which @p a and @p b differ (missing pages
+     * compare as zero), or ~Addr{0} when the images are identical.
+     * O(touched memory); used only to report a divergence.
+     */
+    static Addr firstDifference(const MainMemory &a, const MainMemory &b);
+
+    /** Emit {"digest": "0x..", "pages": {"0x..": "hex..", ..}}. */
+    void saveState(JsonWriter &w) const;
+
+    /** Restore pages and recompute the digest from scratch. */
+    void loadState(const JsonValue &v);
+
   private:
     static constexpr unsigned pageBits = 16;
     static constexpr Addr pageSize = 1u << pageBits;
     static constexpr Addr pageMask = pageSize - 1;
 
+    /** Digest contribution of byte @p b at @p addr (zero bytes: 0). */
+    static u64
+    byteContrib(Addr addr, u8 b)
+    {
+        return b == 0 ? 0
+                      : mix64((static_cast<u64>(addr) << 8) | b);
+    }
+
     u8 *pageFor(Addr addr);
 
     std::unordered_map<u32, std::unique_ptr<u8[]>> pages;
+    u64 dig = 0;
 };
 
 } // namespace xloops

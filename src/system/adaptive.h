@@ -16,6 +16,9 @@
 
 namespace xloops {
 
+class JsonWriter;
+class JsonValue;
+
 /** One APT entry. */
 struct AptEntry
 {
@@ -57,6 +60,10 @@ class AdaptiveController
     void reset();
 
     u64 iterThresholdValue() const { return iterThreshold; }
+
+    /** Checkpoint capture/restore of the table and FIFO cursor. */
+    void saveState(JsonWriter &w) const;
+    void loadState(const JsonValue &v);
 
   private:
     u64 iterThreshold;

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Divergence / replay capsules (schema "xloops-capsule-1").
+ *
+ * When a run dies with a SimError — a lockstep divergence, a watchdog
+ * firing, a limit valve — the driver packages everything needed to
+ * re-execute it into one self-contained file: the exact program image,
+ * the initial memory image (program plus kernel input data), the
+ * configuration / mode / fault-seed knobs, the structured error (with
+ * the DivergenceInfo payload when there is one), and the nearest
+ * checkpoint taken before the failure. `xsim --replay capsule.json`
+ * re-executes deterministically, verifies the error reproduces
+ * *identically* (same site, loop pc, iteration, register/address),
+ * re-verifies it from the embedded checkpoint, and then bisects over
+ * checkpoints taken during the replay to hand back the tightest
+ * [checkpoint, failure] window around the first divergent iteration.
+ */
+
+#ifndef XLOOPS_SYSTEM_CAPSULE_H
+#define XLOOPS_SYSTEM_CAPSULE_H
+
+#include <string>
+
+#include "asm/program.h"
+#include "mem/memory.h"
+
+namespace xloops {
+
+class SimError;
+
+/** Captured at run time so a capsule can be written if the run dies:
+ *  the exact image executed and the initial memory it started from. */
+struct CapsuleContext
+{
+    bool valid = false;        ///< program/initialMem were captured
+    Program program;
+    MainMemory initialMem;     ///< after program load + kernel setup
+    std::string lastCheckpoint;  ///< nearest prior checkpoint (or "")
+    u64 lastCheckpointInst = 0;
+};
+
+/** The CLI-level knobs replay must reapply to rebuild the run. */
+struct CapsuleRunSpec
+{
+    std::string configName;
+    std::string modeName;
+    std::string workload;      ///< kernel or file name (label only)
+    u64 maxInsts = 500'000'000;
+    bool lockstep = false;     ///< replay re-runs with the same checker
+    u64 injectSeed = 0;
+    double injectRate = 0.0;
+    double archCorruptRate = 0.0;
+    bool haveWatchdog = false;
+    u64 watchdogCycles = 0;
+};
+
+/** Write @p error and its run context as a capsule at @p path. */
+void writeCapsule(const std::string &path, const CapsuleRunSpec &spec,
+                  const CapsuleContext &ctx, const SimError &error);
+
+/**
+ * Replay the capsule at @p path: re-execute, verify the recorded
+ * error reproduces identically, re-verify from the embedded
+ * checkpoint, bisect. Prints a "replay:" report; returns the process
+ * exit code (0 reproduced identically, 2 any mismatch).
+ */
+int replayCapsule(const std::string &path);
+
+} // namespace xloops
+
+#endif // XLOOPS_SYSTEM_CAPSULE_H

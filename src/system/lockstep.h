@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Differential lockstep verification (the robustness counterpart of
+ * the kernels' end-of-run golden checkers).
+ *
+ * The checker runs a shadow copy of the functional golden semantics —
+ * the same ExecCore::step every engine funnels through, but over its
+ * own register file and memory image — alongside whichever timing
+ * model is driving the run (in-order, out-of-order, LPSU-specialized,
+ * adaptive). After every committed GPP instruction the shadow executes
+ * the same pc traditionally and the two architectural states are
+ * compared: registers directly, memory in O(1) through the incremental
+ * content digest. When the LPSU takes a loop, the shadow instead
+ * re-executes the specialized iterations traditionally (body + xloop
+ * back-branch) until its loop index meets the LPSU's hand-back index,
+ * and the states are compared at the xloop-entry and xloop-exit sync
+ * points. The first disagreement raises DivergenceError (exit code 5)
+ * naming the first mismatching register or byte address — so a wrong
+ * answer is caught at the instruction (or loop iteration) that
+ * produced it, not at the end-of-run checker.
+ *
+ * The xloop-exit compare honours the LPSU hand-back contract: the
+ * loop index, bound, cross-iteration registers (last iteration's
+ * value), and mutual induction variables are serial-exact and are
+ * compared, along with memory and every register the body never
+ * writes. Lane-private body temporaries are architecturally dead
+ * after a specialized loop (the ISA contract; they are not handed
+ * back), so they are excluded and the shadow adopts the timing
+ * model's values for them.
+ *
+ * Known limitation: a csrr cycle-counter read inside a specialized
+ * loop legitimately differs between the timing model and the shadow;
+ * lockstep is meant for kernels whose results are cycle-independent
+ * (all registered kernels are).
+ */
+
+#ifndef XLOOPS_SYSTEM_LOCKSTEP_H
+#define XLOOPS_SYSTEM_LOCKSTEP_H
+
+#include "asm/program.h"
+#include "cpu/exec_core.h"
+#include "mem/memory.h"
+
+namespace xloops {
+
+class JsonWriter;
+class JsonValue;
+struct StepResult;
+
+class LockstepChecker
+{
+  public:
+    explicit LockstepChecker(const Program &program);
+
+    /** Clone @p mainMem (program + inputs already loaded) and point
+     *  the shadow at the entry pc. */
+    void start(const MainMemory &mainMem, Addr entry);
+
+    /**
+     * Mirror one committed instruction: the shadow executes @p pc with
+     * the cycle value the timing model saw, then control flow and full
+     * architectural state are compared. @p mainStep / @p mainRegs /
+     * @p mainMem are the timing model's state *after* the step.
+     * Throws DivergenceError on the first mismatch.
+     */
+    void mirrorStep(Addr pc, const StepResult &mainStep,
+                    const RegFile &mainRegs, const MainMemory &mainMem,
+                    Cycle cycle, u64 instIndex);
+
+    /** Compare states at an xloop-entry sync point (the shadow is at
+     *  @p xloopPc; the LPSU is about to take the loop). */
+    void checkEntry(Addr xloopPc, const RegFile &mainRegs,
+                    const MainMemory &mainMem, u64 instIndex);
+
+    /**
+     * xloop-exit sync point: the LPSU handed the loop back with the
+     * index register at mainRegs[idxReg]. Re-execute the specialized
+     * iterations traditionally on the shadow until it reaches
+     * @p xloopPc with the same index, then compare full state.
+     */
+    void catchUp(Addr xloopPc, RegId idxReg, const RegFile &mainRegs,
+                 const MainMemory &mainMem, Cycle cycle, u64 instIndex);
+
+    /** Sync-point comparisons performed so far (tests/stats). */
+    u64 comparisons() const { return numComparisons; }
+
+    /** Shadow instructions executed (catch-up re-execution included). */
+    u64 shadowInsts() const { return numShadowInsts; }
+
+    /**
+     * Checkpoint support. At every checkpoint boundary the preceding
+     * comparison passed, so the shadow state equals the main state and
+     * is not stored; restore re-clones it from the restored main state.
+     */
+    void saveState(JsonWriter &w) const;
+    void loadState(const JsonValue &v, const RegFile &mainRegs,
+                   const MainMemory &mainMem, Addr mainPc);
+
+    /** Re-clone the shadow from a restored main state (used when the
+     *  checkpoint was taken without lockstep enabled). */
+    void resume(const RegFile &mainRegs, const MainMemory &mainMem,
+                Addr mainPc);
+
+  private:
+    /** Architectural compare (registers with skip[r] set are exempt);
+     *  throws DivergenceError on mismatch. */
+    void compare(const char *site, Addr atPc, const RegFile &mainRegs,
+                 const MainMemory &mainMem, u64 instIndex, i64 iteration,
+                 const bool *skip = nullptr);
+
+    [[noreturn]] void raise(const char *site, Addr atPc, u64 instIndex,
+                            i64 iteration, const RegFile &mainRegs,
+                            const MainMemory &mainMem,
+                            const bool *skip = nullptr);
+
+    const Program &prog;
+    RegFile regs;
+    MainMemory mem;
+    Addr pc = 0;
+    bool halted = false;
+    u64 numComparisons = 0;
+    u64 numShadowInsts = 0;
+};
+
+} // namespace xloops
+
+#endif // XLOOPS_SYSTEM_LOCKSTEP_H

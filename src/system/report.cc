@@ -1,0 +1,53 @@
+#include "system/report.h"
+
+#include <fstream>
+
+#include "common/json.h"
+#include "common/log.h"
+
+namespace xloops {
+
+void
+writeStatsJson(std::ostream &out, const std::string &cfgName,
+               const std::string &modeName, const std::string &workload,
+               const SysResult &result, const LoopProfiler &profiler,
+               const Tracer *tracer)
+{
+    JsonWriter w(out, /*pretty=*/true);
+    w.beginObject();
+    w.field("schema", "xloops-stats-1");
+    w.field("config", cfgName);
+    w.field("mode", modeName);
+    w.field("workload", workload);
+    w.key("result").beginObject();
+    w.field("cycles", result.cycles);
+    w.field("gpp_insts", result.gppInsts);
+    w.field("lane_insts", result.laneInsts);
+    w.field("xloops_specialized", result.xloopsSpecialized);
+    w.endObject();
+    result.stats.writeJson(w);
+    profiler.writeJson(w);
+    if (tracer) {
+        w.key("trace").beginObject();
+        w.field("total_emitted", tracer->totalEmitted());
+        w.field("dropped", tracer->dropped());
+        w.endObject();
+    }
+    w.endObject();
+    out << "\n";
+}
+
+void
+writeStatsJsonFile(const std::string &path, const std::string &cfgName,
+                   const std::string &modeName,
+                   const std::string &workload, const SysResult &result,
+                   const LoopProfiler &profiler, const Tracer *tracer)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write " + path);
+    writeStatsJson(out, cfgName, modeName, workload, result, profiler,
+                   tracer);
+}
+
+} // namespace xloops

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The canonical "xloops-stats-1" report writer, shared by `xsim
+ * --stats-json`, capsule replay, and the checkpoint round-trip tests
+ * (which diff two of these files byte-for-byte — so there is exactly
+ * one serializer and it is deterministic: stable key order, no
+ * timestamps, no float formatting surprises).
+ */
+
+#ifndef XLOOPS_SYSTEM_REPORT_H
+#define XLOOPS_SYSTEM_REPORT_H
+
+#include <ostream>
+#include <string>
+
+#include "common/loop_profile.h"
+#include "common/trace.h"
+#include "system/system.h"
+
+namespace xloops {
+
+/** Write the full stats report ("xloops-stats-1") to @p out. */
+void writeStatsJson(std::ostream &out, const std::string &cfgName,
+                    const std::string &modeName,
+                    const std::string &workload, const SysResult &result,
+                    const LoopProfiler &profiler, const Tracer *tracer);
+
+/** writeStatsJson to @p path; throws FatalError when unwritable. */
+void writeStatsJsonFile(const std::string &path,
+                        const std::string &cfgName,
+                        const std::string &modeName,
+                        const std::string &workload,
+                        const SysResult &result,
+                        const LoopProfiler &profiler,
+                        const Tracer *tracer);
+
+} // namespace xloops
+
+#endif // XLOOPS_SYSTEM_REPORT_H

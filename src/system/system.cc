@@ -1,11 +1,14 @@
 #include "system/system.h"
 
 #include <algorithm>
+#include <fstream>
 #include <ostream>
 
+#include "common/json.h"
 #include "common/log.h"
 #include "common/sim_error.h"
 #include "isa/disasm.h"
+#include "system/lockstep.h"
 
 namespace xloops {
 
@@ -176,6 +179,13 @@ XloopsSystem::adaptivePost(Addr pc, bool branch_taken)
 SysResult
 XloopsSystem::run(const Program &prog, ExecMode mode, u64 maxInsts)
 {
+    return run(prog, mode, maxInsts, RunOptions{});
+}
+
+SysResult
+XloopsSystem::run(const Program &prog, ExecMode mode, u64 maxInsts,
+                  const RunOptions &opts)
+{
     if (mode != ExecMode::Traditional && !cfg.hasLpsu)
         fatal(strf("configuration '", cfg.name, "' has no LPSU"));
 
@@ -186,61 +196,111 @@ XloopsSystem::run(const Program &prog, ExecMode mode, u64 maxInsts)
     if (lpsu)
         lpsu->reset();
 
-    SysResult result;
-    RegFile regs;
-    Addr pc = prog.entry;
+    RunState rs;
+    rs.pc = prog.entry;
+    rs.mode = mode;
 
-    while (true) {
-        const Instruction inst = prog.fetch(pc);
+    std::unique_ptr<LockstepChecker> checker;
+    if (opts.lockstep) {
+        checker = std::make_unique<LockstepChecker>(prog);
+        checker->start(mem, prog.entry);
+    }
 
-        if (inst.isXloop() && inst.hint && cfg.hasLpsu) {
+    lastCkptText.clear();
+    lastCkptInst = 0;
+
+    if (!opts.restoreText.empty())
+        restoreCheckpoint(jsonParse(opts.restoreText), prog, rs,
+                          checker.get());
+    else if (!opts.restorePath.empty())
+        restoreCheckpointFile(opts.restorePath, prog, rs, checker.get());
+
+    // Next checkpoint boundary (strictly after the restored position,
+    // so a restored run never re-writes the checkpoint it came from).
+    u64 nextCkpt =
+        opts.checkpointEvery
+            ? (rs.result.gppInsts / opts.checkpointEvery + 1) *
+                  opts.checkpointEvery
+            : ~u64{0};
+
+    while (!rs.halted) {
+        const Instruction inst = prog.fetch(rs.pc);
+
+        if (inst.isXloop() && inst.hint && cfg.hasLpsu &&
+            mode != ExecMode::Traditional) {
+            // xloop-entry sync point: the LPSU is about to (possibly)
+            // take the loop; the shadow must agree on the state the
+            // specialized iterations start from.
+            if (checker)
+                checker->checkEntry(rs.pc, rs.regs, mem,
+                                    rs.result.gppInsts);
             if (mode == ExecMode::Specialized)
-                specialize(prog, pc, regs, ~u64{0}, result);
-            else if (mode == ExecMode::Adaptive)
-                adaptivePre(prog, pc, regs, result);
+                specialize(prog, rs.pc, rs.regs, ~u64{0}, rs.result);
+            else
+                adaptivePre(prog, rs.pc, rs.regs, rs.result);
+            // xloop-exit sync point: re-execute the specialized
+            // iterations traditionally on the shadow until its index
+            // register meets the LPSU hand-back index, then compare.
+            if (checker)
+                checker->catchUp(rs.pc, inst.rd, rs.regs, mem,
+                                 gpp->now(), rs.result.gppInsts);
             // Fall through: the xloop instruction itself always
             // executes traditionally (it now sees the post-LPSU
             // index/bound and exits or continues correctly).
         }
 
+        const Cycle stepCycle = gpp->now();
         const StepResult step =
-            ExecCore::step(inst, pc, regs, mem, gpp->now());
-        gpp->retire(inst, pc, step);
-        result.gppInsts++;
+            ExecCore::step(inst, rs.pc, rs.regs, mem, stepCycle);
+        gpp->retire(inst, rs.pc, step);
+        rs.result.gppInsts++;
+        if (checker) {
+            checker->mirrorStep(rs.pc, step, rs.regs, mem, stepCycle,
+                                rs.result.gppInsts);
+        }
         if (traceOut) {
             *traceOut << "[gpp @" << gpp->now() << "] 0x" << std::hex
-                      << pc << std::dec << ": " << disassemble(inst, pc)
-                      << "\n";
+                      << rs.pc << std::dec << ": "
+                      << disassemble(inst, rs.pc) << "\n";
         }
 
         if (inst.isXloop() && inst.hint && cfg.hasLpsu &&
             mode == ExecMode::Adaptive) {
-            adaptivePost(pc, step.branchTaken);
+            adaptivePost(rs.pc, step.branchTaken);
         }
 
         // A taken xloop back-branch is one traditionally executed
         // iteration (the LPSU accounts specialized ones itself).
         if (profiler && inst.isXloop() && step.branchTaken) {
-            LoopProfile &lp = profiler->loop(pc);
+            LoopProfile &lp = profiler->loop(rs.pc);
             lp.tradIters++;
             if (lp.pattern.empty())
                 lp.pattern = patternName(inst.pattern());
         }
 
-        if (step.halted)
+        if (step.halted) {
+            rs.halted = true;
             break;
-        pc = step.nextPc;
-        if (result.gppInsts >= maxInsts) {
+        }
+        rs.pc = step.nextPc;
+
+        if (rs.result.gppInsts >= nextCkpt) {
+            takeCheckpoint(prog, rs, checker.get(), opts);
+            nextCkpt += opts.checkpointEvery;
+        }
+
+        if (rs.result.gppInsts >= maxInsts) {
             // A silent hang used to ride this valve into a bare
             // FatalError; dump the machine state so it is debuggable.
             MachineSnapshot snap;
             snap.context = "system instruction-limit valve";
             snap.cycle = gpp->now();
-            snap.gppPc = pc;
-            snap.gppInsts = result.gppInsts;
+            snap.gppPc = rs.pc;
+            snap.gppInsts = rs.result.gppInsts;
             snap.occupancy.emplace_back("xloops_specialized",
-                                        result.xloopsSpecialized);
-            snap.occupancy.emplace_back("lane_insts", result.laneInsts);
+                                        rs.result.xloopsSpecialized);
+            snap.occupancy.emplace_back("lane_insts",
+                                        rs.result.laneInsts);
             if (tracer)
                 snap.recentEvents = tracer->lastEvents(16);
             throw SimError(
@@ -252,6 +312,7 @@ XloopsSystem::run(const Program &prog, ExecMode mode, u64 maxInsts)
         }
     }
 
+    SysResult result = rs.result;
     result.cycles = gpp->now();
     result.stats.merge(gpp->stats());
     if (lpsu)
@@ -260,6 +321,25 @@ XloopsSystem::run(const Program &prog, ExecMode mode, u64 maxInsts)
     result.stats.set("lane_insts_total", result.laneInsts);
     result.stats.set("cycles_total", result.cycles);
     return result;
+}
+
+void
+XloopsSystem::takeCheckpoint(const Program &prog, const RunState &rs,
+                             const LockstepChecker *checker,
+                             const RunOptions &opts)
+{
+    lastCkptText = checkpointText(prog, rs, checker);
+    lastCkptInst = rs.result.gppInsts;
+    if (!opts.checkpointPrefix.empty()) {
+        const std::string path =
+            strf(opts.checkpointPrefix, "-", rs.result.gppInsts, ".json");
+        std::ofstream out(path);
+        if (!out)
+            fatal("cannot write checkpoint " + path);
+        out << lastCkptText;
+    }
+    if (opts.checkpointSink)
+        opts.checkpointSink(rs.result.gppInsts, lastCkptText);
 }
 
 } // namespace xloops

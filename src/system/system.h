@@ -8,9 +8,11 @@
 #ifndef XLOOPS_SYSTEM_SYSTEM_H
 #define XLOOPS_SYSTEM_SYSTEM_H
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
+#include <string>
 
 #include "asm/program.h"
 #include "common/stats.h"
@@ -21,6 +23,8 @@
 #include "system/config.h"
 
 namespace xloops {
+
+class LockstepChecker;
 
 /** How xloop instructions are executed. */
 enum class ExecMode
@@ -42,6 +46,36 @@ struct SysResult
     StatGroup stats;  ///< merged gpp.*, lpsu.*, dcache.* counters
 };
 
+/** Robustness options of one run (all off by default). */
+struct RunOptions
+{
+    /** Differential lockstep verification: shadow-execute the golden
+     *  functional model and compare architectural state at every
+     *  commit and xloop sync point (DivergenceError on mismatch). */
+    bool lockstep = false;
+
+    /** Write a checkpoint every N committed GPP instructions
+     *  (0 disables). */
+    u64 checkpointEvery = 0;
+
+    /** Checkpoint file prefix: files are "<prefix>-<inst>.json".
+     *  Empty keeps checkpoints in memory only (capsules / sinks). */
+    std::string checkpointPrefix;
+
+    /** Resume from this checkpoint file before executing. */
+    std::string restorePath;
+
+    /** Resume from this in-memory checkpoint document (takes
+     *  precedence over restorePath; capsule replay restores from the
+     *  embedded checkpoint without touching the filesystem). */
+    std::string restoreText;
+
+    /** Observer invoked with each checkpoint's serialized text (replay
+     *  bisection holds checkpoints in memory through this). */
+    std::function<void(u64 instCount, const std::string &json)>
+        checkpointSink;
+};
+
 class XloopsSystem
 {
   public:
@@ -59,6 +93,15 @@ class XloopsSystem
      */
     SysResult run(const Program &prog, ExecMode mode,
                   u64 maxInsts = 500'000'000);
+
+    /** run() with lockstep / checkpoint / restore options. */
+    SysResult run(const Program &prog, ExecMode mode, u64 maxInsts,
+                  const RunOptions &opts);
+
+    /** The most recent checkpoint of the current/last run (empty when
+     *  none was taken): capsules embed it as the replay start point. */
+    const std::string &lastCheckpoint() const { return lastCkptText; }
+    u64 lastCheckpointInst() const { return lastCkptInst; }
 
     const SysConfig &config() const { return cfg; }
     GppModel &gppModel() { return *gpp; }
@@ -79,6 +122,38 @@ class XloopsSystem
     void setObserver(Tracer *tracer, LoopProfiler *profiler);
 
   private:
+    /** The in-flight state of one run() (checkpointable between any
+     *  two committed instructions). */
+    struct RunState
+    {
+        RegFile regs;
+        Addr pc = 0;
+        ExecMode mode = ExecMode::Traditional;
+        SysResult result;
+        bool halted = false;
+    };
+
+    /** Serialize the complete machine + run state ("xloops-ckpt-1"):
+     *  defined in system/checkpoint.cc. */
+    std::string checkpointText(const Program &prog, const RunState &rs,
+                               const LockstepChecker *checker) const;
+
+    /** Inverse of checkpointText (validates schema, config name, mode
+     *  and program hash). */
+    void restoreCheckpoint(const JsonValue &v, const Program &prog,
+                           RunState &rs, LockstepChecker *checker);
+
+    /** Read + parse + restore a checkpoint file. */
+    void restoreCheckpointFile(const std::string &path,
+                               const Program &prog, RunState &rs,
+                               LockstepChecker *checker);
+
+    /** Take one checkpoint: remember it, write the file (when a
+     *  prefix is configured), feed the sink. */
+    void takeCheckpoint(const Program &prog, const RunState &rs,
+                        const LockstepChecker *checker,
+                        const RunOptions &opts);
+
     /** Run LPSU specialized execution for the xloop at @p pc;
      *  returns false when the LPSU fell back (body too large). */
     bool specialize(const Program &prog, Addr pc, RegFile &regs,
@@ -111,6 +186,8 @@ class XloopsSystem
     std::ostream *traceOut = nullptr;
     Tracer *tracer = nullptr;
     LoopProfiler *profiler = nullptr;
+    std::string lastCkptText;
+    u64 lastCkptInst = 0;
 };
 
 } // namespace xloops

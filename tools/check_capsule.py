@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Validate xsim divergence/replay capsules.
+
+Checks that a capsule written by `xsim --capsule` (or the capsule
+tests) matches the xloops-capsule-1 schema: run identity, fault spec,
+error payload (with the divergence first-mismatch record when the
+error is a lockstep divergence), the embedded program image and
+initial memory, and the embedded xloops-ckpt-1 checkpoint's
+consistency with the capsule's own program hash. Used by CI and the
+cli_check_capsule ctest; exits non-zero with a message on the first
+violation.
+"""
+
+import argparse
+import json
+import sys
+
+DIVERGENCE_SITES = ("xloop-entry", "xloop-exit", "control",
+                    "post-inst", "halt")
+
+# SimError exit-code taxonomy (see src/common/sim_error.h): capsules
+# are only written for SimErrors, so 3 (recoverable diagnosis) or
+# 5 (lockstep divergence).
+CAPSULE_EXIT_CODES = (3, 5)
+
+
+def fail(msg):
+    print(f"check_capsule: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(doc, keys, ctx):
+    for key in keys:
+        if key not in doc:
+            fail(f"{ctx}: missing key '{key}'")
+
+
+def check_hex(value, ctx):
+    if not isinstance(value, str) or not value.startswith("0x"):
+        fail(f"{ctx}: expected a '0x...' string, got {value!r}")
+    try:
+        int(value, 16)
+    except ValueError:
+        fail(f"{ctx}: not a hex literal: {value!r}")
+
+
+def check_divergence(div, ctx):
+    require(div, ("site", "pc", "inst_index", "iteration",
+                  "reg_mismatch", "reg", "main_value", "shadow_value",
+                  "mem_mismatch", "mem_addr", "main_byte",
+                  "shadow_byte"), ctx)
+    if div["site"] not in DIVERGENCE_SITES:
+        fail(f"{ctx}: unknown site {div['site']!r}")
+    check_hex(div["pc"], f"{ctx}.pc")
+    check_hex(div["mem_addr"], f"{ctx}.mem_addr")
+    if not (div["reg_mismatch"] or div["mem_mismatch"]):
+        fail(f"{ctx}: records neither a register nor a memory mismatch")
+    if div["reg_mismatch"]:
+        if not 1 <= div["reg"] <= 31:
+            fail(f"{ctx}: r{div['reg']} is not a divergeable register")
+        if div["main_value"] == div["shadow_value"]:
+            fail(f"{ctx}: register mismatch with equal values")
+
+
+def check_error(err):
+    require(err, ("kind", "exit_code", "message", "inst_count"), "error")
+    if err["exit_code"] not in CAPSULE_EXIT_CODES:
+        fail(f"error.exit_code {err['exit_code']} is not a SimError code")
+    if (err["kind"] == "divergence") != ("divergence" in err):
+        fail("error.kind and the divergence payload disagree")
+    if err["exit_code"] == 5 and err["kind"] != "divergence":
+        fail(f"exit code 5 with kind {err['kind']!r}")
+    if "divergence" in err:
+        check_divergence(err["divergence"], "error.divergence")
+
+
+def check_capsule(path):
+    with open(path) as f:
+        doc = json.load(f)
+
+    if doc.get("schema") != "xloops-capsule-1":
+        fail(f"{path}: schema is {doc.get('schema')!r}")
+    require(doc, ("config", "mode", "workload", "max_insts", "lockstep",
+                  "faults", "error", "program_hash", "program",
+                  "initial_mem", "checkpoint_inst"), path)
+    if doc["mode"] not in ("T", "S", "A"):
+        fail(f"{path}: unknown execution mode {doc['mode']!r}")
+
+    require(doc["faults"], ("seed", "rate_bits", "arch_rate_bits",
+                            "have_watchdog", "watchdog_cycles"), "faults")
+    check_hex(doc["faults"]["rate_bits"], "faults.rate_bits")
+    check_hex(doc["faults"]["arch_rate_bits"], "faults.arch_rate_bits")
+
+    check_error(doc["error"])
+
+    check_hex(doc["program_hash"], "program_hash")
+    prog = doc["program"]
+    require(prog, ("text_base", "entry", "text", "data", "symbols"),
+            "program")
+    text = prog["text"]
+    if not isinstance(text, str) or not text:
+        fail("program.text is empty")
+    if len(text) % 8 != 0:
+        fail("program.text is not whole 32-bit words")
+    try:
+        int(text, 16)
+    except ValueError:
+        fail("program.text is not a hex string")
+
+    mem = doc["initial_mem"]
+    require(mem, ("digest", "pages"), "initial_mem")
+    check_hex(mem["digest"], "initial_mem.digest")
+    if not mem["pages"]:
+        fail("initial_mem has no pages (no program image?)")
+    for addr in mem["pages"]:
+        check_hex(addr, "initial_mem.pages key")
+
+    if "checkpoint" in doc:
+        ckpt = doc["checkpoint"]
+        if ckpt.get("schema") != "xloops-ckpt-1":
+            fail(f"embedded checkpoint schema is {ckpt.get('schema')!r}")
+        require(ckpt, ("config", "mode", "program_hash", "inst_count",
+                       "pc", "regs", "mem"), "checkpoint")
+        for key in ("config", "mode", "program_hash"):
+            if ckpt[key] != doc[key]:
+                fail(f"checkpoint.{key} ({ckpt[key]!r}) does not match "
+                     f"the capsule's ({doc[key]!r})")
+        if ckpt["inst_count"] != doc["checkpoint_inst"]:
+            fail("checkpoint.inst_count does not match checkpoint_inst")
+        if ckpt["inst_count"] >= doc["error"]["inst_count"]:
+            fail("embedded checkpoint is not prior to the failure")
+    elif doc["checkpoint_inst"] != 0:
+        fail("checkpoint_inst set but no checkpoint embedded")
+
+    div = " (divergence)" if "divergence" in doc["error"] else ""
+    print(f"check_capsule: {path}: {doc['workload']} on {doc['config']}"
+          f" mode {doc['mode']}, {doc['error']['kind']} after "
+          f"{doc['error']['inst_count']} insts{div} OK")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("capsule", help="capsule JSON from xsim --capsule")
+    args = ap.parse_args()
+    check_capsule(args.capsule)
+
+
+if __name__ == "__main__":
+    main()

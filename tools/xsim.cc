@@ -12,9 +12,18 @@
  *  - `--stats-json out.json` writes every counter, histogram, and
  *    per-loop profile as stable sorted JSON for downstream tooling.
  *
+ * Robustness outputs:
+ *  - `--lockstep` shadow-executes the golden functional model and
+ *    aborts with the first architectural mismatch (exit 5).
+ *  - `--checkpoint-every N` / `--restore f.json` deterministically
+ *    checkpoint and resume a run ("xloops-ckpt-1").
+ *  - `--capsule f.json` writes a self-contained replay capsule when
+ *    the run dies; `--replay f.json` re-executes it, verifies the
+ *    identical failure, and bisects to the first divergent iteration.
+ *
  * Exit codes: 0 clean, 1 user/config error, 2 golden-checker failure,
  * 3 watchdog / simulation-limit diagnosis (machine snapshot printed),
- * 4 simulator panic.
+ * 4 simulator panic, 5 lockstep divergence.
  */
 
 #include <cstdio>
@@ -33,6 +42,8 @@
 #include "common/trace.h"
 #include "energy/energy.h"
 #include "kernels/kernel.h"
+#include "system/capsule.h"
+#include "system/report.h"
 
 using namespace xloops;
 
@@ -63,7 +74,23 @@ const Flag flagTable[] = {
     {"--inject-seed", "<n>", "enable fault injection with RNG seed n"},
     {"--inject-rate", "<p>",
      "per-opportunity fault probability (default 0.02 with a seed)"},
+    {"--inject-arch-rate", "<p>",
+     "architectural hand-back corruption probability (needs a seed; "
+     "exercises the lockstep checker)"},
     {"--watchdog-cycles", "<n>", "LPSU no-commit watchdog (0 disables)"},
+    {"--lockstep", nullptr,
+     "differential lockstep verification against the golden functional "
+     "model (divergence = exit 5)"},
+    {"--checkpoint-every", "<n>",
+     "write a checkpoint every n committed GPP instructions"},
+    {"--checkpoint-prefix", "<pfx>",
+     "checkpoint file prefix (default ckpt => ckpt-<inst>.json)"},
+    {"--restore", "<file>", "resume from a checkpoint file"},
+    {"--capsule", "<file>",
+     "write a self-contained replay capsule when the run dies"},
+    {"--replay", "<file>",
+     "re-execute a capsule, verify the identical failure, and bisect "
+     "to the first divergent iteration"},
     {"--help", nullptr, "print this usage and exit"},
 };
 
@@ -119,39 +146,6 @@ listEverything()
                     k.patterns.c_str(), k.suite.c_str());
 }
 
-void
-writeStatsJson(const std::string &path, const std::string &cfgName,
-               const std::string &modeName, const std::string &workload,
-               const SysResult &result, const LoopProfiler &profiler,
-               const Tracer *tracer)
-{
-    std::ofstream out(path);
-    if (!out)
-        fatal("cannot write " + path);
-    JsonWriter w(out, /*pretty=*/true);
-    w.beginObject();
-    w.field("schema", "xloops-stats-1");
-    w.field("config", cfgName);
-    w.field("mode", modeName);
-    w.field("workload", workload);
-    w.key("result").beginObject();
-    w.field("cycles", result.cycles);
-    w.field("gpp_insts", result.gppInsts);
-    w.field("lane_insts", result.laneInsts);
-    w.field("xloops_specialized", result.xloopsSpecialized);
-    w.endObject();
-    result.stats.writeJson(w);
-    profiler.writeJson(w);
-    if (tracer) {
-        w.key("trace").beginObject();
-        w.field("total_emitted", tracer->totalEmitted());
-        w.field("dropped", tracer->dropped());
-        w.endObject();
-    }
-    w.endObject();
-    out << "\n";
-}
-
 } // namespace
 
 int
@@ -169,16 +163,32 @@ main(int argc, char **argv)
     bool profile = false;
     u64 injectSeed = 0;
     double injectRate = 0.02;
+    double archCorruptRate = 0.0;
     u64 watchdogCycles = 0;
     bool haveWatchdog = false;
+    bool lockstep = false;
+    u64 checkpointEvery = 0;
+    std::string checkpointPrefix;
+    std::string restorePath;
+    std::string capsulePath;
+    std::string replayPath;
+
+    // Live outside the try so the SimError catch can write a capsule.
+    CapsuleContext capCtx;
+    CapsuleRunSpec capSpec;
 
     int checkerExit = 0;
     try {
         for (int i = 1; i < argc; i++) {
             const std::string arg = argv[i];
             auto next = [&]() -> std::string {
-                if (i + 1 >= argc)
+                if (i + 1 >= argc) {
+                    // A flag with its argument missing is the same
+                    // class of user error as an unknown flag: show
+                    // what would have been legal, then fail.
+                    printUsage(stderr);
                     fatal(arg + " needs an argument");
+                }
                 return argv[++i];
             };
             if (arg == "-c")
@@ -203,6 +213,20 @@ main(int argc, char **argv)
                 injectSeed = std::strtoull(next().c_str(), nullptr, 0);
             else if (arg == "--inject-rate")
                 injectRate = std::strtod(next().c_str(), nullptr);
+            else if (arg == "--inject-arch-rate")
+                archCorruptRate = std::strtod(next().c_str(), nullptr);
+            else if (arg == "--lockstep")
+                lockstep = true;
+            else if (arg == "--checkpoint-every")
+                checkpointEvery = std::strtoull(next().c_str(), nullptr, 0);
+            else if (arg == "--checkpoint-prefix")
+                checkpointPrefix = next();
+            else if (arg == "--restore")
+                restorePath = next();
+            else if (arg == "--capsule")
+                capsulePath = next();
+            else if (arg == "--replay")
+                replayPath = next();
             else if (arg == "--watchdog-cycles") {
                 watchdogCycles = std::strtoull(next().c_str(), nullptr, 0);
                 haveWatchdog = true;
@@ -222,14 +246,41 @@ main(int argc, char **argv)
             }
         }
 
+        if (!replayPath.empty())
+            return replayCapsule(replayPath);
+
         SysConfig cfg = configs::byName(cfgName);
         const ExecMode mode = parseMode(modeName);
         if (mode != ExecMode::Traditional && !cfg.hasLpsu)
             fatal("mode " + modeName + " needs an LPSU (+x config)");
-        if (injectSeed != 0)
+        if (archCorruptRate > 0.0 && injectSeed == 0)
+            fatal("--inject-arch-rate needs --inject-seed");
+        if (injectSeed != 0) {
             cfg.lpsu.faults = FaultConfig::uniform(injectSeed, injectRate);
+            cfg.lpsu.faults.archCorruptRate = archCorruptRate;
+        }
         if (haveWatchdog)
             cfg.lpsu.watchdogCycles = watchdogCycles;
+
+        RunOptions ropts;
+        ropts.lockstep = lockstep;
+        ropts.checkpointEvery = checkpointEvery;
+        ropts.checkpointPrefix = checkpointEvery
+                                     ? (checkpointPrefix.empty()
+                                            ? std::string("ckpt")
+                                            : checkpointPrefix)
+                                     : checkpointPrefix;
+        ropts.restorePath = restorePath;
+
+        capSpec.configName = cfgName;
+        capSpec.modeName = modeName;
+        capSpec.workload = kernelName.empty() ? path : kernelName;
+        capSpec.lockstep = lockstep;
+        capSpec.injectSeed = injectSeed;
+        capSpec.injectRate = injectSeed ? injectRate : 0.0;
+        capSpec.archCorruptRate = injectSeed ? archCorruptRate : 0.0;
+        capSpec.haveWatchdog = haveWatchdog;
+        capSpec.watchdogCycles = watchdogCycles;
 
         Tracer tracer;
         tracer.enable(!tracePath.empty());
@@ -244,6 +295,8 @@ main(int argc, char **argv)
             hooks.tracer = tr;
             hooks.profiler = prof;
             hooks.traceText = trace ? &std::cout : nullptr;
+            hooks.runOptions = &ropts;
+            hooks.capsule = capsulePath.empty() ? nullptr : &capCtx;
             const KernelRun run = runKernel(kernelByName(kernelName), cfg,
                                             mode, false, hooks);
             result = run.result;
@@ -264,7 +317,20 @@ main(int argc, char **argv)
                 sys.setTrace(&std::cout);
             sys.setObserver(tr, prof);
             sys.loadProgram(prog);
-            result = sys.run(prog, mode);
+            if (!capsulePath.empty()) {
+                capCtx.valid = true;
+                capCtx.program = prog;
+                capCtx.initialMem.copyFrom(sys.memory());
+            }
+            try {
+                result = sys.run(prog, mode, 500'000'000, ropts);
+            } catch (...) {
+                capCtx.lastCheckpoint = sys.lastCheckpoint();
+                capCtx.lastCheckpointInst = sys.lastCheckpointInst();
+                throw;
+            }
+            capCtx.lastCheckpoint = sys.lastCheckpoint();
+            capCtx.lastCheckpointInst = sys.lastCheckpointInst();
         }
 
         std::printf("cycles            %llu\n",
@@ -300,16 +366,28 @@ main(int argc, char **argv)
                         tracePath.c_str());
         }
         if (!statsJsonPath.empty()) {
-            writeStatsJson(statsJsonPath, cfgName, modeName,
-                           kernelName.empty() ? path : kernelName, result,
-                           profiler, tr);
+            writeStatsJsonFile(statsJsonPath, cfgName, modeName,
+                               kernelName.empty() ? path : kernelName,
+                               result, profiler, tr);
             std::printf("stats: %s\n", statsJsonPath.c_str());
         }
         return checkerExit;
     } catch (const SimError &error) {
-        // Recoverable diagnosis (watchdog, cycle/inst limits): the
-        // machine snapshot is part of the message.
+        // Recoverable diagnosis (watchdog, cycle/inst limits,
+        // lockstep divergence): the machine snapshot is part of the
+        // message, and the full run context becomes a replay capsule
+        // when one was requested.
         std::fprintf(stderr, "%s\n", error.what());
+        if (!capsulePath.empty() && capCtx.valid) {
+            try {
+                writeCapsule(capsulePath, capSpec, capCtx, error);
+                std::fprintf(stderr, "capsule: %s\n",
+                             capsulePath.c_str());
+            } catch (const FatalError &werr) {
+                std::fprintf(stderr, "capsule write failed: %s\n",
+                             werr.what());
+            }
+        }
         return error.exitCode();
     } catch (const PanicError &error) {
         std::fprintf(stderr, "%s\n", error.what());
