@@ -9,16 +9,42 @@
 #define XLOOPS_BENCH_BENCH_UTIL_H
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "common/json.h"
+#include "common/pool.h"
 #include "energy/energy.h"
 #include "kernels/kernel.h"
+#include "system/sweep.h"
 
 namespace xloops::benchutil {
+
+/**
+ * Parse the experiment harnesses' common command line: `--jobs N`
+ * selects the worker count for the sweep (default: XLOOPS_JOBS or the
+ * hardware concurrency, see defaultJobs()). Anything else prints
+ * usage and exits 1.
+ */
+inline unsigned
+parseJobs(int argc, char **argv)
+{
+    unsigned jobs = 0;  // 0 = defaultJobs()
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs" && i + 1 < argc) {
+            jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else {
+            std::fprintf(stderr, "usage: %s [--jobs N]\n", argv[0]);
+            std::exit(1);
+        }
+    }
+    return jobs;
+}
 
 /** Cycles + validation + stats for one (kernel, config, mode) cell. */
 struct Cell
@@ -51,6 +77,47 @@ inline Cell
 gpBaseline(const std::string &kernel, const SysConfig &cfg)
 {
     return runCell(kernel, cfg, ExecMode::Traditional, true);
+}
+
+/** Adapt one parallel-sweep result to the Cell the row formatters
+ *  use (same validation-failure reporting as runCell). */
+inline Cell
+toCell(const SweepCellResult &r)
+{
+    Cell cell;
+    cell.cycles = r.cycles;
+    cell.passed = r.passed;
+    cell.stats = r.stats;
+    cell.energyNj = r.energyNj;
+    if (!r.passed)
+        std::fprintf(stderr, "VALIDATION FAILED: %s\n", r.error.c_str());
+    return cell;
+}
+
+/** Shorthand for building sweep cells in the harnesses. */
+inline SweepCell
+cell(const std::string &kernel, const SysConfig &cfg, ExecMode mode,
+     bool gp_binary = false)
+{
+    return SweepCell{kernel, cfg, mode, gp_binary};
+}
+
+/** GP-ISA baseline sweep cell. */
+inline SweepCell
+gpCell(const std::string &kernel, const SysConfig &cfg)
+{
+    return cell(kernel, cfg, ExecMode::Traditional, true);
+}
+
+/** Run a harness's cells across @p jobs workers, skipping per-cell
+ *  stats-JSON capture (the harnesses only read cycles/stats). */
+inline std::vector<SweepCellResult>
+runBenchSweep(const std::vector<SweepCell> &cells, unsigned jobs)
+{
+    SweepOptions opts;
+    opts.jobs = jobs;
+    opts.captureStats = false;
+    return runSweep(cells, opts);
 }
 
 inline double

@@ -4,7 +4,8 @@
  * binary on ooo/2 and ooo/4 (normalized to the in-order GPP) next to
  * specialized execution on ooo/2+x (normalized to ooo/2). Shows where
  * a simple GPP plus an LPSU is complexity-effective against wider
- * out-of-order machines.
+ * out-of-order machines. Cells run through the parallel sweep harness
+ * (`--jobs N`).
  */
 
 #include "bench_util.h"
@@ -13,21 +14,37 @@ using namespace xloops;
 using namespace xloops::benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const unsigned jobs = parseJobs(argc, argv);
+
     std::printf("Figure 5: speedup summary (bars, one group per "
                 "kernel)\n\n");
     std::printf("%-14s %9s %9s %12s\n", "kernel", "ooo2/io", "ooo4/io",
                 "ooo2+x:S/o2");
+
+    const std::vector<std::string> kernels = tableIIKernelNames();
+    std::vector<SweepCell> cells;
+    for (const auto &name : kernels) {
+        cells.push_back(gpCell(name, configs::io()));
+        cells.push_back(gpCell(name, configs::ooo2()));
+        cells.push_back(gpCell(name, configs::ooo4()));
+        cells.push_back(cell(name, configs::ooo2X(),
+                             ExecMode::Specialized));
+    }
+    const std::vector<SweepCellResult> results =
+        runBenchSweep(cells, jobs);
+    constexpr size_t stride = 4;
+
     bool ok = true;
-    for (const auto &name : tableIIKernelNames()) {
-        const Cell io = gpBaseline(name, configs::io());
-        const Cell o2 = gpBaseline(name, configs::ooo2());
-        const Cell o4 = gpBaseline(name, configs::ooo4());
-        const Cell sx =
-            runCell(name, configs::ooo2X(), ExecMode::Specialized);
+    for (size_t k = 0; k < kernels.size(); k++) {
+        const SweepCellResult *row = &results[k * stride];
+        const Cell io = toCell(row[0]);
+        const Cell o2 = toCell(row[1]);
+        const Cell o4 = toCell(row[2]);
+        const Cell sx = toCell(row[3]);
         ok &= io.passed && o2.passed && o4.passed && sx.passed;
-        std::printf("%-14s %9.2f %9.2f %12.2f\n", name.c_str(),
+        std::printf("%-14s %9.2f %9.2f %12.2f\n", kernels[k].c_str(),
                     ratio(io.cycles, o2.cycles),
                     ratio(io.cycles, o4.cycles),
                     ratio(o2.cycles, sx.cycles));

@@ -4,7 +4,8 @@
  * exploration on the ooo/4 host — baseline 4-lane LPSU, +t (2-way
  * vertical multithreading), x8 (eight lanes), +r (2x shared memory
  * ports and LLFUs), +m (16+16-entry LSQs) — on kernels representative
- * of each dependence pattern (paper Section IV-F).
+ * of each dependence pattern (paper Section IV-F). Cells run through
+ * the parallel sweep harness (`--jobs N`).
  */
 
 #include "bench_util.h"
@@ -13,8 +14,10 @@ using namespace xloops;
 using namespace xloops::benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const unsigned jobs = parseJobs(argc, argv);
+
     const std::vector<std::string> kernels = {
         "sgemm-uc", "viterbi-uc", "kmeans-or", "covar-or", "btree-ua"};
     const std::vector<SysConfig> cfgs = {
@@ -28,12 +31,23 @@ main()
         std::printf(" %13s", cfg.name.c_str());
     std::printf("\n");
 
-    bool ok = true;
+    std::vector<SweepCell> cells;
     for (const auto &name : kernels) {
-        const Cell g = gpBaseline(name, configs::ooo4());
-        std::printf("%-12s", name.c_str());
-        for (const auto &cfg : cfgs) {
-            const Cell s = runCell(name, cfg, ExecMode::Specialized);
+        cells.push_back(gpCell(name, configs::ooo4()));
+        for (const auto &cfg : cfgs)
+            cells.push_back(cell(name, cfg, ExecMode::Specialized));
+    }
+    const std::vector<SweepCellResult> results =
+        runBenchSweep(cells, jobs);
+    const size_t stride = 1 + cfgs.size();
+
+    bool ok = true;
+    for (size_t k = 0; k < kernels.size(); k++) {
+        const SweepCellResult *row = &results[k * stride];
+        const Cell g = toCell(row[0]);
+        std::printf("%-12s", kernels[k].c_str());
+        for (size_t c = 0; c < cfgs.size(); c++) {
+            const Cell s = toCell(row[1 + c]);
             ok &= s.passed;
             std::printf(" %13.2f", ratio(g.cycles, s.cycles));
         }

@@ -37,6 +37,41 @@ BM_AssembleKernel(benchmark::State &state)
 BENCHMARK(BM_AssembleKernel);
 
 void
+BM_RawFetchDecode(benchmark::State &state)
+{
+    // The old hot path: full decode on every dynamic instruction.
+    const Kernel &k = kernelByName("viterbi-uc");
+    const Program prog = assemble(k.source);
+    Addr pc = prog.textBase;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(prog.fetch(pc));
+        pc += 4;
+        if (!prog.inText(pc))
+            pc = prog.textBase;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RawFetchDecode);
+
+void
+BM_PredecodedFetch(benchmark::State &state)
+{
+    // The new hot path: a bounds check plus an array load.
+    const Kernel &k = kernelByName("viterbi-uc");
+    const Program prog = assemble(k.source);
+    const DecodedProgram &dec = prog.decoded();
+    Addr pc = prog.textBase;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(&dec.fetch(pc));
+        pc += 4;
+        if (!prog.inText(pc))
+            pc = prog.textBase;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PredecodedFetch);
+
+void
 BM_FunctionalExecution(benchmark::State &state)
 {
     const Kernel &k = kernelByName("viterbi-uc");

@@ -4,6 +4,10 @@
  * (A) speedups of the XLOOPS binary on io/ooo2/ooo4 (+x), each
  * normalized to the serial GP-ISA binary on the same baseline GPP,
  * plus the XLOOPS/GP dynamic instruction ratio (X/G).
+ *
+ * All cells (14 per kernel x 25 kernels) run through the parallel
+ * sweep harness (`--jobs N`); the printed table and BENCH_table2.json
+ * are identical for every worker count.
  */
 
 #include "bench_util.h"
@@ -12,8 +16,10 @@ using namespace xloops;
 using namespace xloops::benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const unsigned jobs = parseJobs(argc, argv);
+
     std::printf("Table II: XLOOPS application kernels, cycle-level "
                 "results\n");
     std::printf("Speedups normalized to the serial GP-ISA binary on the "
@@ -29,29 +35,43 @@ main()
     };
     const char *hostTags[] = {"io", "o2", "o4"};
 
+    // 14 cells per kernel: the two dynamic-instruction-count runs for
+    // X/G, then {gp baseline, T, S, A} on each of the three hosts.
+    const std::vector<std::string> kernels = tableIIKernelNames();
+    std::vector<SweepCell> cells;
+    for (const auto &name : kernels) {
+        cells.push_back(cell(name, configs::io(), ExecMode::Traditional));
+        cells.push_back(gpCell(name, configs::io()));
+        for (const auto &[base, xcfg] : hosts) {
+            cells.push_back(gpCell(name, base));
+            cells.push_back(cell(name, base, ExecMode::Traditional));
+            cells.push_back(cell(name, xcfg, ExecMode::Specialized));
+            cells.push_back(cell(name, xcfg, ExecMode::Adaptive));
+        }
+    }
+    const std::vector<SweepCellResult> results =
+        runBenchSweep(cells, jobs);
+    constexpr size_t stride = 14;
+
     BenchReport report("table2");
     report.note("normalization",
                 "serial GP-ISA binary on the same baseline GPP");
 
     bool allPassed = true;
-    for (const auto &name : tableIIKernelNames()) {
-        // Dynamic instruction ratio via the functional model.
-        const KernelRun xl = runKernel(kernelByName(name), configs::io(),
-                                       ExecMode::Traditional, false);
-        const KernelRun gp = runKernel(kernelByName(name), configs::io(),
-                                       ExecMode::Traditional, true);
-        const double xg = static_cast<double>(xl.xlDynInsts) /
-                          static_cast<double>(gp.xlDynInsts);
+    for (size_t k = 0; k < kernels.size(); k++) {
+        const std::string &name = kernels[k];
+        const SweepCellResult *row = &results[k * stride];
+        const double xg = static_cast<double>(row[0].xlDynInsts) /
+                          static_cast<double>(row[1].xlDynInsts);
 
         std::printf("%-14s %5.2f |", name.c_str(), xg);
         report.beginRow(name);
         report.metric("xg_inst_ratio", xg);
         for (size_t h = 0; h < hosts.size(); h++) {
-            const auto &[base, xcfg] = hosts[h];
-            const Cell g = gpBaseline(name, base);
-            const Cell t = runCell(name, base, ExecMode::Traditional);
-            const Cell s = runCell(name, xcfg, ExecMode::Specialized);
-            const Cell a = runCell(name, xcfg, ExecMode::Adaptive);
+            const Cell g = toCell(row[2 + 4 * h]);
+            const Cell t = toCell(row[3 + 4 * h]);
+            const Cell s = toCell(row[4 + 4 * h]);
+            const Cell a = toCell(row[5 + 4 * h]);
             allPassed &= g.passed && t.passed && s.passed && a.passed;
             std::printf(" %5.2f %5.2f %5.2f |", ratio(g.cycles, t.cycles),
                         ratio(g.cycles, s.cycles),

@@ -8,6 +8,40 @@
 
 namespace xloops {
 
+DecodedProgram::DecodedProgram(const Program &prog)
+    : base(prog.textBase), words(prog.text)
+{
+    insts.reserve(words.size());
+    valid.reserve(words.size());
+    for (const u32 word : words) {
+        try {
+            insts.push_back(Instruction::decode(word));
+            valid.push_back(true);
+        } catch (const FatalError &) {
+            // Preserve lazy-fetch semantics: a non-instruction word
+            // only faults if the program actually reaches it.
+            insts.push_back(Instruction{});
+            valid.push_back(false);
+        }
+    }
+}
+
+void
+DecodedProgram::badFetch(Addr pc) const
+{
+    fatal(strf("instruction fetch outside text segment: 0x", std::hex,
+               pc));
+}
+
+void
+DecodedProgram::badDecode(size_t idx) const
+{
+    // Re-run the raw decode so the error message is byte-identical to
+    // the one Program::fetch would have produced.
+    Instruction::decode(words[idx]);
+    panic("undecodable word decoded on the second attempt");
+}
+
 Addr
 Program::symbol(const std::string &name) const
 {

@@ -9,6 +9,7 @@
 #define XLOOPS_ASM_PROGRAM_H
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,51 @@ namespace xloops {
 class MainMemory;
 class JsonWriter;
 class JsonValue;
+class Program;
+
+/**
+ * Densely predecoded text segment: one decoded Instruction per text
+ * word, indexed by word address, built once at load. The simulate
+ * loops (cpu/run.h, cpu/functional.cc, system/system.cc, the LPSU
+ * scan in lpsu/lpsu.cc) fetch through this instead of re-running
+ * Instruction::decode() on every dynamic instruction.
+ *
+ * fetch() has the exact semantics of Program::fetch(): same result
+ * for every in-text word, same FatalError for misaligned or
+ * out-of-text pcs, and the same decode error for a non-instruction
+ * word (undecodable words are detected at build time but only fault
+ * when actually fetched, matching the lazy path).
+ */
+class DecodedProgram
+{
+  public:
+    DecodedProgram() = default;
+    explicit DecodedProgram(const Program &prog);
+
+    /** Decoded instruction at @p pc; throws like Program::fetch. */
+    const Instruction &
+    fetch(Addr pc) const
+    {
+        const size_t idx = static_cast<size_t>((pc - base) / 4);
+        if (pc < base || pc % 4 != 0 || idx >= insts.size())
+            badFetch(pc);
+        if (!valid[idx])
+            badDecode(idx);
+        return insts[idx];
+    }
+
+    size_t numInsts() const { return insts.size(); }
+    Addr textBase() const { return base; }
+
+  private:
+    [[noreturn]] void badFetch(Addr pc) const;
+    [[noreturn]] void badDecode(size_t idx) const;
+
+    Addr base = 0;
+    std::vector<Instruction> insts;
+    std::vector<bool> valid;   ///< decodable at build time
+    std::vector<u32> words;    ///< raw words (exact error replay)
+};
 
 /** Default base address of the text segment. */
 constexpr Addr textBaseDefault = 0x1000;
@@ -60,6 +106,22 @@ class Program
     /** Decode the instruction at @p pc. Throws on out-of-text pc. */
     Instruction fetch(Addr pc) const;
 
+    /**
+     * The predecoded image — the hot-path alternative to fetch().
+     * Built on first use, cached, and shared by copies (the cache is
+     * immutable once built). The text segment must not be mutated
+     * after the first call; simulators only call this on fully
+     * assembled programs, and each sweep worker owns its Program, so
+     * the lazy build needs no locking.
+     */
+    const DecodedProgram &
+    decoded() const
+    {
+        if (!decodedCache)
+            decodedCache = std::make_shared<const DecodedProgram>(*this);
+        return *decodedCache;
+    }
+
     /** True when @p pc lies inside the text segment. */
     bool inText(Addr pc) const
     {
@@ -78,6 +140,9 @@ class Program
 
     /** Inverse of saveState. */
     static Program fromJson(const JsonValue &v);
+
+  private:
+    mutable std::shared_ptr<const DecodedProgram> decodedCache;
 };
 
 } // namespace xloops

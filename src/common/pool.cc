@@ -1,0 +1,122 @@
+#include "common/pool.h"
+
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace xloops {
+
+unsigned
+defaultJobs()
+{
+    if (const char *env = std::getenv("XLOOPS_JOBS")) {
+        const unsigned long n = std::strtoul(env, nullptr, 10);
+        if (n >= 1)
+            return static_cast<unsigned>(n > 256 ? 256 : n);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+u64
+taskSeed(u64 rootSeed, size_t taskIndex)
+{
+    const u64 s = mix64(mix64(rootSeed) ^ mix64(taskIndex + 1));
+    return s ? s : 1;  // 0 means "injection off" to FaultConfig
+}
+
+WorkerPool::WorkerPool(unsigned jobs)
+    : jobCount(jobs ? jobs : defaultJobs())
+{
+}
+
+namespace {
+
+/** One queue shard: task i is submitted to shard i % jobs; its owner
+ *  pops from the front, thieves steal from the back. */
+struct Shard
+{
+    std::mutex m;
+    std::deque<size_t> q;
+};
+
+bool
+popTask(std::vector<Shard> &shards, unsigned self, size_t &out)
+{
+    {
+        Shard &own = shards[self];
+        std::lock_guard<std::mutex> lock(own.m);
+        if (!own.q.empty()) {
+            out = own.q.front();
+            own.q.pop_front();
+            return true;
+        }
+    }
+    for (size_t off = 1; off < shards.size(); off++) {
+        Shard &victim = shards[(self + off) % shards.size()];
+        std::lock_guard<std::mutex> lock(victim.m);
+        if (!victim.q.empty()) {
+            out = victim.q.back();
+            victim.q.pop_back();
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+void
+WorkerPool::run(size_t n, const std::function<void(size_t)> &fn) const
+{
+    if (n == 0)
+        return;
+
+    if (jobCount <= 1 || n == 1) {
+        // Inline execution: index order, first failure propagates.
+        for (size_t i = 0; i < n; i++)
+            fn(i);
+        return;
+    }
+
+    const unsigned workers =
+        static_cast<unsigned>(n < jobCount ? n : jobCount);
+    std::vector<Shard> shards(workers);
+    for (size_t i = 0; i < n; i++)
+        shards[i % workers].q.push_back(i);
+
+    // One slot per task: a task only ever writes its own entry, so the
+    // join below is the only synchronization results need.
+    std::vector<std::exception_ptr> errors(n);
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (unsigned w = 0; w < workers; w++) {
+        threads.emplace_back([&, w] {
+            size_t task;
+            while (popTask(shards, w, task)) {
+                try {
+                    fn(task);
+                } catch (...) {
+                    errors[task] = std::current_exception();
+                }
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    // Deterministic propagation: the lowest-index failure wins, no
+    // matter which worker hit it or when.
+    for (const std::exception_ptr &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+}
+
+} // namespace xloops

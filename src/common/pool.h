@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fixed-size worker pool with a sharded work queue and deterministic
+ * result collection, built for the experiment sweeps (system/sweep.h)
+ * that dominate evaluation wall-clock.
+ *
+ * Determinism contract: a batch of N index-addressed tasks produces
+ * the same merged output for any worker count. Each task writes only
+ * its own result slot, results are merged in submission order, and
+ * when tasks throw, the exception of the *lowest task index* is the
+ * one rethrown (completion order never leaks). A pool of size 1
+ * degenerates to plain inline execution — same results, same first
+ * exception — which is what tests/test_pool.cc pins down.
+ *
+ * Tasks that need randomness must not share streams across tasks:
+ * taskSeed() derives an independent per-task root seed from
+ * (rootSeed, taskIndex), which tasks feed to their own RngPool (see
+ * common/rng.h) so fault schedules are a function of the cell, never
+ * of the worker that happened to run it.
+ */
+
+#ifndef XLOOPS_COMMON_POOL_H
+#define XLOOPS_COMMON_POOL_H
+
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace xloops {
+
+/**
+ * Worker count to use when the caller does not specify one: the
+ * XLOOPS_JOBS environment variable when set (clamped to [1, 256]),
+ * otherwise the hardware concurrency, otherwise 1.
+ */
+unsigned defaultJobs();
+
+/**
+ * Deterministic per-task RNG root seed: a well-mixed function of the
+ * batch root seed and the task index, independent of worker count and
+ * scheduling. Never returns 0 (a zero seed means "injection off" to
+ * FaultConfig).
+ */
+u64 taskSeed(u64 rootSeed, size_t taskIndex);
+
+/**
+ * A fixed-size worker pool over index-addressed task batches.
+ *
+ * The queue is sharded one shard per worker (task i starts on shard
+ * i % jobs); an idle worker steals from the other shards, so a few
+ * slow tasks cannot strand the rest of the batch. Stealing reorders
+ * *execution*, never *results*.
+ */
+class WorkerPool
+{
+  public:
+    /** @p jobs worker threads; 0 means defaultJobs(). */
+    explicit WorkerPool(unsigned jobs = 0);
+
+    unsigned jobs() const { return jobCount; }
+
+    /**
+     * Run fn(0) .. fn(n-1) across the workers and wait for all of
+     * them. With jobs() == 1 (or n <= 1) the tasks run inline on the
+     * calling thread in index order.
+     *
+     * When one or more tasks throw, every remaining task still runs
+     * (parallel workers may already be past the failing index), and
+     * the exception of the lowest-index failing task is rethrown —
+     * so the propagated error is deterministic too.
+     */
+    void run(size_t n, const std::function<void(size_t)> &fn) const;
+
+    /**
+     * Deterministic parallel map: out[i] = fn(i), collected per task
+     * index and returned in submission order regardless of which
+     * worker finished when.
+     */
+    template <typename T, typename Fn>
+    std::vector<T>
+    map(size_t n, Fn &&fn) const
+    {
+        std::vector<T> out(n);
+        run(n, [&](size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+  private:
+    unsigned jobCount;
+};
+
+} // namespace xloops
+
+#endif // XLOOPS_COMMON_POOL_H

@@ -8,10 +8,11 @@ FuncResult
 FunctionalExecutor::run(const Program &prog, u64 maxInsts)
 {
     FuncResult result;
+    const DecodedProgram &dec = prog.decoded();
     Addr pc = prog.entry;
 
     while (true) {
-        const Instruction inst = prog.fetch(pc);
+        const Instruction &inst = dec.fetch(pc);
         const StepResult step = ExecCore::step(inst, pc, regs, mem,
                                                result.dynInsts);
         result.dynInsts++;

@@ -12,6 +12,7 @@
 
 #include "asm/program.h"
 #include "common/log.h"
+#include "common/sim_error.h"
 #include "cpu/gpp.h"
 #include "mem/memory.h"
 
@@ -27,11 +28,12 @@ inline GppRunResult
 runTraditional(const Program &prog, MainMemory &mem, GppModel &model,
                u64 maxInsts = 500'000'000)
 {
+    const DecodedProgram &dec = prog.decoded();
     RegFile regs;
     Addr pc = prog.entry;
     GppRunResult result;
     while (true) {
-        const Instruction inst = prog.fetch(pc);
+        const Instruction &inst = dec.fetch(pc);
         const StepResult step =
             ExecCore::step(inst, pc, regs, mem, model.now());
         model.retire(inst, pc, step);
@@ -39,8 +41,22 @@ runTraditional(const Program &prog, MainMemory &mem, GppModel &model,
         if (step.halted)
             break;
         pc = step.nextPc;
-        if (result.dynInsts >= maxInsts)
-            fatal("traditional execution exceeded instruction limit");
+        if (result.dynInsts >= maxInsts) {
+            // Same diagnosable valve as the full system loop: a
+            // program missing its halt surfaces as a recoverable
+            // SimError with machine state, not an undifferentiated
+            // FatalError (or an unbounded spin).
+            MachineSnapshot snap;
+            snap.context = "traditional-run instruction-limit valve";
+            snap.cycle = model.now();
+            snap.gppPc = pc;
+            snap.gppInsts = result.dynInsts;
+            throw SimError(
+                SimErrorKind::InstLimit,
+                strf("traditional execution exceeded ", maxInsts,
+                     " instructions without halting"),
+                snap);
+        }
     }
     result.cycles = model.now();
     return result;

@@ -153,7 +153,7 @@ runKernel(const Kernel &kernel, const SysConfig &cfg, ExecMode mode,
     };
     try {
         run.result =
-            sys.run(prog, mode, 500'000'000,
+            sys.run(prog, mode, hooks.maxInsts,
                     hooks.runOptions ? *hooks.runOptions : RunOptions{});
     } catch (...) {
         captureCheckpoint();

@@ -90,6 +90,10 @@ struct RunHooks
      *  to the internally built system's run(). */
     const RunOptions *runOptions = nullptr;
 
+    /** Instruction valve forwarded to the system run (sweeps tighten
+     *  it per cell; a trip surfaces as SimError(InstLimit)). */
+    u64 maxInsts = 500'000'000;
+
     /** When set, filled with the capsule-relevant run context (program
      *  image, post-setup initial memory, nearest checkpoint) — kept
      *  up to date even when the run throws, so the caller can write a

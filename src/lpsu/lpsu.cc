@@ -17,7 +17,8 @@ namespace xloops {
 ScanInfo
 scanXloop(const Program &prog, Addr xloopPc, const RegFile &liveIns)
 {
-    const Instruction xl = prog.fetch(xloopPc);
+    const DecodedProgram &dec = prog.decoded();
+    const Instruction &xl = dec.fetch(xloopPc);
     if (!xl.isXloop())
         panic("scanXloop on a non-xloop instruction");
 
@@ -32,7 +33,7 @@ scanXloop(const Program &prog, Addr xloopPc, const RegFile &liveIns)
         static_cast<i64>(xloopPc) + i64{xl.imm} * 4);
 
     for (Addr pc = si.bodyStart; pc < si.bodyEnd; pc += 4)
-        si.body.push_back(prog.fetch(pc));
+        si.body.push_back(dec.fetch(pc));
 
     // MIVT: collect xi instructions first so their registers are
     // excluded from CIR detection. addu.xi increments by a

@@ -113,7 +113,7 @@ LockstepChecker::mirrorStep(Addr pc_, const StepResult &mainStep,
         // committing; a prior control divergence slipped through.
         raise("control", pc_, instIndex, -1, mainRegs, mainMem);
     }
-    const Instruction inst = prog.fetch(pc);
+    const Instruction &inst = prog.decoded().fetch(pc);
     const StepResult s = ExecCore::step(inst, pc, regs, mem, cycle);
     numShadowInsts++;
     if (s.nextPc != mainStep.nextPc || s.halted != mainStep.halted)
@@ -149,7 +149,7 @@ LockstepChecker::catchUp(Addr xloopPc, RegId idxReg,
                   static_cast<i64>(static_cast<i32>(regs.get(idxReg))),
                   mainRegs, mainMem);
         }
-        const Instruction inst = prog.fetch(pc);
+        const Instruction &inst = prog.decoded().fetch(pc);
         const StepResult s = ExecCore::step(inst, pc, regs, mem, cycle);
         numShadowInsts++;
         pc = s.nextPc;

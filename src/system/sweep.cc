@@ -1,0 +1,158 @@
+#include "system/sweep.h"
+
+#include <sstream>
+
+#include "common/fault.h"
+#include "common/json.h"
+#include "common/loop_profile.h"
+#include "common/pool.h"
+#include "common/sim_error.h"
+#include "energy/energy.h"
+#include "kernels/kernel.h"
+#include "system/report.h"
+
+namespace xloops {
+
+namespace {
+
+SweepCellResult
+runOneCell(const SweepCell &cell, size_t index, const SweepOptions &opts)
+{
+    SysConfig cfg = cell.config;
+    if (opts.injectSeed != 0) {
+        // The cell's adversarial schedule is a function of the cell,
+        // not of the worker or the sweep's scheduling.
+        cfg.lpsu.faults =
+            FaultConfig::uniform(taskSeed(opts.injectSeed, index),
+                                 opts.injectRate);
+    }
+
+    SweepCellResult r;
+    LoopProfiler profiler;
+    RunHooks hooks;
+    hooks.maxInsts = opts.maxInsts;
+    if (opts.captureStats)
+        hooks.profiler = &profiler;
+
+    KernelRun run;
+    try {
+        run = runKernel(kernelByName(cell.kernel), cfg, cell.mode,
+                        cell.gpBinary, hooks);
+    } catch (const SimError &err) {
+        // A wedged or diverged cell is a result, not a reason to lose
+        // the other few hundred cells of the sweep.
+        r.passed = false;
+        r.simError = true;
+        r.error = strf(simErrorKindName(err.kind()), ": ", err.what());
+        return r;
+    }
+
+    r.passed = run.passed;
+    r.error = run.error;
+    r.cycles = run.result.cycles;
+    r.gppInsts = run.result.gppInsts;
+    r.laneInsts = run.result.laneInsts;
+    r.xloopsSpecialized = run.result.xloopsSpecialized;
+    r.xlDynInsts = run.xlDynInsts;
+    r.stats = run.result.stats;
+    const EnergyModel energy;
+    r.energyNj = energy.dynamicEnergy(cfg, run.result.stats).totalNj();
+    if (opts.captureStats) {
+        std::ostringstream ss;
+        writeStatsJson(ss, cfg.name, execModeName(cell.mode),
+                       cell.kernel, run.result, profiler, nullptr);
+        r.statsJson = ss.str();
+    }
+    return r;
+}
+
+} // namespace
+
+std::vector<SweepCellResult>
+runSweep(const std::vector<SweepCell> &cells, const SweepOptions &opts)
+{
+    const WorkerPool pool(opts.jobs);
+    return pool.map<SweepCellResult>(cells.size(), [&](size_t i) {
+        return runOneCell(cells[i], i, opts);
+    });
+}
+
+void
+writeSweepJson(std::ostream &out, const std::vector<SweepCell> &cells,
+               const std::vector<SweepCellResult> &results,
+               const SweepOptions &opts)
+{
+    XL_ASSERT(cells.size() == results.size(),
+              "sweep report needs one result per cell");
+    size_t passed = 0;
+    for (const SweepCellResult &r : results)
+        passed += r.passed ? 1 : 0;
+
+    JsonWriter w(out, /*pretty=*/true);
+    w.beginObject();
+    w.field("schema", "xloops-sweep-1");
+    w.field("num_cells", static_cast<u64>(cells.size()));
+    w.field("num_passed", static_cast<u64>(passed));
+    w.field("inject_seed", opts.injectSeed);
+    w.field("inject_rate", opts.injectRate);
+    w.field("max_insts", opts.maxInsts);
+    w.key("cells").beginArray();
+    for (size_t i = 0; i < cells.size(); i++) {
+        const SweepCell &cell = cells[i];
+        const SweepCellResult &r = results[i];
+        w.beginObject();
+        w.field("kernel", cell.kernel);
+        w.field("config", cell.config.name);
+        w.field("mode", execModeName(cell.mode));
+        w.field("gp_binary", cell.gpBinary);
+        w.field("passed", r.passed);
+        if (!r.passed) {
+            w.field("sim_error", r.simError);
+            w.field("error", r.error);
+        }
+        w.field("cycles", r.cycles);
+        w.field("gpp_insts", r.gppInsts);
+        w.field("lane_insts", r.laneInsts);
+        w.field("xloops_specialized", r.xloopsSpecialized);
+        w.field("xl_dyn_insts", r.xlDynInsts);
+        w.field("energy_nj", r.energyNj);
+        if (!r.statsJson.empty()) {
+            w.key("stats");
+            writeJsonValue(w, jsonParse(r.statsJson));
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    out << "\n";
+}
+
+std::string
+sweepJsonText(const std::vector<SweepCell> &cells,
+              const std::vector<SweepCellResult> &results,
+              const SweepOptions &opts)
+{
+    std::ostringstream ss;
+    writeSweepJson(ss, cells, results, opts);
+    return ss.str();
+}
+
+std::vector<SweepCell>
+crossProduct(const std::vector<std::string> &kernels,
+             const std::vector<SysConfig> &configs,
+             const std::vector<ExecMode> &modes)
+{
+    std::vector<SweepCell> cells;
+    for (const std::string &kernel : kernels) {
+        for (const SysConfig &cfg : configs) {
+            for (const ExecMode mode : modes) {
+                if (mode != ExecMode::Traditional && !cfg.hasLpsu)
+                    continue;  // S/A need an LPSU; skip, don't die
+                cells.push_back({kernel, cfg, mode, false});
+            }
+        }
+    }
+    return cells;
+}
+
+} // namespace xloops

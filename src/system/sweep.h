@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Parallel experiment sweeps: the evaluation cross-product
+ * (kernel × execution mode × system configuration) that every paper
+ * table/figure walks, run cell-by-cell across a WorkerPool.
+ *
+ * Each cell executes in a fully isolated XloopsSystem built inside
+ * the worker (own memory, own GPP/LPSU models, own profiler, own
+ * fault RNG pool), so cells share nothing and any worker count
+ * produces identical results. Fault-injection seeds are derived per
+ * cell from (rootSeed, cell index) via taskSeed(), never from the
+ * worker, so the adversarial schedule of cell i is the same whether
+ * the sweep ran on 1 thread or 16.
+ *
+ * The merged report ("xloops-sweep-1") embeds each cell's canonical
+ * "xloops-stats-1" document and is byte-identical for every --jobs
+ * value — enforced by tests/test_sweep_determinism.cc.
+ */
+
+#ifndef XLOOPS_SYSTEM_SWEEP_H
+#define XLOOPS_SYSTEM_SWEEP_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "system/system.h"
+
+namespace xloops {
+
+/** One experiment cell: a kernel on a configuration under a mode. */
+struct SweepCell
+{
+    std::string kernel;         ///< registered kernel name
+    SysConfig config;           ///< full config (DSE points mutate it)
+    ExecMode mode = ExecMode::Specialized;
+    bool gpBinary = false;      ///< run the serialized GP-ISA binary
+};
+
+/** Sweep-wide options. */
+struct SweepOptions
+{
+    unsigned jobs = 0;          ///< worker threads; 0 = defaultJobs()
+    u64 injectSeed = 0;         ///< root fault seed; 0 = no injection
+    double injectRate = 0.0;    ///< per-opportunity fault probability
+    u64 maxInsts = 500'000'000;
+    /** Capture each cell's "xloops-stats-1" document (the merged
+     *  report needs it; pure-timing benches can skip the cost). */
+    bool captureStats = true;
+};
+
+/** Outcome of one cell (everything the reporters need, plain data). */
+struct SweepCellResult
+{
+    bool passed = false;
+    std::string error;          ///< golden-checker or SimError message
+    bool simError = false;      ///< the run died with a SimError
+    Cycle cycles = 0;
+    u64 gppInsts = 0;
+    u64 laneInsts = 0;
+    u64 xloopsSpecialized = 0;
+    u64 xlDynInsts = 0;         ///< serial-semantics dynamic insts
+    double energyNj = 0.0;
+    StatGroup stats;            ///< merged gpp.*/lpsu.*/dcache.*
+    std::string statsJson;      ///< "xloops-stats-1" (captureStats)
+};
+
+/**
+ * Run every cell across opts.jobs workers; results are returned in
+ * cell order regardless of scheduling. A cell whose run raises a
+ * SimError (watchdog, limits, divergence) is reported as a failed
+ * cell rather than aborting the remaining cells.
+ */
+std::vector<SweepCellResult> runSweep(const std::vector<SweepCell> &cells,
+                                      const SweepOptions &opts);
+
+/**
+ * Write the merged "xloops-sweep-1" report: one entry per cell with
+ * its identity, outcome, and embedded "xloops-stats-1" stats
+ * document. Deterministic: cell order is submission order, keys are
+ * fixed, and nothing scheduling-dependent (worker count, timing) is
+ * emitted.
+ */
+void writeSweepJson(std::ostream &out,
+                    const std::vector<SweepCell> &cells,
+                    const std::vector<SweepCellResult> &results,
+                    const SweepOptions &opts);
+
+/** writeSweepJson into a string (determinism tests diff these). */
+std::string sweepJsonText(const std::vector<SweepCell> &cells,
+                          const std::vector<SweepCellResult> &results,
+                          const SweepOptions &opts);
+
+/** Build the full cross product in kernel-major deterministic order. */
+std::vector<SweepCell> crossProduct(
+    const std::vector<std::string> &kernels,
+    const std::vector<SysConfig> &configs,
+    const std::vector<ExecMode> &modes);
+
+} // namespace xloops
+
+#endif // XLOOPS_SYSTEM_SWEEP_H

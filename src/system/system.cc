@@ -223,8 +223,9 @@ XloopsSystem::run(const Program &prog, ExecMode mode, u64 maxInsts,
                   opts.checkpointEvery
             : ~u64{0};
 
+    const DecodedProgram &dec = prog.decoded();
     while (!rs.halted) {
-        const Instruction inst = prog.fetch(rs.pc);
+        const Instruction &inst = dec.fetch(rs.pc);
 
         if (inst.isXloop() && inst.hint && cfg.hasLpsu &&
             mode != ExecMode::Traditional) {

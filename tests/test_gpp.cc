@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "asm/assembler.h"
+#include "common/sim_error.h"
 #include "cpu/inorder.h"
 #include "cpu/ooo.h"
 #include "cpu/run.h"
@@ -324,6 +325,50 @@ TEST(Ooo, TraditionalXloopWithinFivePercentOfGpBinary)
     }
 }
 
+
+TEST(Traditional, InstLimitIsADiagnosableSimError)
+{
+    // A program that never halts must trip the instruction valve as a
+    // SimError(InstLimit) carrying a machine snapshot — a diagnosable,
+    // per-cell-recordable condition for the sweep harness — not an
+    // undifferentiated FatalError.
+    const Program prog = assemble(
+        "  li r1, 0\n"
+        "  li r2, 0\n"
+        "spin:\n"
+        "  add r3, r3, r1\n"
+        "  beq r1, r2, spin\n"   // r1 == r2 forever
+        "  halt\n");
+    MainMemory mem;
+    prog.loadInto(mem);
+    InOrderCpu cpu(ioCfg());
+    try {
+        runTraditional(prog, mem, cpu, 1000);
+        FAIL() << "expected a SimError";
+    } catch (const SimError &err) {
+        EXPECT_EQ(err.kind(), SimErrorKind::InstLimit);
+        EXPECT_NE(std::string(err.what()).find("1000"),
+                  std::string::npos);
+        EXPECT_EQ(err.snapshot().gppInsts, 1000u);
+        EXPECT_TRUE(prog.inText(err.snapshot().gppPc));
+    }
+}
+
+TEST(Traditional, HaltingExactlyAtTheLimitDoesNotThrow)
+{
+    // The valve only fires on work *beyond* the limit: a program whose
+    // final halt is exactly the Nth instruction completes normally.
+    const Program prog = assemble(
+        "  li r1, 1\n"
+        "  li r2, 2\n"
+        "  halt\n");
+    MainMemory mem;
+    prog.loadInto(mem);
+    InOrderCpu cpu(ioCfg());
+    const GppRunResult result = runTraditional(prog, mem, cpu, 3);
+    EXPECT_EQ(result.dynInsts, 3u);
+    EXPECT_GT(result.cycles, 0u);
+}
 
 TEST(Ooo, IqSizeLimitsInFlightUnissuedWork)
 {

@@ -1,0 +1,147 @@
+// Worker-pool unit tests: deterministic result merge regardless of
+// task completion order, deterministic exception propagation as
+// SimError, pool-of-1 == inline execution, and per-task seed
+// derivation (the property the sweep's fault determinism rests on).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/pool.h"
+#include "common/rng.h"
+#include "common/sim_error.h"
+
+namespace xloops {
+namespace {
+
+TEST(WorkerPool, MapCollectsResultsInSubmissionOrder)
+{
+    const WorkerPool pool(4);
+    EXPECT_EQ(pool.jobs(), 4u);
+    const std::vector<u64> out =
+        pool.map<u64>(100, [](size_t i) { return u64{i} * i; });
+    ASSERT_EQ(out.size(), 100u);
+    for (size_t i = 0; i < out.size(); i++)
+        EXPECT_EQ(out[i], u64{i} * i);
+}
+
+TEST(WorkerPool, MergeIsTaskOrderIndependent)
+{
+    // Give early tasks the *most* work so they finish last: results
+    // must still come back in submission order, not completion order.
+    const WorkerPool pool(8);
+    const std::vector<std::string> out =
+        pool.map<std::string>(64, [](size_t i) {
+            volatile u64 sink = 0;
+            for (u64 spin = 0; spin < (64 - i) * 2000; spin++)
+                sink += spin;
+            return "task-" + std::to_string(i);
+        });
+    for (size_t i = 0; i < out.size(); i++)
+        EXPECT_EQ(out[i], "task-" + std::to_string(i));
+}
+
+TEST(WorkerPool, PoolOfOneEqualsInlineExecution)
+{
+    std::vector<u64> inlineOut;
+    for (size_t i = 0; i < 40; i++)
+        inlineOut.push_back(mix64(i));
+
+    const auto task = [](size_t i) { return mix64(i); };
+    EXPECT_EQ(WorkerPool(1).map<u64>(40, task), inlineOut);
+    EXPECT_EQ(WorkerPool(8).map<u64>(40, task), inlineOut);
+}
+
+TEST(WorkerPool, AllTasksRunExactlyOnce)
+{
+    const WorkerPool pool(6);
+    std::vector<std::atomic<unsigned>> hits(500);
+    pool.run(500, [&](size_t i) { hits[i]++; });
+    for (size_t i = 0; i < hits.size(); i++)
+        EXPECT_EQ(hits[i].load(), 1u) << "task " << i;
+}
+
+TEST(WorkerPool, ExceptionPropagatesAsSimError)
+{
+    const WorkerPool pool(4);
+    const auto failing = [](size_t i) {
+        if (i == 23) {
+            MachineSnapshot snap;
+            snap.context = "test task";
+            throw SimError(SimErrorKind::InstLimit, "task 23 wedged",
+                           snap);
+        }
+    };
+    try {
+        pool.run(64, failing);
+        FAIL() << "expected a SimError";
+    } catch (const SimError &err) {
+        EXPECT_EQ(err.kind(), SimErrorKind::InstLimit);
+        EXPECT_NE(std::string(err.what()).find("task 23 wedged"),
+                  std::string::npos);
+    }
+    // Pool of one behaves the same.
+    EXPECT_THROW(WorkerPool(1).run(64, failing), SimError);
+}
+
+TEST(WorkerPool, LowestIndexExceptionWinsDeterministically)
+{
+    // Several tasks fail; the propagated error must always be the
+    // lowest task index's, no matter which worker hit which first.
+    for (int attempt = 0; attempt < 10; attempt++) {
+        const WorkerPool pool(8);
+        try {
+            pool.run(64, [](size_t i) {
+                if (i % 7 == 3)  // fails at 3, 10, 17, ...
+                    throw FatalError("failed at " + std::to_string(i));
+            });
+            FAIL() << "expected a FatalError";
+        } catch (const FatalError &err) {
+            EXPECT_STREQ(err.what(), "failed at 3");
+        }
+    }
+}
+
+TEST(WorkerPool, RemainingTasksStillRunAfterAFailure)
+{
+    const WorkerPool pool(4);
+    std::vector<std::atomic<unsigned>> hits(32);
+    EXPECT_THROW(pool.run(32,
+                          [&](size_t i) {
+                              hits[i]++;
+                              if (i == 0)
+                                  throw FatalError("first task fails");
+                          }),
+                 FatalError);
+    for (size_t i = 0; i < hits.size(); i++)
+        EXPECT_EQ(hits[i].load(), 1u) << "task " << i;
+}
+
+TEST(WorkerPool, EmptyBatchAndSingleTask)
+{
+    const WorkerPool pool(4);
+    EXPECT_NO_THROW(pool.run(0, [](size_t) { FAIL(); }));
+    const std::vector<int> one =
+        pool.map<int>(1, [](size_t) { return 42; });
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0], 42);
+}
+
+TEST(TaskSeed, DerivedSeedsAreStableDistinctAndNonzero)
+{
+    std::set<u64> seen;
+    for (size_t i = 0; i < 1000; i++) {
+        const u64 s = taskSeed(7, i);
+        EXPECT_NE(s, 0u);
+        EXPECT_EQ(s, taskSeed(7, i));  // stable
+        seen.insert(s);
+    }
+    EXPECT_EQ(seen.size(), 1000u);  // no collisions across indices
+    EXPECT_NE(taskSeed(7, 0), taskSeed(8, 0));  // root seed matters
+}
+
+} // namespace
+} // namespace xloops

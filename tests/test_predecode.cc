@@ -1,0 +1,111 @@
+// Predecoded-fetch equivalence tests: DecodedProgram::fetch must be
+// observationally identical to Program::fetch — same instruction for
+// every text word of every registered kernel image (XLOOPS and
+// serialized GP-ISA binaries alike), same FatalError on misaligned or
+// out-of-text pcs — and full lockstep-verified runs through the
+// predecoded hot path must still pass for one kernel per dependence
+// pattern.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "asm/assembler.h"
+#include "asm/program.h"
+#include "common/log.h"
+#include "kernels/kernel.h"
+#include "system/system.h"
+
+namespace xloops {
+namespace {
+
+void
+expectDecodeEquivalent(const Program &prog, const std::string &label)
+{
+    const DecodedProgram &dec = prog.decoded();
+    ASSERT_EQ(dec.numInsts(), prog.numInsts()) << label;
+    ASSERT_EQ(dec.textBase(), prog.textBase) << label;
+    for (size_t i = 0; i < prog.numInsts(); i++) {
+        const Addr pc = prog.textBase + 4 * i;
+        EXPECT_EQ(dec.fetch(pc), prog.fetch(pc))
+            << label << " word " << i;
+    }
+}
+
+TEST(Predecode, EveryKernelImageDecodesIdentically)
+{
+    for (const Kernel &k : kernelRegistry()) {
+        SCOPED_TRACE(k.name);
+        expectDecodeEquivalent(assemble(k.source), k.name);
+    }
+}
+
+TEST(Predecode, EverySerializedGpBinaryDecodesIdentically)
+{
+    for (const Kernel &k : kernelRegistry()) {
+        SCOPED_TRACE(k.name);
+        expectDecodeEquivalent(assemble(serializeToGpIsa(k.source)),
+                               k.name + " (gp)");
+    }
+}
+
+TEST(Predecode, BadFetchesThrowLikeTheLazyPath)
+{
+    const Program prog = assemble("  add r1, r2, r3\n  halt\n");
+    const DecodedProgram &dec = prog.decoded();
+
+    // Misaligned, below text, and past the end all fault — and with
+    // the same diagnostic text Program::fetch produces.
+    for (const Addr pc : {prog.textBase + 2,           // misaligned
+                          prog.textBase - 4,           // below text
+                          prog.textBase + 4 * 2}) {    // one past end
+        SCOPED_TRACE(pc);
+        std::string lazyWhat, decodedWhat;
+        try {
+            prog.fetch(pc);
+        } catch (const FatalError &err) {
+            lazyWhat = err.what();
+        }
+        try {
+            dec.fetch(pc);
+        } catch (const FatalError &err) {
+            decodedWhat = err.what();
+        }
+        EXPECT_FALSE(lazyWhat.empty());
+        EXPECT_EQ(decodedWhat, lazyWhat);
+    }
+}
+
+TEST(Predecode, CacheIsSharedByCopiesAndStable)
+{
+    const Program prog = assemble("  add r1, r2, r3\n  halt\n");
+    const DecodedProgram &first = prog.decoded();
+    EXPECT_EQ(&first, &prog.decoded());  // built once
+
+    const Program copy = prog;           // copies share the cache
+    EXPECT_EQ(&copy.decoded(), &first);
+}
+
+// Full-system runs through the predecoded hot path, with the lockstep
+// shadow attached so any decode discrepancy surfaces as a divergence:
+// one kernel per dependence pattern family (unordered-concurrent,
+// ordered-register, ordered-memory, unordered-atomic, and the
+// combined register+memory pattern).
+TEST(Predecode, LockstepRunsPassPerPattern)
+{
+    RunOptions opts;
+    opts.lockstep = true;
+    RunHooks hooks;
+    hooks.runOptions = &opts;
+    for (const char *name :
+         {"sgemm-uc", "kmeans-or", "dynprog-om", "hsort-ua", "mm-orm"}) {
+        const KernelRun run = runKernel(kernelByName(name),
+                                        configs::ioX(),
+                                        ExecMode::Specialized, false,
+                                        hooks);
+        EXPECT_TRUE(run.passed) << name << ": " << run.error;
+    }
+}
+
+} // namespace
+} // namespace xloops

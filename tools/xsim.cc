@@ -44,6 +44,7 @@
 #include "kernels/kernel.h"
 #include "system/capsule.h"
 #include "system/report.h"
+#include "system/sweep.h"
 
 using namespace xloops;
 
@@ -61,7 +62,12 @@ struct Flag
 const Flag flagTable[] = {
     {"-c", "<config>", "system configuration (default io+x); see -l"},
     {"-m", "<T|S|A>", "execution mode (default S)"},
-    {"-k", "<kernel>", "run a registered kernel instead of a file"},
+    {"-k", "<kernel>",
+     "run a registered kernel instead of a file; a comma-separated "
+     "list (or 'all') sweeps them across --jobs workers"},
+    {"--jobs", "<n>",
+     "worker threads for a -k kernel sweep (default: XLOOPS_JOBS or "
+     "the hardware concurrency)"},
     {"-e", nullptr, "print the dynamic energy estimate"},
     {"-v", nullptr, "dump all statistics"},
     {"-t", nullptr, "stream a text trace (GPP commits + LPSU events)"},
@@ -161,6 +167,7 @@ main(int argc, char **argv)
     bool verbose = false;
     bool trace = false;
     bool profile = false;
+    unsigned jobsFlag = 0;
     u64 injectSeed = 0;
     double injectRate = 0.02;
     double archCorruptRate = 0.0;
@@ -209,6 +216,9 @@ main(int argc, char **argv)
                 statsJsonPath = next();
             else if (arg == "--profile")
                 profile = true;
+            else if (arg == "--jobs")
+                jobsFlag = static_cast<unsigned>(
+                    std::strtoul(next().c_str(), nullptr, 10));
             else if (arg == "--inject-seed")
                 injectSeed = std::strtoull(next().c_str(), nullptr, 0);
             else if (arg == "--inject-rate")
@@ -248,6 +258,64 @@ main(int argc, char **argv)
 
         if (!replayPath.empty())
             return replayCapsule(replayPath);
+
+        // Multi-kernel sweep mode: "-k k1,k2,..." or "-k all" runs
+        // every named kernel on (config, mode) across --jobs workers
+        // through the sweep harness; --stats-json then writes the
+        // merged "xloops-sweep-1" report instead of a single-run
+        // stats document.
+        if (kernelName == "all" ||
+            kernelName.find(',') != std::string::npos) {
+            if (lockstep || checkpointEvery || !restorePath.empty() ||
+                !capsulePath.empty() || !tracePath.empty() || trace) {
+                fatal("kernel sweeps support only -c, -m, --jobs, "
+                      "--inject-seed/--inject-rate, and --stats-json");
+            }
+            const SysConfig sweepCfg = configs::byName(cfgName);
+            const ExecMode sweepMode = parseMode(modeName);
+            std::vector<std::string> kernels;
+            if (kernelName == "all") {
+                kernels = tableIIKernelNames();
+            } else {
+                std::istringstream list(kernelName);
+                std::string item;
+                while (std::getline(list, item, ','))
+                    if (!item.empty())
+                        kernels.push_back(item);
+                for (const std::string &k : kernels)
+                    kernelByName(k);  // fail fast on typos
+            }
+            SweepOptions sopts;
+            sopts.jobs = jobsFlag;
+            sopts.injectSeed = injectSeed;
+            sopts.injectRate = injectSeed ? injectRate : 0.0;
+            const std::vector<SweepCell> cells =
+                crossProduct(kernels, {sweepCfg}, {sweepMode});
+            if (cells.empty())
+                fatal("mode " + modeName + " needs an LPSU (+x config)");
+            const std::vector<SweepCellResult> results =
+                runSweep(cells, sopts);
+            size_t passed = 0;
+            for (size_t i = 0; i < results.size(); i++) {
+                std::printf("kernel %s on %s mode %s: %s\n",
+                            cells[i].kernel.c_str(),
+                            sweepCfg.name.c_str(), modeName.c_str(),
+                            results[i].passed
+                                ? "VALIDATED"
+                                : results[i].error.c_str());
+                passed += results[i].passed ? 1 : 0;
+            }
+            std::printf("sweep: %zu/%zu cells validated\n", passed,
+                        results.size());
+            if (!statsJsonPath.empty()) {
+                std::ofstream out(statsJsonPath);
+                if (!out)
+                    fatal("cannot write " + statsJsonPath);
+                writeSweepJson(out, cells, results, sopts);
+                std::printf("sweep report: %s\n", statsJsonPath.c_str());
+            }
+            return passed == results.size() ? 0 : 2;
+        }
 
         SysConfig cfg = configs::byName(cfgName);
         const ExecMode mode = parseMode(modeName);
