@@ -1,0 +1,360 @@
+/**
+ * @file
+ * loadgen — service-layer load generator and latency harness.
+ *
+ * Drives a fleet of concurrent clients submitting simulation jobs and
+ * reports throughput (jobs/sec) and latency percentiles (p50/p99)
+ * under configurable fault injection, including a fraction of
+ * guaranteed-divergence specimens (lockstep + certain architectural
+ * corruption) to exercise the capsule path under load.
+ *
+ * Two transports, same workload:
+ *   --socket <path>  drive a running xloopsd over the wire protocol
+ *                    (what the CI service soak uses)
+ *   (no --socket)    drive an in-process Supervisor directly — the
+ *                    full supervision stack minus the socket, which
+ *                    is how the committed BENCH_service.json is
+ *                    produced (reproducible without a daemon)
+ *
+ * The harness asserts the service's crash-isolation contract as it
+ * goes: every job that failed with a SimError must have produced a
+ * replay capsule. A violation exits 1.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/json.h"
+#include "common/log.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/supervisor.h"
+
+using namespace xloops;
+
+namespace {
+
+struct JobResult
+{
+    std::string status;
+    double latencyMs = 0;
+    bool cached = false;
+    bool hasCapsule = false;
+    std::string errorKind;
+};
+
+struct Options
+{
+    std::string socketPath;  ///< "" = in-process supervisor
+    unsigned clients = 4;
+    unsigned jobsPerClient = 8;
+    std::vector<std::string> kernels = {"rgb2cmyk-uc", "dynprog-om"};
+    u64 injectSeed = 1;
+    double injectRate = 0.0;
+    double divergenceFrac = 0.0;
+    u64 deadlineMs = 0;
+    std::string outDir = ".";
+};
+
+JobSpec
+specForJob(const Options &opts, unsigned client, unsigned j)
+{
+    const unsigned index = client * opts.jobsPerClient + j;
+    JobSpec spec;
+    spec.kernel = opts.kernels[index % opts.kernels.size()];
+    // Distinct seeds per job defeat the result cache on purpose: this
+    // measures simulation throughput, not cache hit latency.
+    spec.injectSeed = opts.injectSeed + index;
+    spec.injectRate = opts.injectRate;
+
+    // A deterministic stripe of jobs is guaranteed to diverge:
+    // lockstep with certain architectural corruption. These must all
+    // come back "failed" with a capsule.
+    if (opts.divergenceFrac > 0.0) {
+        const double position =
+            static_cast<double>(index % 100) / 100.0;
+        if (position < opts.divergenceFrac) {
+            spec.lockstep = true;
+            spec.injectRate = 0.0;
+            spec.injectArchRate = 1.0;
+        }
+    }
+    if (opts.deadlineMs)
+        spec.deadlineMs = opts.deadlineMs;
+    return spec;
+}
+
+JobResult
+submitOverSocket(const Options &opts, const JobSpec &spec)
+{
+    ServiceClient client(opts.socketPath);
+    Request req;
+    req.op = "submit";
+    req.job = spec;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::string line = client.request(encodeRequest(req));
+    const auto t1 = std::chrono::steady_clock::now();
+
+    const JsonValue v = jsonParse(line);
+    JobResult r;
+    r.status = v.at("status").asString();
+    r.latencyMs = std::chrono::duration<double, std::milli>(t1 - t0)
+                      .count();
+    r.cached = v.has("cached") && v.at("cached").asBool();
+    r.hasCapsule = v.has("capsule_path");
+    if (v.has("error_kind"))
+        r.errorKind = v.at("error_kind").asString();
+    return r;
+}
+
+JobResult
+submitInProcess(Supervisor &sup, const JobSpec &spec)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const Admission adm = sup.submit(spec);
+    JobResult r;
+    if (!adm.accepted) {
+        r.status = adm.reason == "overloaded" ? "overloaded"
+                                              : "invalid";
+        r.latencyMs = 0;
+        return r;
+    }
+    const JobOutcome o = sup.wait(adm.jobId);
+    const auto t1 = std::chrono::steady_clock::now();
+    r.status = jobStatusName(o.status);
+    r.latencyMs = std::chrono::duration<double, std::milli>(t1 - t0)
+                      .count();
+    r.cached = o.cached;
+    r.hasCapsule = !o.capsulePath.empty();
+    r.errorKind = o.errorKind;
+    return r;
+}
+
+double
+percentile(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0;
+    const size_t idx = static_cast<size_t>(
+        p * static_cast<double>(sorted.size() - 1));
+    return sorted[idx];
+}
+
+void
+printUsage(std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: loadgen [options]\n"
+        "  --socket <path>        drive a running xloopsd (default: "
+        "in-process)\n"
+        "  --clients <n>          concurrent clients (default 4)\n"
+        "  --jobs-per-client <n>  jobs per client (default 8)\n"
+        "  --kernels <k1,k2>      kernels to cycle through\n"
+        "  --inject-seed <n>      base fault seed (default 1)\n"
+        "  --inject-rate <p>      per-opportunity fault probability\n"
+        "  --divergence-frac <f>  fraction of jobs that are "
+        "guaranteed-divergence specimens\n"
+        "  --deadline-ms <n>      per-job wall-clock deadline\n"
+        "  --out <dir>            where BENCH_service.json goes "
+        "(default .)\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    try {
+        for (int i = 1; i < argc; i++) {
+            const std::string arg = argv[i];
+            auto next = [&]() -> std::string {
+                if (i + 1 >= argc) {
+                    printUsage(stderr);
+                    fatal(arg + " needs an argument");
+                }
+                return argv[++i];
+            };
+            if (arg == "--socket")
+                opts.socketPath = next();
+            else if (arg == "--clients")
+                opts.clients = static_cast<unsigned>(
+                    std::strtoul(next().c_str(), nullptr, 10));
+            else if (arg == "--jobs-per-client")
+                opts.jobsPerClient = static_cast<unsigned>(
+                    std::strtoul(next().c_str(), nullptr, 10));
+            else if (arg == "--kernels") {
+                opts.kernels.clear();
+                std::string list = next();
+                size_t start = 0;
+                while (start <= list.size()) {
+                    const size_t comma = list.find(',', start);
+                    const std::string item = list.substr(
+                        start, comma == std::string::npos
+                                   ? std::string::npos
+                                   : comma - start);
+                    if (!item.empty())
+                        opts.kernels.push_back(item);
+                    if (comma == std::string::npos)
+                        break;
+                    start = comma + 1;
+                }
+                if (opts.kernels.empty())
+                    fatal("--kernels list is empty");
+            } else if (arg == "--inject-seed")
+                opts.injectSeed =
+                    std::strtoull(next().c_str(), nullptr, 0);
+            else if (arg == "--inject-rate")
+                opts.injectRate = std::strtod(next().c_str(), nullptr);
+            else if (arg == "--divergence-frac")
+                opts.divergenceFrac =
+                    std::strtod(next().c_str(), nullptr);
+            else if (arg == "--deadline-ms")
+                opts.deadlineMs =
+                    std::strtoull(next().c_str(), nullptr, 0);
+            else if (arg == "--out")
+                opts.outDir = next();
+            else if (arg == "--help" || arg == "-h") {
+                printUsage(stdout);
+                return 0;
+            } else {
+                printUsage(stderr);
+                fatal("unknown option '" + arg + "'");
+            }
+        }
+
+        // The in-process supervisor (when no daemon drives the test).
+        std::unique_ptr<Supervisor> localSup;
+        if (opts.socketPath.empty()) {
+            SupervisorConfig scfg;
+            scfg.artifactDir = opts.outDir;
+            localSup = std::make_unique<Supervisor>(scfg);
+        }
+
+        std::vector<JobResult> results;
+        std::mutex resultsMutex;
+        const auto start = std::chrono::steady_clock::now();
+
+        std::vector<std::thread> fleet;
+        fleet.reserve(opts.clients);
+        for (unsigned c = 0; c < opts.clients; c++) {
+            fleet.emplace_back([&, c] {
+                for (unsigned j = 0; j < opts.jobsPerClient; j++) {
+                    const JobSpec spec = specForJob(opts, c, j);
+                    JobResult r;
+                    try {
+                        r = opts.socketPath.empty()
+                                ? submitInProcess(*localSup, spec)
+                                : submitOverSocket(opts, spec);
+                    } catch (const FatalError &err) {
+                        r.status = "connection-error";
+                        std::fprintf(stderr, "client %u: %s\n", c,
+                                     err.what());
+                    }
+                    std::lock_guard<std::mutex> lock(resultsMutex);
+                    results.push_back(r);
+                }
+            });
+        }
+        for (std::thread &t : fleet)
+            t.join();
+        const double wallSec =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+
+        // Tally, and enforce the crash-isolation contract: a SimError
+        // failure without a capsule is a harness failure.
+        size_t done = 0, failed = 0, shed = 0, cancelled = 0,
+               cached = 0, capsuled = 0, errors = 0;
+        size_t missingCapsules = 0;
+        std::vector<double> latencies;
+        for (const JobResult &r : results) {
+            if (r.status == "done") {
+                done++;
+                cached += r.cached ? 1 : 0;
+            } else if (r.status == "failed") {
+                failed++;
+                capsuled += r.hasCapsule ? 1 : 0;
+                // Checker failures have no SimError and thus no
+                // capsule; every other failure kind must have one.
+                if (!r.hasCapsule && r.errorKind != "checker" &&
+                    r.errorKind != "fatal")
+                    missingCapsules++;
+            } else if (r.status == "overloaded") {
+                shed++;
+            } else if (r.status == "cancelled") {
+                cancelled++;
+            } else {
+                errors++;
+            }
+            if (r.latencyMs > 0)
+                latencies.push_back(r.latencyMs);
+        }
+        std::sort(latencies.begin(), latencies.end());
+
+        const size_t total = results.size();
+        const double jobsPerSec =
+            wallSec > 0 ? static_cast<double>(total) / wallSec : 0;
+        const double p50 = percentile(latencies, 0.50);
+        const double p99 = percentile(latencies, 0.99);
+
+        std::printf("loadgen: %zu jobs in %.2fs = %.2f jobs/sec\n",
+                    total, wallSec, jobsPerSec);
+        std::printf(
+            "  done %zu (cached %zu), failed %zu (capsuled %zu), "
+            "shed %zu, cancelled %zu, errors %zu\n",
+            done, cached, failed, capsuled, shed, cancelled, errors);
+        std::printf("  latency p50 %.1fms p99 %.1fms\n", p50, p99);
+
+        benchutil::BenchReport report("service");
+        report.note("transport", opts.socketPath.empty()
+                                     ? "in-process"
+                                     : "socket");
+        report.note("inject_rate_str",
+                    std::to_string(opts.injectRate));
+        report.note("divergence_frac_str",
+                    std::to_string(opts.divergenceFrac));
+        report.beginRow("overall");
+        report.metric("clients", opts.clients);
+        report.metric("jobs", static_cast<double>(total));
+        report.metric("jobs_per_sec", jobsPerSec);
+        report.metric("latency_p50_ms", p50);
+        report.metric("latency_p99_ms", p99);
+        report.metric("done", static_cast<double>(done));
+        report.metric("cached", static_cast<double>(cached));
+        report.metric("failed", static_cast<double>(failed));
+        report.metric("capsuled", static_cast<double>(capsuled));
+        report.metric("shed", static_cast<double>(shed));
+        report.metric("cancelled", static_cast<double>(cancelled));
+        report.write(opts.outDir);
+
+        if (missingCapsules) {
+            std::fprintf(stderr,
+                         "FAILED: %zu SimError failures without a "
+                         "capsule\n",
+                         missingCapsules);
+            return 1;
+        }
+        if (errors) {
+            std::fprintf(stderr, "FAILED: %zu transport errors\n",
+                         errors);
+            return 1;
+        }
+        return 0;
+    } catch (const FatalError &err) {
+        std::fprintf(stderr, "loadgen: %s\n", err.what());
+        return 1;
+    }
+}

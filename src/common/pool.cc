@@ -1,5 +1,6 @@
 #include "common/pool.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <deque>
 #include <exception>
@@ -8,6 +9,7 @@
 
 #include "common/log.h"
 #include "common/rng.h"
+#include "common/sim_error.h"
 
 namespace xloops {
 
@@ -69,18 +71,61 @@ popTask(std::vector<Shard> &shards, unsigned self, size_t &out)
     return false;
 }
 
+[[noreturn]] void
+throwBatchStop(SimErrorKind kind, size_t ran, size_t skipped, size_t n)
+{
+    MachineSnapshot snap;
+    snap.context = "worker pool batch";
+    snap.occupancy.emplace_back("tasks_ran", ran);
+    snap.occupancy.emplace_back("tasks_skipped", skipped);
+    snap.occupancy.emplace_back("tasks_total", n);
+    throw SimError(kind,
+                   strf("batch stopped: ", ran, " of ", n,
+                        " tasks ran, ", skipped, " skipped"),
+                   snap);
+}
+
 } // namespace
 
 void
 WorkerPool::run(size_t n, const std::function<void(size_t)> &fn) const
 {
+    run(n, fn, RunControl{});
+}
+
+void
+WorkerPool::run(size_t n, const std::function<void(size_t)> &fn,
+                const RunControl &control) const
+{
     if (n == 0)
         return;
 
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(control.deadlineMs);
+    const auto externallyStopped = [&]() -> SimErrorKind {
+        // Cancellation is checked first: an explicit cancel is a
+        // stronger (and more specific) signal than an expired budget.
+        if (control.cancel && control.cancel->cancelled())
+            return SimErrorKind::Cancelled;
+        if (control.deadlineMs && Clock::now() >= deadline)
+            return SimErrorKind::Deadline;
+        return SimErrorKind::Watchdog;  // sentinel: not stopped
+    };
+    const auto isStop = [](SimErrorKind k) {
+        return k == SimErrorKind::Cancelled || k == SimErrorKind::Deadline;
+    };
+
     if (jobCount <= 1 || n == 1) {
-        // Inline execution: index order, first failure propagates.
-        for (size_t i = 0; i < n; i++)
+        // Inline execution: index order, first failure propagates
+        // immediately (which also cancels every later task — the
+        // same semantics the parallel path provides).
+        for (size_t i = 0; i < n; i++) {
+            const SimErrorKind stop = externallyStopped();
+            if (isStop(stop))
+                throwBatchStop(stop, i, n - i, n);
             fn(i);
+        }
         return;
     }
 
@@ -94,16 +139,44 @@ WorkerPool::run(size_t n, const std::function<void(size_t)> &fn) const
     // join below is the only synchronization results need.
     std::vector<std::exception_ptr> errors(n);
 
+    // Lowest failing index seen so far; queued tasks above it are
+    // doomed (their results would be discarded by the rethrow) and
+    // are skipped instead of silently executed. Tasks *below* it
+    // still run, so lowest-index propagation stays deterministic.
+    std::atomic<size_t> lowestFailure{n};
+    std::atomic<size_t> ran{0};
+    std::atomic<size_t> skippedCancel{0};
+    std::atomic<size_t> skippedDeadline{0};
+
     std::vector<std::thread> threads;
     threads.reserve(workers);
     for (unsigned w = 0; w < workers; w++) {
         threads.emplace_back([&, w] {
             size_t task;
             while (popTask(shards, w, task)) {
+                const SimErrorKind stop = externallyStopped();
+                if (stop == SimErrorKind::Cancelled) {
+                    skippedCancel++;
+                    continue;  // drain the queue without executing
+                }
+                if (stop == SimErrorKind::Deadline) {
+                    skippedDeadline++;
+                    continue;
+                }
+                if (task > lowestFailure.load(std::memory_order_acquire))
+                    continue;  // cancelled by an earlier failure
                 try {
                     fn(task);
+                    ran++;
                 } catch (...) {
                     errors[task] = std::current_exception();
+                    // CAS-min: remember the lowest failing index.
+                    size_t prev =
+                        lowestFailure.load(std::memory_order_relaxed);
+                    while (task < prev &&
+                           !lowestFailure.compare_exchange_weak(
+                               prev, task, std::memory_order_release))
+                        ;
                 }
             }
         });
@@ -117,6 +190,15 @@ WorkerPool::run(size_t n, const std::function<void(size_t)> &fn) const
         if (e)
             std::rethrow_exception(e);
     }
+
+    // External stops only surface when they actually cut work short;
+    // a cancel that raced with the last task completing is a no-op.
+    if (skippedCancel.load())
+        throwBatchStop(SimErrorKind::Cancelled, ran.load(),
+                       skippedCancel.load() + skippedDeadline.load(), n);
+    if (skippedDeadline.load())
+        throwBatchStop(SimErrorKind::Deadline, ran.load(),
+                       skippedDeadline.load(), n);
 }
 
 } // namespace xloops

@@ -12,6 +12,20 @@
  * degenerates to plain inline execution — same results, same first
  * exception — which is what tests/test_pool.cc pins down.
  *
+ * Failure cancels doomed work: once a task at index F has thrown,
+ * still-queued tasks with index > F are skipped rather than silently
+ * executed (their results would be discarded by the rethrow anyway).
+ * Tasks with index < F always run, so the lowest-index failure — the
+ * one that propagates — is unaffected by the cancellation and stays
+ * deterministic.
+ *
+ * Batches also accept external controls (RunControl): a CancelToken
+ * the submitter can fire to stop dequeuing, and a wall-clock deadline
+ * budget. Both skip remaining tasks cooperatively (a task already
+ * running completes) and surface as SimError(Cancelled) /
+ * SimError(Deadline) when they actually cut work short — the service
+ * layer (src/service/) uses these as job-quota enforcement.
+ *
  * Tasks that need randomness must not share streams across tasks:
  * taskSeed() derives an independent per-task root seed from
  * (rootSeed, taskIndex), which tasks feed to their own RngPool (see
@@ -22,12 +36,45 @@
 #ifndef XLOOPS_COMMON_POOL_H
 #define XLOOPS_COMMON_POOL_H
 
+#include <atomic>
 #include <functional>
 #include <vector>
 
 #include "common/types.h"
 
 namespace xloops {
+
+/**
+ * Cooperative cancellation flag shared between a batch submitter and
+ * the pool workers draining it. cancel() is safe from any thread
+ * (including a signal-adjacent watchdog thread); workers observe it
+ * before starting each task, never mid-task.
+ */
+class CancelToken
+{
+  public:
+    void cancel() { flag.store(true, std::memory_order_relaxed); }
+    bool cancelled() const
+    {
+        return flag.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<bool> flag{false};
+};
+
+/** External controls on one run()/map() batch (both optional). */
+struct RunControl
+{
+    /** Stop starting new tasks once fired; the batch then throws
+     *  SimError(Cancelled) if any task was actually skipped. */
+    const CancelToken *cancel = nullptr;
+
+    /** Wall-clock budget in milliseconds measured from run() entry;
+     *  0 disables. Tasks not started before the budget expires are
+     *  skipped and the batch throws SimError(Deadline). */
+    u64 deadlineMs = 0;
+};
 
 /**
  * Worker count to use when the caller does not specify one: the
@@ -65,12 +112,18 @@ class WorkerPool
      * them. With jobs() == 1 (or n <= 1) the tasks run inline on the
      * calling thread in index order.
      *
-     * When one or more tasks throw, every remaining task still runs
-     * (parallel workers may already be past the failing index), and
-     * the exception of the lowest-index failing task is rethrown —
-     * so the propagated error is deterministic too.
+     * When one or more tasks throw, the exception of the lowest-index
+     * failing task is rethrown — deterministically, no matter which
+     * worker hit which failure first. Still-queued tasks with a
+     * higher index than a recorded failure are cancelled rather than
+     * executed (see the file comment); tasks with a lower index
+     * always run, so the propagated error cannot change.
      */
     void run(size_t n, const std::function<void(size_t)> &fn) const;
+
+    /** run() under external controls (cancellation / deadline). */
+    void run(size_t n, const std::function<void(size_t)> &fn,
+             const RunControl &control) const;
 
     /**
      * Deterministic parallel map: out[i] = fn(i), collected per task
@@ -79,10 +132,10 @@ class WorkerPool
      */
     template <typename T, typename Fn>
     std::vector<T>
-    map(size_t n, Fn &&fn) const
+    map(size_t n, Fn &&fn, const RunControl &control = {}) const
     {
         std::vector<T> out(n);
-        run(n, [&](size_t i) { out[i] = fn(i); });
+        run(n, [&](size_t i) { out[i] = fn(i); }, control);
         return out;
     }
 

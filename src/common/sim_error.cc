@@ -13,6 +13,9 @@ simErrorKindName(SimErrorKind kind)
       case SimErrorKind::InstLimit: return "inst-limit";
       case SimErrorKind::StructuralHang: return "structural-hang";
       case SimErrorKind::Divergence: return "divergence";
+      case SimErrorKind::Interrupted: return "interrupted";
+      case SimErrorKind::Deadline: return "deadline";
+      case SimErrorKind::Cancelled: return "cancelled";
     }
     return "unknown";
 }

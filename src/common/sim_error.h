@@ -13,11 +13,15 @@
  *   clean run          exit 0
  *   user/config error  exit 1   (FatalError)
  *   checker failure    exit 2   (golden output mismatch)
- *   watchdog / limits  exit 3   (SimError, recoverable diagnosis)
+ *   watchdog / limits  exit 3   (SimError, recoverable diagnosis;
+ *                                also service deadline/cancellation)
  *   simulator panic    exit 4   (PanicError / non-recoverable)
  *   lockstep diverged  exit 5   (DivergenceError: timing model's
  *                                architectural state left the golden
  *                                model's; carries the first mismatch)
+ *   interrupted        exit 6   (SIGINT/SIGTERM: the run stopped
+ *                                cooperatively after emitting a final
+ *                                checkpoint and capsule)
  *
  * SimError derives from FatalError so existing catch sites keep
  * working; tools that care about the taxonomy catch SimError first.
@@ -44,6 +48,9 @@ enum class SimErrorKind
     InstLimit,      ///< system run exceeded its instruction valve
     StructuralHang, ///< deadlocked structural resources (no retry left)
     Divergence,     ///< lockstep shadow disagreed with the timing model
+    Interrupted,    ///< cooperative stop on SIGINT/SIGTERM
+    Deadline,       ///< wall-clock watchdog deadline (service quota)
+    Cancelled,      ///< batch/job cancelled before completion
 };
 
 const char *simErrorKindName(SimErrorKind kind);
@@ -104,7 +111,11 @@ class SimError : public FatalError
     bool recoverable() const { return true; }
 
     /** Process exit code for tools (see file comment taxonomy). */
-    virtual int exitCode() const { return 3; }
+    virtual int
+    exitCode() const
+    {
+        return errorKind == SimErrorKind::Interrupted ? 6 : 3;
+    }
 
   private:
     SimErrorKind errorKind;

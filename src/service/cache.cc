@@ -1,0 +1,150 @@
+#include "service/cache.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/json.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "service/job.h"
+
+namespace xloops {
+
+namespace {
+
+u64
+mixString(u64 h, const std::string &s)
+{
+    for (const char c : s)
+        h = mix64(h ^ static_cast<u8>(c));
+    return mix64(h);
+}
+
+constexpr const char *cacheSchema = "xloops-cache-1";
+
+} // namespace
+
+u64
+resultCacheKey(u64 programHash, const JobSpec &spec)
+{
+    u64 h = mix64(programHash);
+    h = mixString(h, spec.config);
+    h = mixString(h, spec.mode);
+    h = mix64(h ^ (spec.gpBinary ? 1 : 0));
+    h = mix64(h ^ spec.maxInsts);
+    h = mix64(h ^ spec.injectSeed);
+    h = mixString(h, doubleBits(spec.injectRate));
+    h = mixString(h, doubleBits(spec.injectArchRate));
+    h = mix64(h ^ (spec.haveWatchdog ? spec.watchdogCycles + 1 : 0));
+    h = mix64(h ^ (spec.lockstep ? 2 : 0));
+    return h ? h : 1;
+}
+
+ResultCache::ResultCache(size_t max_entries)
+    : maxEntries(max_entries ? max_entries : 1)
+{
+}
+
+bool
+ResultCache::lookup(u64 key, std::string &resultJson)
+{
+    std::lock_guard<std::mutex> lock(m);
+    const auto it = entries.find(key);
+    if (it == entries.end()) {
+        missCount++;
+        return false;
+    }
+    hitCount++;
+    resultJson = it->second;
+    return true;
+}
+
+void
+ResultCache::insert(u64 key, const std::string &resultJson)
+{
+    std::lock_guard<std::mutex> lock(m);
+    if (entries.emplace(key, resultJson).second) {
+        insertionOrder.push_back(key);
+        evictIfNeeded();
+    }
+}
+
+void
+ResultCache::evictIfNeeded()
+{
+    while (entries.size() > maxEntries && !insertionOrder.empty()) {
+        entries.erase(insertionOrder.front());
+        insertionOrder.pop_front();
+    }
+}
+
+u64
+ResultCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(m);
+    return hitCount;
+}
+
+u64
+ResultCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(m);
+    return missCount;
+}
+
+size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(m);
+    return entries.size();
+}
+
+void
+ResultCache::saveIndex(const std::string &path) const
+{
+    std::lock_guard<std::mutex> lock(m);
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write cache index " + path);
+    JsonWriter w(out, /*pretty=*/true);
+    w.beginObject();
+    w.field("schema", cacheSchema);
+    w.field("num_entries", static_cast<u64>(entries.size()));
+    w.key("entries").beginObject();
+    // Entries are stored verbatim (they are themselves JSON text) so
+    // a restored hit is still byte-identical to the original run.
+    for (const auto &[key, text] : entries) {
+        w.key(strf("0x", std::hex, key));
+        w.value(text);
+    }
+    w.endObject();
+    w.endObject();
+    out << "\n";
+}
+
+size_t
+ResultCache::loadIndex(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return 0;  // cold start
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const JsonValue v = jsonParse(buf.str());
+    if (v.at("schema").asString() != cacheSchema)
+        fatal(strf("'", path, "' is not an ", cacheSchema, " index"));
+
+    std::lock_guard<std::mutex> lock(m);
+    size_t loaded = 0;
+    for (const auto &[key, text] : v.at("entries").members()) {
+        if (entries.emplace(parseU64(key), text.asString()).second) {
+            insertionOrder.push_back(parseU64(key));
+            loaded++;
+        }
+    }
+    evictIfNeeded();
+    return loaded;
+}
+
+} // namespace xloops

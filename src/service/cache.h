@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Content-addressed result cache for the simulation service.
+ *
+ * A cell simulated once is never simulated again: results are keyed
+ * by everything that can change the canonical "xloops-stats-1"
+ * document — the program-image hash (the assembled binary, so edits
+ * to a kernel or the assembler naturally miss), the configuration and
+ * mode, the valves, and the fault seed/rates (bit-exact via their
+ * IEEE-754 patterns). Because the simulator is deterministic, a hit
+ * is *byte-identical* to what a cold run would have produced — the
+ * cache stores the exact serialized document and serves it verbatim
+ * (the service soak in CI diffs hit against cold to enforce this).
+ *
+ * Only first-attempt results are cached: a retry re-derives its fault
+ * seed (see service/supervisor.h), so its stats describe a different
+ * schedule than the key's.
+ *
+ * The index persists across daemon restarts as an "xloops-cache-1"
+ * JSON document (saved on graceful drain, loaded at startup).
+ */
+
+#ifndef XLOOPS_SERVICE_CACHE_H
+#define XLOOPS_SERVICE_CACHE_H
+
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/types.h"
+
+namespace xloops {
+
+struct JobSpec;
+
+/** The cache key of a (program image, config, seed) cell. */
+u64 resultCacheKey(u64 programHash, const JobSpec &spec);
+
+/** Thread-safe bounded result cache with FIFO eviction. */
+class ResultCache
+{
+  public:
+    explicit ResultCache(size_t max_entries = 4096);
+
+    /** True (and fills @p resultJson verbatim) on a hit. */
+    bool lookup(u64 key, std::string &resultJson);
+
+    /** Insert/overwrite; evicts the oldest entry when full. */
+    void insert(u64 key, const std::string &resultJson);
+
+    u64 hits() const;
+    u64 misses() const;
+    size_t size() const;
+
+    /** Persist the index ("xloops-cache-1"); throws on I/O errors. */
+    void saveIndex(const std::string &path) const;
+
+    /** Load a saved index; returns the number of entries restored
+     *  (0 when the file does not exist — a cold start, not an
+     *  error). Throws FatalError on malformed documents. */
+    size_t loadIndex(const std::string &path);
+
+  private:
+    void evictIfNeeded();  // caller holds m
+
+    mutable std::mutex m;
+    size_t maxEntries;
+    std::map<u64, std::string> entries;
+    std::deque<u64> insertionOrder;
+    u64 hitCount = 0;
+    u64 missCount = 0;
+};
+
+} // namespace xloops
+
+#endif // XLOOPS_SERVICE_CACHE_H

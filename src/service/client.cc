@@ -1,0 +1,79 @@
+#include "service/client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/log.h"
+
+namespace xloops {
+
+ServiceClient::ServiceClient(const std::string &socketPath)
+{
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal(strf("socket: ", std::strerror(errno)));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socketPath.size() >= sizeof(addr.sun_path)) {
+        ::close(fd);
+        fd = -1;
+        fatal("socket path too long: " + socketPath);
+    }
+    std::strncpy(addr.sun_path, socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        ::close(fd);
+        fd = -1;
+        fatal(strf("cannot connect to xloopsd at ", socketPath, ": ",
+                   std::strerror(errno)));
+    }
+}
+
+ServiceClient::~ServiceClient()
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+std::string
+ServiceClient::request(const std::string &line)
+{
+    std::string out = line;
+    out.push_back('\n');
+    size_t off = 0;
+    while (off < out.size()) {
+        const ssize_t n =
+            ::write(fd, out.data() + off, out.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal(strf("xloopsd connection lost: ",
+                       std::strerror(errno)));
+        }
+        off += static_cast<size_t>(n);
+    }
+
+    std::string response;
+    char c;
+    while (true) {
+        const ssize_t n = ::read(fd, &c, 1);
+        if (n == 0)
+            fatal("xloopsd closed the connection mid-response");
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal(strf("xloopsd connection lost: ",
+                       std::strerror(errno)));
+        }
+        if (c == '\n')
+            return response;
+        response.push_back(c);
+    }
+}
+
+} // namespace xloops

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Minimal blocking client for the xloopsd line protocol, shared by
+ * the xloopsc CLI and the load generator: connect to the Unix
+ * socket, write one request line, read one response line.
+ */
+
+#ifndef XLOOPS_SERVICE_CLIENT_H
+#define XLOOPS_SERVICE_CLIENT_H
+
+#include <string>
+
+namespace xloops {
+
+class ServiceClient
+{
+  public:
+    /** Connect to the daemon at @p socketPath; throws FatalError
+     *  when the daemon is not there. */
+    explicit ServiceClient(const std::string &socketPath);
+
+    ~ServiceClient();
+
+    ServiceClient(const ServiceClient &) = delete;
+    ServiceClient &operator=(const ServiceClient &) = delete;
+
+    /** Send @p line, block for the response line. Throws FatalError
+     *  when the connection dies (daemon crash = client error, not a
+     *  hang). */
+    std::string request(const std::string &line);
+
+  private:
+    int fd = -1;
+};
+
+} // namespace xloops
+
+#endif // XLOOPS_SERVICE_CLIENT_H

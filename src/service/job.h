@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The service job model: what a client asks the daemon to simulate
+ * (JobSpec), what it gets back (JobOutcome), and the JSON codecs both
+ * sides of the "xloops-job-1" / "xloops-result-1" wire protocol share
+ * (see docs/SERVICE.md and service/protocol.h).
+ *
+ * A JobSpec is deliberately the same knob set as one `xsim -k` run —
+ * kernel, config, mode, valves, fault seeds, lockstep — so anything
+ * reproducible from the CLI is submittable as a job and vice versa:
+ * a failed job's capsule replays with plain `xsim --replay`.
+ */
+
+#ifndef XLOOPS_SERVICE_JOB_H
+#define XLOOPS_SERVICE_JOB_H
+
+#include <string>
+
+#include "common/types.h"
+
+namespace xloops {
+
+class JsonWriter;
+class JsonValue;
+
+/** One simulation job: a kernel on a configuration under a mode,
+ *  wrapped in the service's quota envelope. */
+struct JobSpec
+{
+    std::string kernel;          ///< registered kernel name
+    std::string config = "io+x"; ///< configuration name (configs::byName)
+    std::string mode = "S";      ///< T, S, or A
+    bool gpBinary = false;       ///< run the serialized GP-ISA binary
+
+    /** Per-job instruction valve (quota; trips as InstLimit). */
+    u64 maxInsts = 500'000'000;
+
+    /** Per-job wall-clock watchdog in ms; 0 = the server default. */
+    u64 deadlineMs = 0;
+
+    /** Fault-injection knobs (same semantics as xsim). */
+    u64 injectSeed = 0;
+    double injectRate = 0.0;
+    double injectArchRate = 0.0;
+
+    /** LPSU no-commit watchdog override (cycles; only when have set). */
+    bool haveWatchdog = false;
+    u64 watchdogCycles = 0;
+
+    /** Differential lockstep verification (divergences capsule). */
+    bool lockstep = false;
+
+    /** Retry budget override; negative = the server default. */
+    int maxRetries = -1;
+
+    /**
+     * Validate names and knob combinations without running anything;
+     * returns false with a reason for submissions the daemon must
+     * reject up front (unknown kernel/config, bad mode, arch
+     * corruption without a seed, GP binary outside mode T).
+     */
+    bool validate(std::string &why) const;
+
+    /** Emit the "job" object fields (inverse of jobSpecFromJson). */
+    void toJson(JsonWriter &w) const;
+};
+
+/** Parse a "job" object; throws FatalError on malformed documents. */
+JobSpec jobSpecFromJson(const JsonValue &v);
+
+/** Terminal and in-flight states of a submitted job. */
+enum class JobStatus
+{
+    Queued,     ///< admitted, waiting for a worker
+    Running,    ///< on a worker (includes retry backoff waits)
+    Done,       ///< validated result available
+    Failed,     ///< checker failure or fatal/exhausted SimError
+    Shed,       ///< rejected by admission control (never queued)
+    Cancelled,  ///< cancelled while queued (client request or drain)
+};
+
+const char *jobStatusName(JobStatus status);
+
+/** Everything the daemon reports back about one job. */
+struct JobOutcome
+{
+    u64 jobId = 0;
+    JobStatus status = JobStatus::Queued;
+    unsigned attempts = 0;      ///< run attempts actually made
+    bool cached = false;        ///< served from the result cache
+    std::string error;          ///< failure message (empty on success)
+    std::string errorKind;      ///< simErrorKindName, or "checker"
+    std::string capsulePath;    ///< artifact path when the job capsuled
+    Cycle cycles = 0;
+    u64 gppInsts = 0;
+    std::string statsJson;      ///< canonical "xloops-stats-1" document
+
+    bool
+    terminal() const
+    {
+        return status == JobStatus::Done || status == JobStatus::Failed ||
+               status == JobStatus::Shed ||
+               status == JobStatus::Cancelled;
+    }
+};
+
+} // namespace xloops
+
+#endif // XLOOPS_SERVICE_JOB_H

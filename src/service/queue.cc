@@ -1,0 +1,72 @@
+#include "service/queue.h"
+
+#include <algorithm>
+
+namespace xloops {
+
+BoundedJobQueue::BoundedJobQueue(size_t max_depth)
+    : maxDepth(max_depth ? max_depth : 1)
+{
+}
+
+bool
+BoundedJobQueue::tryPush(u64 jobId)
+{
+    {
+        std::lock_guard<std::mutex> lock(m);
+        if (closedFlag || jobs.size() >= maxDepth)
+            return false;
+        jobs.push_back(jobId);
+    }
+    cv.notify_one();
+    return true;
+}
+
+bool
+BoundedJobQueue::pop(u64 &jobId)
+{
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return closedFlag || !jobs.empty(); });
+    if (jobs.empty())
+        return false;  // closed and drained
+    jobId = jobs.front();
+    jobs.pop_front();
+    return true;
+}
+
+bool
+BoundedJobQueue::remove(u64 jobId)
+{
+    std::lock_guard<std::mutex> lock(m);
+    const auto it = std::find(jobs.begin(), jobs.end(), jobId);
+    if (it == jobs.end())
+        return false;
+    jobs.erase(it);
+    return true;
+}
+
+void
+BoundedJobQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(m);
+        closedFlag = true;
+    }
+    cv.notify_all();
+}
+
+size_t
+BoundedJobQueue::depth() const
+{
+    std::lock_guard<std::mutex> lock(m);
+    return jobs.size();
+}
+
+bool
+BoundedJobQueue::isClosed() const
+{
+    std::lock_guard<std::mutex> lock(m);
+    return closedFlag;
+}
+
+} // namespace xloops

@@ -1,0 +1,53 @@
+#include "service/retry.h"
+
+#include <algorithm>
+
+namespace xloops {
+
+FailureClass
+classifySimError(SimErrorKind kind)
+{
+    switch (kind) {
+      case SimErrorKind::Watchdog:
+      case SimErrorKind::CycleLimit:
+      case SimErrorKind::StructuralHang:
+      case SimErrorKind::Deadline:
+        return FailureClass::Retryable;
+
+      case SimErrorKind::InstLimit:
+      case SimErrorKind::Divergence:
+      case SimErrorKind::Interrupted:
+      case SimErrorKind::Cancelled:
+        return FailureClass::Fatal;
+    }
+    return FailureClass::Fatal;  // unknown kinds never loop
+}
+
+const char *
+failureClassName(FailureClass c)
+{
+    return c == FailureClass::Retryable ? "retryable" : "fatal";
+}
+
+u64
+backoffMs(const RetryPolicy &policy, unsigned retryIndex, Rng &jitter)
+{
+    // Capped exponential: base * 2^retryIndex, saturating well before
+    // the shift can overflow.
+    u64 wait = policy.baseBackoffMs;
+    for (unsigned i = 0; i < retryIndex && wait < policy.maxBackoffMs;
+         i++)
+        wait *= 2;
+    wait = std::min(wait, policy.maxBackoffMs);
+
+    // Jitter factor in [1 - f, 1 + f]; the draw happens even when
+    // f == 0 so the stream advances identically regardless of the
+    // policy's jitter setting (reproducibility over cleverness).
+    const double roll = static_cast<double>(jitter.nextFloat());
+    const double factor =
+        1.0 + policy.jitterFrac * (2.0 * roll - 1.0);
+    const double jittered = static_cast<double>(wait) * factor;
+    return jittered <= 0.0 ? 0 : static_cast<u64>(jittered);
+}
+
+} // namespace xloops

@@ -1,0 +1,220 @@
+#include "service/server.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/log.h"
+#include "service/protocol.h"
+
+namespace xloops {
+
+namespace {
+
+/** Read up to the next '\n' (exclusive); false on EOF/error. */
+bool
+readLine(int fd, std::string &line)
+{
+    line.clear();
+    char c;
+    while (true) {
+        const ssize_t n = ::read(fd, &c, 1);
+        if (n == 0)
+            return !line.empty();
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (c == '\n')
+            return true;
+        line.push_back(c);
+        if (line.size() > (64u << 20))
+            return false;  // absurd line: drop the connection
+    }
+}
+
+bool
+writeAll(int fd, const std::string &text)
+{
+    size_t off = 0;
+    while (off < text.size()) {
+        const ssize_t n =
+            ::write(fd, text.data() + off, text.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+/** One request line -> one response line. */
+std::string
+handleRequest(Supervisor &sup, const std::string &line,
+              std::atomic<bool> &drainRequested)
+{
+    Request req;
+    try {
+        req = parseRequest(line);
+    } catch (const FatalError &err) {
+        return encodeError(err.what());
+    }
+
+    try {
+        if (req.op == "ping")
+            return encodeOk();
+        if (req.op == "stats")
+            return encodeStats(sup.stats());
+        if (req.op == "drain") {
+            // The accept loop owns the actual drain (it must also
+            // stop accepting and persist the cache); just signal it.
+            drainRequested.store(true);
+            return encodeOk();
+        }
+        if (req.op == "status")
+            return encodeOutcome(sup.status(req.jobId));
+        if (req.op == "capsule") {
+            const std::string text = sup.capsuleText(req.jobId);
+            if (text.empty())
+                return encodeError(
+                    strf("job ", req.jobId, " has no capsule"));
+            return encodeCapsule(req.jobId, text);
+        }
+
+        // submit: synchronous — the response is the terminal outcome.
+        const Admission adm = sup.submit(req.job);
+        if (!adm.accepted) {
+            if (adm.reason == "overloaded")
+                return encodeShed(adm.jobId);
+            return encodeError(adm.reason);
+        }
+        return encodeOutcome(sup.wait(adm.jobId));
+    } catch (const FatalError &err) {
+        return encodeError(err.what());
+    }
+}
+
+} // namespace
+
+int
+runServer(const ServerConfig &cfg, const std::atomic<u32> &shutdownFlag)
+{
+    Supervisor sup(cfg.supervisor);
+
+    if (!cfg.cacheIndexPath.empty()) {
+        const size_t restored =
+            sup.cache().loadIndex(cfg.cacheIndexPath);
+        if (restored)
+            std::fprintf(stderr,
+                         "xloopsd: restored %zu cached results\n",
+                         restored);
+    }
+
+    const int listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd < 0)
+        fatal(strf("socket: ", std::strerror(errno)));
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (cfg.socketPath.size() >= sizeof(addr.sun_path)) {
+        ::close(listenFd);
+        fatal("socket path too long: " + cfg.socketPath);
+    }
+    std::strncpy(addr.sun_path, cfg.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(cfg.socketPath.c_str());  // stale socket from a crash
+    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0) {
+        ::close(listenFd);
+        fatal(strf("bind ", cfg.socketPath, ": ",
+                   std::strerror(errno)));
+    }
+    if (::listen(listenFd, 64) < 0) {
+        ::close(listenFd);
+        fatal(strf("listen: ", std::strerror(errno)));
+    }
+    std::fprintf(stderr, "xloopsd: listening on %s\n",
+                 cfg.socketPath.c_str());
+
+    std::atomic<bool> drainRequested{false};
+    std::vector<std::thread> connections;
+    std::vector<int> connFds;
+    std::mutex connMutex;
+
+    // Accept with a poll timeout so shutdown requests (signal or
+    // protocol "drain") are noticed within ~200ms even when idle.
+    while (shutdownFlag.load() == 0 && !drainRequested.load()) {
+        pollfd pfd{listenFd, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 200);
+        if (ready < 0 && errno != EINTR)
+            break;
+        if (ready <= 0 || !(pfd.revents & POLLIN))
+            continue;
+        const int connFd = ::accept(listenFd, nullptr, nullptr);
+        if (connFd < 0)
+            continue;
+        std::lock_guard<std::mutex> lock(connMutex);
+        connFds.push_back(connFd);
+        connections.emplace_back([connFd, &sup, &drainRequested,
+                                  &shutdownFlag] {
+            std::string line;
+            while (readLine(connFd, line)) {
+                if (line.empty())
+                    continue;
+                const std::string response =
+                    handleRequest(sup, line, drainRequested);
+                if (!writeAll(connFd, response + "\n"))
+                    break;
+                if (drainRequested.load() || shutdownFlag.load())
+                    break;
+            }
+            // The fd is shut down (not closed) here so the main
+            // thread can still safely shut it down during drain
+            // without an fd-reuse race; it closes everything after
+            // the join.
+            ::shutdown(connFd, SHUT_RDWR);
+        });
+    }
+
+    // Graceful drain: no new connections, no new jobs; jobs already
+    // running finish (or honor their stop flags), their clients get
+    // real responses, and the cache survives to the next daemon.
+    std::fprintf(stderr, "xloopsd: draining\n");
+    ::close(listenFd);
+    sup.drain();  // in-flight submits resolve; waiters respond
+    {
+        std::lock_guard<std::mutex> lock(connMutex);
+        // Unblock connections idling in read() with no request.
+        for (const int fd : connFds)
+            ::shutdown(fd, SHUT_RDWR);
+        for (std::thread &t : connections)
+            t.join();
+        for (const int fd : connFds)
+            ::close(fd);
+    }
+    if (!cfg.cacheIndexPath.empty()) {
+        try {
+            sup.cache().saveIndex(cfg.cacheIndexPath);
+            std::fprintf(stderr, "xloopsd: cache index: %s\n",
+                         cfg.cacheIndexPath.c_str());
+        } catch (const FatalError &err) {
+            std::fprintf(stderr, "xloopsd: %s\n", err.what());
+        }
+    }
+    ::unlink(cfg.socketPath.c_str());
+    std::fprintf(stderr, "xloopsd: drained cleanly\n");
+    return 0;
+}
+
+} // namespace xloops

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The daemon's socket front end: accept loop, per-connection line
+ * protocol, and graceful-drain wiring. All policy lives in the
+ * Supervisor — this layer only moves lines.
+ */
+
+#ifndef XLOOPS_SERVICE_SERVER_H
+#define XLOOPS_SERVICE_SERVER_H
+
+#include <atomic>
+#include <string>
+
+#include "service/supervisor.h"
+
+namespace xloops {
+
+/** Daemon front-end knobs (see tools/xloopsd.cc flags). */
+struct ServerConfig
+{
+    std::string socketPath = "xloopsd.sock";
+    std::string cacheIndexPath;  ///< persisted cache ("" = none)
+    SupervisorConfig supervisor;
+};
+
+/**
+ * Run the daemon: bind a Unix-domain stream socket at
+ * cfg.socketPath, serve connections until @p shutdownFlag goes
+ * nonzero (the signal handlers set it), then drain gracefully —
+ * stop accepting, cancel the backlog, finish running jobs, persist
+ * the cache index, unlink the socket. Returns the process exit code.
+ */
+int runServer(const ServerConfig &cfg,
+              const std::atomic<u32> &shutdownFlag);
+
+} // namespace xloops
+
+#endif // XLOOPS_SERVICE_SERVER_H

@@ -1,0 +1,484 @@
+#include "service/supervisor.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/fault.h"
+#include "common/log.h"
+#include "common/loop_profile.h"
+#include "common/pool.h"
+#include "common/sim_error.h"
+#include "kernels/kernel.h"
+#include "system/capsule.h"
+#include "system/config.h"
+#include "system/report.h"
+
+namespace xloops {
+
+namespace {
+
+/** Hash of the program text a job executes (the kernel's assembly
+ *  source; spec.gpBinary is a separate key component since the
+ *  derived GP-ISA image is a deterministic function of the source). */
+u64
+programTextHash(const std::string &source)
+{
+    u64 h = 0x584c4f4f50530931ull;  // "XLOOPS\t1"
+    for (const char c : source)
+        h = mix64(h ^ static_cast<u8>(c));
+    return mix64(h);
+}
+
+ExecMode
+modeByName(const std::string &mode)
+{
+    if (mode == "T")
+        return ExecMode::Traditional;
+    if (mode == "A")
+        return ExecMode::Adaptive;
+    return ExecMode::Specialized;
+}
+
+std::string
+readFileText(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return "";
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+Supervisor::Supervisor(const SupervisorConfig &config)
+    : cfg(config), resultCache(config.cacheEntries),
+      queue(config.queueDepth), paused(config.startPaused)
+{
+    unsigned n = cfg.workers;
+    if (n == 0) {
+        n = std::thread::hardware_concurrency();
+        if (n == 0)
+            n = 2;
+    }
+    workers.reserve(n);
+    for (unsigned i = 0; i < n; i++)
+        workers.emplace_back([this] { workerLoop(); });
+    watchdog = std::thread([this] { watchdogLoop(); });
+}
+
+Supervisor::~Supervisor()
+{
+    drain();
+}
+
+Admission
+Supervisor::submit(const JobSpec &spec)
+{
+    Admission adm;
+    if (drainFlag.load()) {
+        adm.reason = "draining";
+        return adm;
+    }
+    std::string why;
+    if (!spec.validate(why)) {
+        adm.reason = why;
+        return adm;
+    }
+
+    auto rec = std::make_unique<JobRecord>();
+    rec->spec = spec;
+    const u64 id = nextJobId.fetch_add(1);
+    rec->outcome.jobId = id;
+    adm.jobId = id;
+
+    JobRecord *raw = rec.get();
+    {
+        std::lock_guard<std::mutex> lock(m);
+        jobs.emplace(id, std::move(rec));
+    }
+    if (!queue.tryPush(id)) {
+        // Never queued: the workers are saturated and the backlog is
+        // already as deep as we are willing to make a client wait.
+        {
+            std::lock_guard<std::mutex> lock(m);
+            raw->outcome.status = JobStatus::Shed;
+            counters.shed++;
+        }
+        terminalCv.notify_all();
+        adm.reason = "overloaded";
+        return adm;
+    }
+    {
+        std::lock_guard<std::mutex> lock(m);
+        counters.submitted++;
+    }
+    adm.accepted = true;
+    return adm;
+}
+
+Supervisor::JobRecord &
+Supervisor::recordFor(u64 jobId) const
+{
+    std::lock_guard<std::mutex> lock(m);
+    const auto it = jobs.find(jobId);
+    if (it == jobs.end())
+        fatal(strf("unknown job id ", jobId));
+    return *it->second;
+}
+
+JobOutcome
+Supervisor::wait(u64 jobId)
+{
+    JobRecord &rec = recordFor(jobId);
+    std::unique_lock<std::mutex> lock(m);
+    terminalCv.wait(lock, [&] { return rec.outcome.terminal(); });
+    return rec.outcome;
+}
+
+JobOutcome
+Supervisor::status(u64 jobId) const
+{
+    JobRecord &rec = recordFor(jobId);
+    std::lock_guard<std::mutex> lock(m);
+    return rec.outcome;
+}
+
+bool
+Supervisor::cancel(u64 jobId)
+{
+    JobRecord &rec = recordFor(jobId);
+    {
+        std::unique_lock<std::mutex> lock(m);
+        if (rec.outcome.terminal())
+            return false;
+        if (rec.outcome.status == JobStatus::Queued &&
+            queue.remove(jobId)) {
+            rec.outcome.status = JobStatus::Cancelled;
+            counters.cancelled++;
+            lock.unlock();
+            terminalCv.notify_all();
+            return true;
+        }
+    }
+    // Already on (or headed to) a worker: raise the cooperative stop;
+    // the run dies with SimError(Cancelled) at its next commit.
+    rec.stop.store(static_cast<u32>(StopCause::Cancelled));
+    gateCv.notify_all();  // interrupt a backoff wait
+    return true;
+}
+
+std::string
+Supervisor::capsuleText(u64 jobId) const
+{
+    JobRecord &rec = recordFor(jobId);
+    std::lock_guard<std::mutex> lock(m);
+    return rec.capsule;
+}
+
+void
+Supervisor::resume()
+{
+    {
+        std::lock_guard<std::mutex> lock(m);
+        paused = false;
+    }
+    gateCv.notify_all();
+}
+
+void
+Supervisor::drain()
+{
+    const bool first = !drainFlag.exchange(true);
+    if (first) {
+        queue.close();
+        // Cancel the backlog: anything still Queued will never be
+        // popped (workers skip terminal records), and clients blocked
+        // in wait() learn their fate now rather than never.
+        {
+            std::lock_guard<std::mutex> lock(m);
+            for (auto &[id, rec] : jobs) {
+                if (rec->outcome.status == JobStatus::Queued) {
+                    rec->outcome.status = JobStatus::Cancelled;
+                    counters.cancelled++;
+                }
+            }
+            paused = false;
+        }
+        terminalCv.notify_all();
+        gateCv.notify_all();  // release the pause gate + backoff waits
+    }
+    {
+        std::lock_guard<std::mutex> lock(m);
+        if (joined)
+            return;
+        joined = true;
+    }
+    for (std::thread &t : workers)
+        t.join();
+    if (watchdog.joinable())
+        watchdog.join();
+}
+
+SupervisorStats
+Supervisor::stats() const
+{
+    std::lock_guard<std::mutex> lock(m);
+    SupervisorStats s = counters;
+    s.cacheHits = resultCache.hits();
+    s.cacheMisses = resultCache.misses();
+    s.queued = queue.depth();
+    s.running = 0;
+    for (const auto &[id, rec] : jobs)
+        if (rec->outcome.status == JobStatus::Running)
+            s.running++;
+    return s;
+}
+
+void
+Supervisor::workerLoop()
+{
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lock(m);
+            gateCv.wait(lock,
+                        [&] { return !paused || drainFlag.load(); });
+        }
+        u64 id = 0;
+        if (!queue.pop(id))
+            return;  // closed and drained
+        JobRecord &rec = recordFor(id);
+        {
+            std::lock_guard<std::mutex> lock(m);
+            if (rec.outcome.terminal())
+                continue;  // cancelled while queued
+            rec.outcome.status = JobStatus::Running;
+        }
+        runJob(rec);
+    }
+}
+
+void
+Supervisor::watchdogLoop()
+{
+    // Coarse scan: deadline enforcement needs to be *bounded*, not
+    // precise — the run notices the flag at its next commit anyway.
+    std::unique_lock<std::mutex> lock(m);
+    while (!drainFlag.load() || !joined) {
+        gateCv.wait_for(lock, std::chrono::milliseconds(20));
+        if (drainFlag.load() && joined)
+            return;
+        const auto now = std::chrono::steady_clock::now();
+        for (auto &[id, rec] : jobs) {
+            if (rec->deadlineArmed && now >= rec->deadlineAt &&
+                rec->stop.load() == 0) {
+                rec->stop.store(static_cast<u32>(StopCause::Deadline));
+            }
+        }
+    }
+}
+
+void
+Supervisor::finish(JobRecord &rec, JobStatus status)
+{
+    {
+        std::lock_guard<std::mutex> lock(m);
+        rec.outcome.status = status;
+        rec.deadlineArmed = false;
+        switch (status) {
+          case JobStatus::Done: counters.done++; break;
+          case JobStatus::Failed: counters.failed++; break;
+          case JobStatus::Cancelled: counters.cancelled++; break;
+          default: break;
+        }
+    }
+    terminalCv.notify_all();
+}
+
+void
+Supervisor::runJob(JobRecord &rec)
+{
+    const JobSpec &spec = rec.spec;
+    const Kernel &kernel = kernelByName(spec.kernel);
+    const ExecMode mode = modeByName(spec.mode);
+    const u64 cacheKey =
+        resultCacheKey(programTextHash(kernel.source), spec);
+
+    // A hit is served verbatim: the simulator is deterministic, so
+    // this is byte-identical to what the run below would produce.
+    std::string cached;
+    if (resultCache.lookup(cacheKey, cached)) {
+        {
+            std::lock_guard<std::mutex> lock(m);
+            rec.outcome.cached = true;
+            rec.outcome.statsJson = cached;
+        }
+        finish(rec, JobStatus::Done);
+        return;
+    }
+
+    const unsigned maxRetries =
+        spec.maxRetries >= 0
+            ? std::min(static_cast<unsigned>(spec.maxRetries),
+                       cfg.retry.maxRetries)
+            : cfg.retry.maxRetries;
+    const u64 deadlineMs =
+        spec.deadlineMs ? spec.deadlineMs : cfg.defaultDeadlineMs;
+
+    // The jitter stream is rooted at the job's fault seed, so a
+    // replayed job sees the identical backoff sequence.
+    RngPool rngPool(spec.injectSeed ? spec.injectSeed
+                                    : rec.outcome.jobId);
+    Rng &jitter = retryJitterStream(rngPool);
+
+    for (unsigned attempt = 0;; attempt++) {
+        // Retries re-derive the fault seed: the original schedule
+        // demonstrably wedges, and a fresh (but still deterministic)
+        // schedule is the legitimate way out. Only the first
+        // attempt's result may enter the cache — later attempts
+        // describe a different schedule than the key.
+        const u64 effSeed = attempt == 0
+                                ? spec.injectSeed
+                                : taskSeed(spec.injectSeed, attempt);
+
+        SysConfig sysCfg = configs::byName(spec.config);
+        if (effSeed != 0) {
+            sysCfg.lpsu.faults =
+                FaultConfig::uniform(effSeed, spec.injectRate);
+            sysCfg.lpsu.faults.archCorruptRate = spec.injectArchRate;
+        }
+        if (spec.haveWatchdog)
+            sysCfg.lpsu.watchdogCycles = spec.watchdogCycles;
+
+        RunOptions ropts;
+        ropts.lockstep = spec.lockstep;
+        ropts.stopFlag = &rec.stop;
+
+        CapsuleContext capCtx;
+        LoopProfiler profiler;
+        RunHooks hooks;
+        hooks.runOptions = &ropts;
+        hooks.maxInsts = spec.maxInsts;
+        hooks.capsule = &capCtx;
+        hooks.profiler = &profiler;
+
+        CapsuleRunSpec capSpec;
+        capSpec.configName = spec.config;
+        capSpec.modeName = spec.mode;
+        capSpec.workload = spec.kernel;
+        capSpec.maxInsts = spec.maxInsts;
+        capSpec.lockstep = spec.lockstep;
+        capSpec.injectSeed = effSeed;
+        capSpec.injectRate = effSeed ? spec.injectRate : 0.0;
+        capSpec.archCorruptRate = effSeed ? spec.injectArchRate : 0.0;
+        capSpec.haveWatchdog = spec.haveWatchdog;
+        capSpec.watchdogCycles = spec.watchdogCycles;
+
+        {
+            std::lock_guard<std::mutex> lock(m);
+            rec.outcome.attempts = attempt + 1;
+            rec.deadlineAt = std::chrono::steady_clock::now() +
+                             std::chrono::milliseconds(deadlineMs);
+            rec.deadlineArmed = true;
+        }
+
+        try {
+            const KernelRun run =
+                runKernel(kernel, sysCfg, mode, spec.gpBinary, hooks);
+            {
+                std::lock_guard<std::mutex> lock(m);
+                rec.deadlineArmed = false;
+            }
+            if (!run.passed) {
+                // A checker failure is a wrong *answer*, not a wedged
+                // schedule: deterministic, so never retried, and
+                // there is no SimError to capsule.
+                std::lock_guard<std::mutex> lock(m);
+                rec.outcome.error = run.error;
+                rec.outcome.errorKind = "checker";
+            } else {
+                std::ostringstream stats;
+                writeStatsJson(stats, spec.config, spec.mode,
+                               spec.kernel, run.result, profiler,
+                               nullptr);
+                std::lock_guard<std::mutex> lock(m);
+                rec.outcome.cycles = run.result.cycles;
+                rec.outcome.gppInsts = run.result.gppInsts;
+                rec.outcome.statsJson = stats.str();
+            }
+            if (run.passed && attempt == 0)
+                resultCache.insert(cacheKey, rec.outcome.statsJson);
+            finish(rec, run.passed ? JobStatus::Done
+                                   : JobStatus::Failed);
+            return;
+        } catch (const SimError &err) {
+            {
+                std::lock_guard<std::mutex> lock(m);
+                rec.deadlineArmed = false;
+            }
+            const FailureClass cls = classifySimError(err.kind());
+            const bool stopped = rec.stop.load() != 0;
+            if (cls == FailureClass::Retryable && !stopped &&
+                attempt < maxRetries && !drainFlag.load()) {
+                const u64 waitMs =
+                    backoffMs(cfg.retry, attempt, jitter);
+                std::unique_lock<std::mutex> lock(m);
+                counters.retries++;
+                const bool interrupted = gateCv.wait_for(
+                    lock, std::chrono::milliseconds(waitMs), [&] {
+                        return drainFlag.load() ||
+                               rec.stop.load() != 0;
+                    });
+                if (!interrupted)
+                    continue;  // backoff elapsed: next attempt
+                // Drain or cancel won the backoff wait: finalize with
+                // the failure we already have (capsuled below).
+            }
+
+            // Crash isolation: the failure becomes a self-contained
+            // replay capsule artifact, never a dead worker.
+            std::string capsulePath;
+            if (capCtx.valid) {
+                capsulePath =
+                    strf(cfg.artifactDir, "/job-", rec.outcome.jobId,
+                         ".capsule.json");
+                try {
+                    writeCapsule(capsulePath, capSpec, capCtx, err);
+                } catch (const FatalError &werr) {
+                    warn(strf("job ", rec.outcome.jobId,
+                              ": capsule write failed: ",
+                              werr.what()));
+                    capsulePath.clear();
+                }
+            }
+            {
+                std::lock_guard<std::mutex> lock(m);
+                rec.outcome.error = err.what();
+                rec.outcome.errorKind =
+                    simErrorKindName(err.kind());
+                if (!capsulePath.empty()) {
+                    rec.outcome.capsulePath = capsulePath;
+                    rec.capsule = readFileText(capsulePath);
+                }
+            }
+            finish(rec, err.kind() == SimErrorKind::Cancelled
+                            ? JobStatus::Cancelled
+                            : JobStatus::Failed);
+            return;
+        } catch (const std::exception &err) {
+            // FatalError / PanicError: a bug or bad input slipped
+            // past validate(). Isolate it to this job.
+            {
+                std::lock_guard<std::mutex> lock(m);
+                rec.deadlineArmed = false;
+                rec.outcome.error = err.what();
+                rec.outcome.errorKind = "fatal";
+            }
+            finish(rec, JobStatus::Failed);
+            return;
+        }
+    }
+}
+
+} // namespace xloops

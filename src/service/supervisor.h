@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The job supervisor: admission control, worker dispatch, per-job
+ * quotas, retry with backoff, crash isolation, and the result cache —
+ * everything between "a JobSpec arrived" and "a terminal JobOutcome
+ * exists", independent of any socket (the daemon wires a server in
+ * front of it; tests drive it directly).
+ *
+ * Lifecycle of a job:
+ *
+ *   submit() validates the spec, allocates an id, and offers it to
+ *   the bounded queue — a full queue sheds the job immediately
+ *   (terminal Shed outcome, never queued). A worker picks it up,
+ *   checks the content-addressed result cache (hit = Done without
+ *   simulating, byte-identical to a cold run), and otherwise runs the
+ *   kernel under the job's instruction valve, wall-clock deadline
+ *   (enforced by a watchdog thread through the run's cooperative stop
+ *   flag), and fault knobs. Retryable SimErrors re-run after
+ *   exponential backoff with jitter under a re-derived fault seed;
+ *   fatal or exhausted failures are packaged as replay capsules in
+ *   the artifact directory. drain() closes admission, cancels the
+ *   backlog, and finishes the jobs already running.
+ *
+ * Thread safety: every public method may be called from any thread.
+ */
+
+#ifndef XLOOPS_SERVICE_SUPERVISOR_H
+#define XLOOPS_SERVICE_SUPERVISOR_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/cache.h"
+#include "service/job.h"
+#include "service/queue.h"
+#include "service/retry.h"
+
+namespace xloops {
+
+/** Server-wide supervisor knobs (see tools/xloopsd.cc flags). */
+struct SupervisorConfig
+{
+    unsigned workers = 0;      ///< 0 = hardware concurrency
+    size_t queueDepth = 64;    ///< admission bound (beyond = shed)
+    RetryPolicy retry;         ///< server-wide retry/backoff bounds
+    u64 defaultDeadlineMs = 30'000;  ///< jobs may set their own
+    std::string artifactDir = ".";   ///< capsules land here
+    size_t cacheEntries = 4096;
+
+    /** Start with workers gated (jobs queue but do not run) until
+     *  resume() — deterministic queue-depth and shed tests. */
+    bool startPaused = false;
+};
+
+/** Monotonic counters a `stats` request reports. */
+struct SupervisorStats
+{
+    u64 submitted = 0;   ///< accepted into the queue
+    u64 done = 0;        ///< terminal Done (including cache hits)
+    u64 failed = 0;      ///< terminal Failed
+    u64 shed = 0;        ///< refused by admission control
+    u64 cancelled = 0;   ///< terminal Cancelled
+    u64 retries = 0;     ///< re-run attempts beyond the first
+    u64 cacheHits = 0;
+    u64 cacheMisses = 0;
+    u64 queued = 0;      ///< current queue depth (gauge)
+    u64 running = 0;     ///< jobs on workers right now (gauge)
+};
+
+/** What submit() decided. */
+struct Admission
+{
+    bool accepted = false;
+    u64 jobId = 0;          ///< allocated even for shed jobs
+    std::string reason;     ///< why not, when !accepted
+};
+
+class Supervisor
+{
+  public:
+    explicit Supervisor(const SupervisorConfig &config = {});
+
+    /** drain()s if the caller has not. */
+    ~Supervisor();
+
+    /**
+     * Validate and enqueue @p spec. Invalid specs and overload both
+     * come back !accepted (reason distinguishes them); a shed job
+     * still has an id with a terminal Shed outcome.
+     */
+    Admission submit(const JobSpec &spec);
+
+    /** Block until @p jobId is terminal; returns its outcome.
+     *  Throws FatalError for unknown ids. */
+    JobOutcome wait(u64 jobId);
+
+    /** Snapshot of @p jobId right now (may be non-terminal).
+     *  Throws FatalError for unknown ids. */
+    JobOutcome status(u64 jobId) const;
+
+    /**
+     * Cancel @p jobId: a queued job becomes terminal Cancelled
+     * without running; a running job gets its stop flag raised
+     * (lands as a Cancelled SimError at the next commit boundary).
+     * False when already terminal or unknown.
+     */
+    bool cancel(u64 jobId);
+
+    /** The capsule document of a failed job ("" when it has none). */
+    std::string capsuleText(u64 jobId) const;
+
+    /** Release workers gated by SupervisorConfig::startPaused. */
+    void resume();
+
+    /**
+     * Graceful shutdown: refuse new submissions, cancel everything
+     * still queued, let running jobs finish (or honor their stop
+     * flags), and join all threads. Idempotent.
+     */
+    void drain();
+
+    bool draining() const { return drainFlag.load(); }
+
+    SupervisorStats stats() const;
+
+    ResultCache &cache() { return resultCache; }
+
+  private:
+    struct JobRecord
+    {
+        JobSpec spec;
+        JobOutcome outcome;
+        std::atomic<u32> stop{0};  ///< a StopCause, polled by the run
+        std::string capsule;       ///< capsule document (in-memory)
+
+        /** Wall-clock deadline of the current attempt (watchdog
+         *  scans these; guarded by the supervisor mutex). */
+        bool deadlineArmed = false;
+        std::chrono::steady_clock::time_point deadlineAt;
+    };
+
+    void workerLoop();
+    void watchdogLoop();
+    void runJob(JobRecord &rec);
+
+    /** Finalize @p rec with a terminal status; wakes waiters and
+     *  bumps the matching counter. */
+    void finish(JobRecord &rec, JobStatus status);
+
+    JobRecord &recordFor(u64 jobId) const;
+
+    SupervisorConfig cfg;
+    ResultCache resultCache;
+    BoundedJobQueue queue;
+
+    mutable std::mutex m;
+    std::condition_variable terminalCv;  ///< a job turned terminal
+    std::condition_variable gateCv;      ///< pause gate + backoff waits
+    std::map<u64, std::unique_ptr<JobRecord>> jobs;
+    std::atomic<u64> nextJobId{1};
+    bool paused = false;
+    std::atomic<bool> drainFlag{false};
+    bool joined = false;
+
+    SupervisorStats counters;  ///< guarded by m (gauges computed live)
+
+    std::vector<std::thread> workers;
+    std::thread watchdog;
+};
+
+} // namespace xloops
+
+#endif // XLOOPS_SERVICE_SUPERVISOR_H

@@ -72,9 +72,13 @@ std::vector<SweepCellResult>
 runSweep(const std::vector<SweepCell> &cells, const SweepOptions &opts)
 {
     const WorkerPool pool(opts.jobs);
-    return pool.map<SweepCellResult>(cells.size(), [&](size_t i) {
-        return runOneCell(cells[i], i, opts);
-    });
+    RunControl control;
+    control.cancel = opts.cancel;
+    control.deadlineMs = opts.deadlineMs;
+    return pool.map<SweepCellResult>(
+        cells.size(),
+        [&](size_t i) { return runOneCell(cells[i], i, opts); },
+        control);
 }
 
 void

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/pool.h"
 #include "system/system.h"
 
 namespace xloops {
@@ -47,6 +48,15 @@ struct SweepOptions
     /** Capture each cell's "xloops-stats-1" document (the merged
      *  report needs it; pure-timing benches can skip the cost). */
     bool captureStats = true;
+
+    /** Whole-sweep wall-clock budget in ms (0 = none): cells not
+     *  started in time are skipped and runSweep throws
+     *  SimError(Deadline) — a hard quota, not a per-cell failure. */
+    u64 deadlineMs = 0;
+
+    /** Optional external cancellation (same semantics: cells not yet
+     *  started are skipped, runSweep throws SimError(Cancelled)). */
+    const CancelToken *cancel = nullptr;
 };
 
 /** Outcome of one cell (everything the reporters need, plain data). */

@@ -290,6 +290,39 @@ XloopsSystem::run(const Program &prog, ExecMode mode, u64 maxInsts,
             nextCkpt += opts.checkpointEvery;
         }
 
+        if (opts.stopFlag) {
+            const u32 cause =
+                opts.stopFlag->load(std::memory_order_relaxed);
+            if (cause != 0) {
+                // Cooperative stop (SIGINT, service deadline, job
+                // cancellation): leave a final checkpoint at the exact
+                // stop instruction so the run is resumable, then die
+                // with the matching diagnosis.
+                if (!opts.checkpointPrefix.empty() || opts.checkpointSink)
+                    takeCheckpoint(prog, rs, checker.get(), opts);
+                SimErrorKind kind = SimErrorKind::Interrupted;
+                if (cause == static_cast<u32>(StopCause::Deadline))
+                    kind = SimErrorKind::Deadline;
+                else if (cause == static_cast<u32>(StopCause::Cancelled))
+                    kind = SimErrorKind::Cancelled;
+                MachineSnapshot snap;
+                snap.context = "cooperative stop request";
+                snap.cycle = gpp->now();
+                snap.gppPc = rs.pc;
+                snap.gppInsts = rs.result.gppInsts;
+                snap.occupancy.emplace_back("last_checkpoint_inst",
+                                            lastCkptInst);
+                if (tracer)
+                    snap.recentEvents = tracer->lastEvents(16);
+                throw SimError(kind,
+                               strf("run stopped after ",
+                                    rs.result.gppInsts,
+                                    " instructions (",
+                                    simErrorKindName(kind), ")"),
+                               snap);
+            }
+        }
+
         if (rs.result.gppInsts >= maxInsts) {
             // A silent hang used to ride this valve into a bare
             // FatalError; dump the machine state so it is debuggable.

@@ -8,6 +8,7 @@
 #ifndef XLOOPS_SYSTEM_SYSTEM_H
 #define XLOOPS_SYSTEM_SYSTEM_H
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -46,6 +47,20 @@ struct SysResult
     StatGroup stats;  ///< merged gpp.*, lpsu.*, dcache.* counters
 };
 
+/**
+ * Why a cooperative stop was requested (the nonzero values a
+ * RunOptions::stopFlag may take); selects the SimErrorKind the run
+ * dies with, which in turn drives exit codes and the service retry
+ * taxonomy (Deadline retries, Interrupted/Cancelled never do).
+ */
+enum class StopCause : u32
+{
+    None = 0,
+    Interrupted = 1,  ///< SIGINT/SIGTERM (exit 6, final checkpoint)
+    Deadline = 2,     ///< service wall-clock watchdog fired
+    Cancelled = 3,    ///< job cancelled by its submitter
+};
+
 /** Robustness options of one run (all off by default). */
 struct RunOptions
 {
@@ -74,6 +89,17 @@ struct RunOptions
      *  bisection holds checkpoints in memory through this). */
     std::function<void(u64 instCount, const std::string &json)>
         checkpointSink;
+
+    /**
+     * Cooperative stop flag, polled once per committed GPP
+     * instruction (an LPSU-owned loop finishes its slice first, so
+     * the stop lands at the next GPP commit boundary). When it
+     * becomes nonzero the run takes a final checkpoint (when a
+     * checkpoint prefix or sink is configured) and throws a SimError
+     * whose kind matches the StopCause — signal handlers and the
+     * service watchdog write it from other threads.
+     */
+    const std::atomic<u32> *stopFlag = nullptr;
 };
 
 class XloopsSystem

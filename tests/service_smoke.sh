@@ -1,0 +1,87 @@
+#!/bin/sh
+# End-to-end smoke test of the xloopsd service stack, registered with
+# ctest as service_smoke. Exercises the full client→daemon→supervisor
+# path the unit tests cover only in-process:
+#
+#   1. daemon comes up and answers --ping
+#   2. cold submit runs a job; warm resubmit is served from the result
+#      cache and the two --stats-out files are byte-identical
+#   3. a guaranteed-divergence job fails, its capsule downloads via
+#      --capsule-out, and check_capsule.py validates it (when python3
+#      is available)
+#   4. SIGTERM drains gracefully: exit 0, cache index persisted
+#
+# usage: service_smoke.sh <xloopsd> <xloopsc> <check_capsule.py|->
+set -u
+
+XLOOPSD=$1
+XLOOPSC=$2
+CHECK_CAPSULE=$3
+
+WORK=$(mktemp -d) || exit 1
+SOCK="$WORK/xloopsd.sock"
+DAEMON_PID=""
+
+fail()
+{
+    echo "service_smoke: FAIL: $1" >&2
+    [ -n "$DAEMON_PID" ] && kill -KILL "$DAEMON_PID" 2>/dev/null
+    rm -rf "$WORK"
+    exit 1
+}
+
+"$XLOOPSD" --socket "$SOCK" --workers 2 --artifact-dir "$WORK" \
+    --cache-index "$WORK/cache.json" &
+DAEMON_PID=$!
+
+# Wait for the daemon to come up (ping retries, ~5s budget).
+tries=0
+until "$XLOOPSC" --socket "$SOCK" --ping >/dev/null 2>&1; do
+    tries=$((tries + 1))
+    [ "$tries" -ge 50 ] && fail "daemon never answered ping"
+    kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died on startup"
+    sleep 0.1
+done
+echo "service_smoke: ping ok"
+
+# Cold submit, then warm resubmit of the identical spec: the second
+# must be a cache hit with a byte-identical stats document.
+"$XLOOPSC" --socket "$SOCK" -k rgb2cmyk-uc -c io+x -m S \
+    --stats-out "$WORK/cold.json" > "$WORK/cold.out" \
+    || fail "cold submit exited $?"
+warm_out=$("$XLOOPSC" --socket "$SOCK" -k rgb2cmyk-uc -c io+x -m S \
+    --stats-out "$WORK/warm.json") || fail "warm submit exited $?"
+case "$warm_out" in
+*cached*) ;;
+*) fail "warm submit was not a cache hit: $warm_out" ;;
+esac
+cmp -s "$WORK/cold.json" "$WORK/warm.json" \
+    || fail "cached stats are not byte-identical"
+echo "service_smoke: warm hit byte-identical"
+
+# A guaranteed divergence: lockstep with certain architectural
+# corruption. Must fail (exit 2) and hand back a valid capsule.
+"$XLOOPSC" --socket "$SOCK" -k kmeans-or -c io+x -m S --lockstep \
+    --inject-seed 1 --inject-rate 0 --inject-arch-rate 1 \
+    --capsule-out "$WORK/capsule.json" > "$WORK/diverge.out" 2>&1
+code=$?
+[ "$code" -eq 2 ] || fail "divergence job exited $code, want 2"
+[ -s "$WORK/capsule.json" ] || fail "no capsule downloaded"
+if [ "$CHECK_CAPSULE" != "-" ]; then
+    python3 "$CHECK_CAPSULE" "$WORK/capsule.json" \
+        || fail "capsule failed validation"
+fi
+echo "service_smoke: divergence capsuled"
+
+# Graceful drain: SIGTERM must finish cleanly (exit 0) and persist
+# the cache index.
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID"
+code=$?
+DAEMON_PID=""
+[ "$code" -eq 0 ] || fail "daemon exited $code on SIGTERM, want 0"
+[ -s "$WORK/cache.json" ] || fail "cache index not persisted"
+echo "service_smoke: drained cleanly, cache persisted"
+
+rm -rf "$WORK"
+echo "service_smoke: PASS"

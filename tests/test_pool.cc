@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/pool.h"
@@ -105,19 +107,132 @@ TEST(WorkerPool, LowestIndexExceptionWinsDeterministically)
     }
 }
 
-TEST(WorkerPool, RemainingTasksStillRunAfterAFailure)
+TEST(WorkerPool, TasksQueuedBehindAFailureAreCancelledInline)
 {
-    const WorkerPool pool(4);
+    // Once an exception is going to win lowest-index propagation,
+    // tasks still queued behind it must be cancelled, not silently
+    // executed: their results would be discarded by the rethrow, and
+    // a service job must not keep burning cycles after its batch is
+    // already doomed.
+    const WorkerPool pool(1);
     std::vector<std::atomic<unsigned>> hits(32);
     EXPECT_THROW(pool.run(32,
                           [&](size_t i) {
                               hits[i]++;
-                              if (i == 0)
-                                  throw FatalError("first task fails");
+                              if (i == 3)
+                                  throw FatalError("task 3 fails");
                           }),
                  FatalError);
-    for (size_t i = 0; i < hits.size(); i++)
+    for (size_t i = 0; i <= 3; i++)
         EXPECT_EQ(hits[i].load(), 1u) << "task " << i;
+    for (size_t i = 4; i < hits.size(); i++)
+        EXPECT_EQ(hits[i].load(), 0u)
+            << "task " << i << " ran after the failure";
+}
+
+TEST(WorkerPool, TasksQueuedBehindAFailureAreCancelledParallel)
+{
+    // Two workers: task 1 fails immediately while task 0 is still
+    // sleeping. Everything above index 1 must be skipped — only the
+    // already-running task 0 (whose index is *below* the failure, so
+    // its result could never be discarded) completes.
+    const WorkerPool pool(2);
+    std::vector<std::atomic<unsigned>> hits(32);
+    try {
+        pool.run(32, [&](size_t i) {
+            hits[i]++;
+            if (i == 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(200));
+            if (i == 1)
+                throw FatalError("failed at 1");
+        });
+        FAIL() << "expected a FatalError";
+    } catch (const FatalError &err) {
+        EXPECT_STREQ(err.what(), "failed at 1");
+    }
+    EXPECT_EQ(hits[0].load(), 1u);
+    EXPECT_EQ(hits[1].load(), 1u);
+    for (size_t i = 2; i < hits.size(); i++)
+        EXPECT_EQ(hits[i].load(), 0u)
+            << "task " << i << " ran after the failure";
+}
+
+TEST(WorkerPool, PreCancelledTokenRunsNothing)
+{
+    CancelToken token;
+    token.cancel();
+    RunControl control;
+    control.cancel = &token;
+
+    for (const unsigned jobs : {1u, 4u}) {
+        const WorkerPool pool(jobs);
+        std::vector<std::atomic<unsigned>> hits(16);
+        try {
+            pool.run(16, [&](size_t i) { hits[i]++; }, control);
+            FAIL() << "expected a SimError";
+        } catch (const SimError &err) {
+            EXPECT_EQ(err.kind(), SimErrorKind::Cancelled);
+        }
+        for (size_t i = 0; i < hits.size(); i++)
+            EXPECT_EQ(hits[i].load(), 0u) << "task " << i;
+    }
+}
+
+TEST(WorkerPool, CancelMidBatchSkipsTheRemainder)
+{
+    CancelToken token;
+    RunControl control;
+    control.cancel = &token;
+
+    const WorkerPool pool(2);
+    std::atomic<unsigned> ran{0};
+    try {
+        pool.run(
+            64,
+            [&](size_t i) {
+                ran++;
+                if (i == 0)
+                    token.cancel();
+                else
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(2));
+            },
+            control);
+        FAIL() << "expected a SimError";
+    } catch (const SimError &err) {
+        EXPECT_EQ(err.kind(), SimErrorKind::Cancelled);
+    }
+    // At most the two tasks already in flight when the cancel landed
+    // (one per worker) can have completed after it.
+    EXPECT_LT(ran.load(), 64u);
+}
+
+TEST(WorkerPool, DeadlineStopsTheBatch)
+{
+    RunControl control;
+    control.deadlineMs = 1;
+
+    for (const unsigned jobs : {1u, 2u}) {
+        const WorkerPool pool(jobs);
+        std::atomic<unsigned> ran{0};
+        try {
+            pool.run(
+                8,
+                [&](size_t) {
+                    ran++;
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(20));
+                },
+                control);
+            FAIL() << "expected a SimError";
+        } catch (const SimError &err) {
+            EXPECT_EQ(err.kind(), SimErrorKind::Deadline);
+            EXPECT_NE(std::string(err.what()).find("batch stopped"),
+                      std::string::npos);
+        }
+        EXPECT_LT(ran.load(), 8u);
+    }
 }
 
 TEST(WorkerPool, EmptyBatchAndSingleTask)

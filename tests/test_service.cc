@@ -1,0 +1,520 @@
+// Service-layer unit tests: bounded-queue admission control, the
+// content-addressed result cache (byte-identity and persistence),
+// the retry taxonomy and deterministic backoff (satellite of the
+// service PR: bounded retries, monotone backoff, divergence never
+// retried but always capsuled), the wire-protocol codecs, and the
+// supervisor driven directly (no socket).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "common/json.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/sim_error.h"
+#include "kernels/kernel.h"
+#include "service/cache.h"
+#include "service/job.h"
+#include "service/protocol.h"
+#include "service/queue.h"
+#include "service/retry.h"
+#include "service/supervisor.h"
+#include "system/config.h"
+
+namespace xloops {
+namespace {
+
+// ---------------------------------------------------------------- queue
+
+TEST(BoundedJobQueue, ShedsBeyondTheBound)
+{
+    BoundedJobQueue q(2);
+    EXPECT_TRUE(q.tryPush(1));
+    EXPECT_TRUE(q.tryPush(2));
+    EXPECT_FALSE(q.tryPush(3)) << "third push must shed";
+    EXPECT_EQ(q.depth(), 2u);
+
+    u64 id = 0;
+    EXPECT_TRUE(q.pop(id));
+    EXPECT_EQ(id, 1u);  // FIFO
+    EXPECT_TRUE(q.tryPush(3)) << "a pop frees a slot";
+}
+
+TEST(BoundedJobQueue, CloseRefusesPushesAndDrainsPoppers)
+{
+    BoundedJobQueue q(4);
+    EXPECT_TRUE(q.tryPush(1));
+    q.close();
+    EXPECT_TRUE(q.isClosed());
+    EXPECT_FALSE(q.tryPush(2)) << "closed queue refuses pushes";
+
+    u64 id = 0;
+    EXPECT_TRUE(q.pop(id)) << "backlog still drains after close";
+    EXPECT_EQ(id, 1u);
+    EXPECT_FALSE(q.pop(id)) << "closed and empty: poppers exit";
+}
+
+TEST(BoundedJobQueue, RemoveUnqueuesACancelledJob)
+{
+    BoundedJobQueue q(4);
+    q.tryPush(1);
+    q.tryPush(2);
+    q.tryPush(3);
+    EXPECT_TRUE(q.remove(2));
+    EXPECT_FALSE(q.remove(2)) << "already removed";
+    u64 id = 0;
+    q.pop(id);
+    EXPECT_EQ(id, 1u);
+    q.pop(id);
+    EXPECT_EQ(id, 3u);
+}
+
+// ---------------------------------------------------------------- cache
+
+JobSpec
+specimenSpec()
+{
+    JobSpec s;
+    s.kernel = "rgb2cmyk-uc";
+    s.config = "io+x";
+    s.mode = "S";
+    return s;
+}
+
+TEST(ResultCache, HitIsByteIdentical)
+{
+    ResultCache cache(8);
+    const u64 key = resultCacheKey(0x1234, specimenSpec());
+    std::string out;
+    EXPECT_FALSE(cache.lookup(key, out));
+    EXPECT_EQ(cache.misses(), 1u);
+
+    const std::string doc = "{\n  \"cycles\": 42\n}\n";
+    cache.insert(key, doc);
+    ASSERT_TRUE(cache.lookup(key, out));
+    EXPECT_EQ(out, doc) << "hits are served verbatim";
+    EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(ResultCache, KeyCoversEveryResultAffectingKnob)
+{
+    const JobSpec base = specimenSpec();
+    const u64 k0 = resultCacheKey(1, base);
+    EXPECT_EQ(k0, resultCacheKey(1, base)) << "key is stable";
+    EXPECT_NE(k0, resultCacheKey(2, base)) << "program image";
+
+    JobSpec s = base;
+    s.injectSeed = 7;
+    EXPECT_NE(k0, resultCacheKey(1, s)) << "fault seed";
+    s = base;
+    s.injectSeed = 7;
+    s.injectRate = 0.05;
+    const u64 kRate = resultCacheKey(1, s);
+    s.injectRate = 0.05000000000000001;  // differs only in low bits
+    EXPECT_NE(kRate, resultCacheKey(1, s)) << "rate is bit-exact";
+    s = base;
+    s.mode = "T";
+    EXPECT_NE(k0, resultCacheKey(1, s)) << "mode";
+    s = base;
+    s.maxInsts = 1000;
+    EXPECT_NE(k0, resultCacheKey(1, s)) << "instruction valve";
+    s = base;
+    s.lockstep = true;
+    EXPECT_NE(k0, resultCacheKey(1, s)) << "lockstep";
+
+    // The deadline is a service quota, NOT part of the simulated
+    // machine: two jobs differing only in deadline share a result.
+    s = base;
+    s.deadlineMs = 12345;
+    EXPECT_EQ(k0, resultCacheKey(1, s));
+}
+
+TEST(ResultCache, IndexRoundTripsThroughDisk)
+{
+    const std::string path =
+        testing::TempDir() + "/xloops_cache_index.json";
+    const std::string doc = "{\"cycles\": 7,\n \"note\": \"x\\\"y\"}\n";
+    const u64 key = resultCacheKey(99, specimenSpec());
+    {
+        ResultCache cache(8);
+        cache.insert(key, doc);
+        cache.saveIndex(path);
+    }
+    ResultCache restored(8);
+    EXPECT_EQ(restored.loadIndex(path), 1u);
+    std::string out;
+    ASSERT_TRUE(restored.lookup(key, out));
+    EXPECT_EQ(out, doc) << "byte-identical across daemon restarts";
+
+    ResultCache cold(8);
+    EXPECT_EQ(cold.loadIndex(testing::TempDir() + "/nonexistent.json"),
+              0u)
+        << "a missing index is a cold start, not an error";
+}
+
+TEST(ResultCache, FifoEvictionBoundsTheCache)
+{
+    ResultCache cache(2);
+    cache.insert(1, "one");
+    cache.insert(2, "two");
+    cache.insert(3, "three");
+    EXPECT_EQ(cache.size(), 2u);
+    std::string out;
+    EXPECT_FALSE(cache.lookup(1, out)) << "oldest entry evicted";
+    EXPECT_TRUE(cache.lookup(2, out));
+    EXPECT_TRUE(cache.lookup(3, out));
+}
+
+// ---------------------------------------------------------------- retry
+
+TEST(Retry, TaxonomyNeverRetriesDivergence)
+{
+    // Retryable = the *schedule* wedged; a fresh attempt can win.
+    EXPECT_EQ(classifySimError(SimErrorKind::Watchdog),
+              FailureClass::Retryable);
+    EXPECT_EQ(classifySimError(SimErrorKind::CycleLimit),
+              FailureClass::Retryable);
+    EXPECT_EQ(classifySimError(SimErrorKind::StructuralHang),
+              FailureClass::Retryable);
+    EXPECT_EQ(classifySimError(SimErrorKind::Deadline),
+              FailureClass::Retryable);
+
+    // Fatal = deterministic or explicit; a retry reproduces the
+    // failure (or destroys divergence evidence).
+    EXPECT_EQ(classifySimError(SimErrorKind::Divergence),
+              FailureClass::Fatal);
+    EXPECT_EQ(classifySimError(SimErrorKind::InstLimit),
+              FailureClass::Fatal);
+    EXPECT_EQ(classifySimError(SimErrorKind::Interrupted),
+              FailureClass::Fatal);
+    EXPECT_EQ(classifySimError(SimErrorKind::Cancelled),
+              FailureClass::Fatal);
+}
+
+TEST(Retry, BackoffIsMonotoneAndBounded)
+{
+    RetryPolicy policy;
+    policy.baseBackoffMs = 100;
+    policy.maxBackoffMs = 5'000;
+    policy.jitterFrac = 0.0;  // isolate the exponential shape
+
+    RngPool pool(42);
+    Rng &jitter = retryJitterStream(pool);
+    u64 prev = 0;
+    for (unsigned i = 0; i < 12; i++) {
+        const u64 wait = backoffMs(policy, i, jitter);
+        EXPECT_GE(wait, prev) << "retry " << i;
+        EXPECT_LE(wait, policy.maxBackoffMs) << "retry " << i;
+        prev = wait;
+    }
+    EXPECT_EQ(prev, policy.maxBackoffMs) << "growth saturates the cap";
+}
+
+TEST(Retry, JitterIsDeterministicFromTheNamedStream)
+{
+    RetryPolicy policy;
+    policy.jitterFrac = 0.25;
+
+    // Same root seed => identical wait sequence, run to run.
+    RngPool a(7), b(7);
+    for (unsigned i = 0; i < 6; i++) {
+        const u64 wa = backoffMs(policy, i, retryJitterStream(a));
+        const u64 wb = backoffMs(policy, i, retryJitterStream(b));
+        EXPECT_EQ(wa, wb) << "retry " << i;
+        // Jitter stays within [1-f, 1+f] of the capped exponential.
+        u64 ideal = policy.baseBackoffMs;
+        for (unsigned j = 0; j < i; j++)
+            ideal = std::min(ideal * 2, policy.maxBackoffMs);
+        EXPECT_GE(wa, static_cast<u64>(ideal * 0.74));
+        EXPECT_LE(wa, static_cast<u64>(ideal * 1.26));
+    }
+
+    // The stream advances identically whatever jitterFrac is, so
+    // flipping jitter off in a config cannot shift any *other*
+    // consumer of the pool.
+    RngPool withJitter(9), noJitter(9);
+    RetryPolicy flat = policy;
+    flat.jitterFrac = 0.0;
+    for (unsigned i = 0; i < 4; i++) {
+        backoffMs(policy, i, retryJitterStream(withJitter));
+        backoffMs(flat, i, retryJitterStream(noJitter));
+    }
+    EXPECT_EQ(retryJitterStream(withJitter).rawState(),
+              retryJitterStream(noJitter).rawState());
+}
+
+// ---------------------------------------------------------------- job
+
+TEST(JobSpec, ValidateRejectsBadSpecsUpFront)
+{
+    std::string why;
+    JobSpec s = specimenSpec();
+    EXPECT_TRUE(s.validate(why)) << why;
+
+    s.kernel = "no-such-kernel";
+    EXPECT_FALSE(s.validate(why));
+
+    s = specimenSpec();
+    s.mode = "Z";
+    EXPECT_FALSE(s.validate(why));
+
+    s = specimenSpec();
+    s.mode = "S";
+    s.config = "io";  // no LPSU
+    EXPECT_FALSE(s.validate(why));
+
+    s = specimenSpec();
+    s.gpBinary = true;  // GP binary only runs in mode T
+    EXPECT_FALSE(s.validate(why));
+
+    s = specimenSpec();
+    s.injectArchRate = 1.0;  // corruption needs a seed
+    EXPECT_FALSE(s.validate(why));
+
+    s = specimenSpec();
+    s.maxInsts = 0;
+    EXPECT_FALSE(s.validate(why));
+}
+
+TEST(JobSpec, JsonRoundTripIsExact)
+{
+    JobSpec s = specimenSpec();
+    s.maxInsts = 123456;
+    s.deadlineMs = 2500;
+    s.injectSeed = 77;
+    s.injectRate = 0.05;
+    s.injectArchRate = 1e-9;
+    s.haveWatchdog = true;
+    s.watchdogCycles = 4096;
+    s.lockstep = true;
+    s.maxRetries = 1;
+
+    std::ostringstream os;
+    JsonWriter w(os, /*pretty=*/false);
+    w.beginObject();
+    s.toJson(w);
+    w.endObject();
+    const JobSpec back = jobSpecFromJson(jsonParse(os.str()));
+
+    EXPECT_EQ(back.kernel, s.kernel);
+    EXPECT_EQ(back.config, s.config);
+    EXPECT_EQ(back.mode, s.mode);
+    EXPECT_EQ(back.maxInsts, s.maxInsts);
+    EXPECT_EQ(back.deadlineMs, s.deadlineMs);
+    EXPECT_EQ(back.injectSeed, s.injectSeed);
+    EXPECT_EQ(back.injectRate, s.injectRate) << "bit-exact";
+    EXPECT_EQ(back.injectArchRate, s.injectArchRate) << "bit-exact";
+    EXPECT_EQ(back.haveWatchdog, s.haveWatchdog);
+    EXPECT_EQ(back.watchdogCycles, s.watchdogCycles);
+    EXPECT_EQ(back.lockstep, s.lockstep);
+    EXPECT_EQ(back.maxRetries, s.maxRetries);
+}
+
+// ------------------------------------------------------------- protocol
+
+TEST(Protocol, RequestRoundTrip)
+{
+    Request req;
+    req.op = "submit";
+    req.job = specimenSpec();
+    req.job.injectSeed = 5;
+    req.job.injectRate = 0.02;
+    const std::string line = encodeRequest(req);
+    EXPECT_EQ(line.find('\n'), std::string::npos)
+        << "requests are single-line";
+
+    const Request back = parseRequest(line);
+    EXPECT_EQ(back.op, "submit");
+    EXPECT_EQ(back.job.kernel, req.job.kernel);
+    EXPECT_EQ(back.job.injectRate, req.job.injectRate);
+
+    EXPECT_THROW(parseRequest("{\"schema\":\"bogus\"}"), FatalError);
+    EXPECT_THROW(parseRequest(
+                     "{\"schema\":\"xloops-job-1\",\"op\":\"zap\"}"),
+                 FatalError);
+}
+
+TEST(Protocol, OutcomeEncodingIsSingleLineAndComplete)
+{
+    JobOutcome o;
+    o.jobId = 9;
+    o.status = JobStatus::Failed;
+    o.attempts = 3;
+    o.error = "line one\nline two";  // embedded newline must escape
+    o.errorKind = "watchdog";
+    o.capsulePath = "/tmp/job-9.capsule.json";
+    o.statsJson = "{\n  \"cycles\": 1\n}\n";
+
+    const std::string line = encodeOutcome(o);
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    const JsonValue v = jsonParse(line);
+    EXPECT_EQ(v.at("schema").asString(), "xloops-result-1");
+    EXPECT_EQ(v.at("status").asString(), "failed");
+    EXPECT_EQ(v.at("attempts").asU64(), 3u);
+    EXPECT_EQ(v.at("error").asString(), o.error);
+    EXPECT_EQ(v.at("stats").asString(), o.statsJson)
+        << "the stats document survives byte-for-byte";
+}
+
+// ----------------------------------------------------------- supervisor
+
+SupervisorConfig
+testConfig(const std::string &tag)
+{
+    SupervisorConfig cfg;
+    cfg.workers = 1;
+    cfg.retry.baseBackoffMs = 1;  // keep retry tests fast
+    cfg.retry.maxBackoffMs = 2;
+    cfg.artifactDir = testing::TempDir() + "/xloops_sup_" + tag;
+    // TempDir exists; the artifact subdir may not — capsules fall
+    // back gracefully, but give them a real directory.
+    (void)std::system(("mkdir -p " + cfg.artifactDir).c_str());
+    return cfg;
+}
+
+TEST(Supervisor, RunsAJobAndServesTheSecondFromCache)
+{
+    Supervisor sup(testConfig("cache"));
+    const Admission a1 = sup.submit(specimenSpec());
+    ASSERT_TRUE(a1.accepted) << a1.reason;
+    const JobOutcome o1 = sup.wait(a1.jobId);
+    EXPECT_EQ(o1.status, JobStatus::Done);
+    EXPECT_EQ(o1.attempts, 1u);
+    EXPECT_FALSE(o1.cached);
+    EXPECT_FALSE(o1.statsJson.empty());
+
+    const Admission a2 = sup.submit(specimenSpec());
+    ASSERT_TRUE(a2.accepted);
+    const JobOutcome o2 = sup.wait(a2.jobId);
+    EXPECT_EQ(o2.status, JobStatus::Done);
+    EXPECT_TRUE(o2.cached);
+    EXPECT_EQ(o2.statsJson, o1.statsJson)
+        << "cache hit is byte-identical to the cold run";
+    EXPECT_EQ(sup.cache().hits(), 1u);
+}
+
+TEST(Supervisor, DivergenceIsNeverRetriedButAlwaysCapsuled)
+{
+    Supervisor sup(testConfig("div"));
+    JobSpec spec = specimenSpec();
+    spec.lockstep = true;
+    spec.injectSeed = 1;
+    spec.injectRate = 0.0;
+    spec.injectArchRate = 1.0;  // certain architectural corruption
+    spec.maxRetries = 3;        // must be ignored: divergence is fatal
+
+    const Admission adm = sup.submit(spec);
+    ASSERT_TRUE(adm.accepted) << adm.reason;
+    const JobOutcome o = sup.wait(adm.jobId);
+    EXPECT_EQ(o.status, JobStatus::Failed);
+    EXPECT_EQ(o.attempts, 1u) << "divergence must not retry";
+    EXPECT_EQ(o.errorKind, "divergence");
+    EXPECT_FALSE(o.capsulePath.empty());
+
+    const std::string capsule = sup.capsuleText(adm.jobId);
+    ASSERT_FALSE(capsule.empty());
+    const JsonValue v = jsonParse(capsule);
+    EXPECT_EQ(v.at("schema").asString(), "xloops-capsule-1");
+}
+
+TEST(Supervisor, RetryableFailureIsBoundedAndThenCapsuled)
+{
+    SupervisorConfig cfg = testConfig("retry");
+    cfg.retry.maxRetries = 2;
+    Supervisor sup(cfg);
+
+    JobSpec spec = specimenSpec();
+    spec.haveWatchdog = true;
+    spec.watchdogCycles = 1;  // wedges instantly, every attempt
+
+    const Admission adm = sup.submit(spec);
+    ASSERT_TRUE(adm.accepted) << adm.reason;
+    const JobOutcome o = sup.wait(adm.jobId);
+    EXPECT_EQ(o.status, JobStatus::Failed);
+    EXPECT_EQ(o.attempts, 3u) << "1 try + maxRetries, no more";
+    EXPECT_EQ(o.errorKind, "watchdog");
+    EXPECT_FALSE(o.capsulePath.empty())
+        << "exhausted retries still leave a capsule";
+    EXPECT_GE(sup.stats().retries, 2u);
+}
+
+TEST(Supervisor, BoundedQueueShedsDeterministically)
+{
+    SupervisorConfig cfg = testConfig("shed");
+    cfg.queueDepth = 1;
+    cfg.startPaused = true;  // jobs queue but cannot start
+    Supervisor sup(cfg);
+
+    const Admission a1 = sup.submit(specimenSpec());
+    EXPECT_TRUE(a1.accepted);
+    const Admission a2 = sup.submit(specimenSpec());
+    EXPECT_FALSE(a2.accepted);
+    EXPECT_EQ(a2.reason, "overloaded");
+    EXPECT_EQ(sup.status(a2.jobId).status, JobStatus::Shed);
+    EXPECT_EQ(sup.stats().shed, 1u);
+
+    // Draining cancels the job still queued behind the pause gate.
+    sup.drain();
+    EXPECT_EQ(sup.status(a1.jobId).status, JobStatus::Cancelled);
+    EXPECT_FALSE(sup.submit(specimenSpec()).accepted)
+        << "a draining supervisor refuses new work";
+}
+
+TEST(Supervisor, CancelUnqueuesAJobBeforeItRuns)
+{
+    SupervisorConfig cfg = testConfig("cancel");
+    cfg.startPaused = true;
+    Supervisor sup(cfg);
+
+    const Admission adm = sup.submit(specimenSpec());
+    ASSERT_TRUE(adm.accepted);
+    EXPECT_TRUE(sup.cancel(adm.jobId));
+    const JobOutcome o = sup.wait(adm.jobId);
+    EXPECT_EQ(o.status, JobStatus::Cancelled);
+    EXPECT_EQ(o.attempts, 0u) << "never ran";
+    EXPECT_FALSE(sup.cancel(adm.jobId)) << "already terminal";
+
+    sup.resume();
+    sup.drain();
+}
+
+// A preset stop flag surfaces as the matching SimError kind through a
+// full kernel run — the mechanism the service deadline watchdog and
+// the xsim signal handlers both rely on.
+TEST(StopFlag, CauseSelectsTheSimErrorKindAndExitCode)
+{
+    const std::atomic<u32> deadline{
+        static_cast<u32>(StopCause::Deadline)};
+    RunOptions ropts;
+    ropts.stopFlag = &deadline;
+    RunHooks hooks;
+    hooks.runOptions = &ropts;
+    try {
+        runKernel(kernelByName("rgb2cmyk-uc"), configs::byName("io+x"),
+                  ExecMode::Specialized, false, hooks);
+        FAIL() << "expected a SimError";
+    } catch (const SimError &err) {
+        EXPECT_EQ(err.kind(), SimErrorKind::Deadline);
+        EXPECT_EQ(err.exitCode(), 3);
+    }
+
+    const std::atomic<u32> interrupted{
+        static_cast<u32>(StopCause::Interrupted)};
+    ropts.stopFlag = &interrupted;
+    try {
+        runKernel(kernelByName("rgb2cmyk-uc"), configs::byName("io+x"),
+                  ExecMode::Specialized, false, hooks);
+        FAIL() << "expected a SimError";
+    } catch (const SimError &err) {
+        EXPECT_EQ(err.kind(), SimErrorKind::Interrupted);
+        EXPECT_EQ(err.exitCode(), 6) << "the dedicated interrupt code";
+    }
+}
+
+} // namespace
+} // namespace xloops

@@ -1,0 +1,28 @@
+#!/bin/sh
+# A sweep cell that dies (instruction valve) must not wedge or abort
+# the sweep: the driver finishes the matrix, prints a per-cell failure
+# summary, and exits 6 — distinct from every xsim exit code, so a
+# harness can tell "sweep completed with failed cells" from a
+# driver-level death. Registered with ctest as cli_xsweep_failed_cell.
+#
+# usage: xsweep_failed_cell.sh <xsweep>
+set -u
+
+XSWEEP=$1
+
+out=$("$XSWEEP" --kernels rgb2cmyk-uc --modes S --max-insts 10 2>&1)
+code=$?
+echo "$out"
+
+[ "$code" -eq 6 ] || {
+    echo "xsweep_failed_cell: FAIL: exit $code, want 6" >&2
+    exit 1
+}
+case "$out" in
+*"failed cells: 1/1"*) ;;
+*)
+    echo "xsweep_failed_cell: FAIL: missing failure summary" >&2
+    exit 1
+    ;;
+esac
+echo "xsweep_failed_cell: PASS"

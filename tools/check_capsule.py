@@ -19,9 +19,10 @@ DIVERGENCE_SITES = ("xloop-entry", "xloop-exit", "control",
                     "post-inst", "halt")
 
 # SimError exit-code taxonomy (see src/common/sim_error.h): capsules
-# are only written for SimErrors, so 3 (recoverable diagnosis) or
-# 5 (lockstep divergence).
-CAPSULE_EXIT_CODES = (3, 5)
+# are only written for SimErrors, so 3 (recoverable diagnosis),
+# 5 (lockstep divergence), or 6 (interrupted by SIGINT/SIGTERM or a
+# service-level cancel).
+CAPSULE_EXIT_CODES = (3, 5, 6)
 
 
 def fail(msg):
@@ -127,7 +128,16 @@ def check_capsule(path):
                      f"the capsule's ({doc[key]!r})")
         if ckpt["inst_count"] != doc["checkpoint_inst"]:
             fail("checkpoint.inst_count does not match checkpoint_inst")
-        if ckpt["inst_count"] >= doc["error"]["inst_count"]:
+        # A diagnosis/divergence capsule embeds the nearest checkpoint
+        # *strictly prior* to the failure so replay can run into it. A
+        # cooperative stop (interrupted/deadline/cancelled) instead
+        # embeds the final checkpoint taken at the exact stop
+        # instruction — the resume point — so equality is correct.
+        if doc["error"]["kind"] in ("interrupted", "deadline",
+                                    "cancelled"):
+            if ckpt["inst_count"] > doc["error"]["inst_count"]:
+                fail("embedded checkpoint is past the stop point")
+        elif ckpt["inst_count"] >= doc["error"]["inst_count"]:
             fail("embedded checkpoint is not prior to the failure")
     elif doc["checkpoint_inst"] != 0:
         fail("checkpoint_inst set but no checkpoint embedded")

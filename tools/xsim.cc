@@ -23,9 +23,17 @@
  *
  * Exit codes: 0 clean, 1 user/config error, 2 golden-checker failure,
  * 3 watchdog / simulation-limit diagnosis (machine snapshot printed),
- * 4 simulator panic, 5 lockstep divergence.
+ * 4 simulator panic, 5 lockstep divergence, 6 interrupted.
+ *
+ * SIGINT/SIGTERM request a cooperative stop: the run halts at the
+ * next committed instruction, takes a final checkpoint when
+ * --checkpoint-prefix is set (so the run is resumable with
+ * --restore), writes a replay capsule (to --capsule, or
+ * xsim-interrupt.capsule.json by default), and exits 6.
  */
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -49,6 +57,16 @@
 using namespace xloops;
 
 namespace {
+
+/** Set by the SIGINT/SIGTERM handlers; the run polls it at every
+ *  committed instruction (see RunOptions::stopFlag). */
+std::atomic<u32> interruptFlag{0};
+
+void
+onInterrupt(int)
+{
+    interruptFlag.store(static_cast<u32>(StopCause::Interrupted));
+}
 
 /** One command-line option: the usage text is rendered from this
  *  table, so `--help` always matches what the parser accepts. */
@@ -112,6 +130,13 @@ printUsage(std::FILE *out)
         }
         std::fprintf(out, "  %-22s %s\n", head.c_str(), f.help);
     }
+    std::fprintf(out,
+                 "exit codes: 0 clean, 1 user error, 2 checker "
+                 "failure, 3 diagnosis,\n"
+                 "            4 panic, 5 divergence, 6 interrupted "
+                 "(SIGINT/SIGTERM: final\n"
+                 "            checkpoint with --checkpoint-prefix, "
+                 "capsule written)\n");
 }
 
 std::string
@@ -330,7 +355,18 @@ main(int argc, char **argv)
         if (haveWatchdog)
             cfg.lpsu.watchdogCycles = watchdogCycles;
 
+        // From here on a SIGINT/SIGTERM stops the run cooperatively
+        // instead of killing the process: a final checkpoint (when a
+        // prefix is configured) plus an interrupt capsule beat a
+        // half-written stats file.
+        struct sigaction sa{};
+        sa.sa_handler = onInterrupt;
+        sigemptyset(&sa.sa_mask);
+        sigaction(SIGINT, &sa, nullptr);
+        sigaction(SIGTERM, &sa, nullptr);
+
         RunOptions ropts;
+        ropts.stopFlag = &interruptFlag;
         ropts.lockstep = lockstep;
         ropts.checkpointEvery = checkpointEvery;
         ropts.checkpointPrefix = checkpointEvery
@@ -364,7 +400,9 @@ main(int argc, char **argv)
             hooks.profiler = prof;
             hooks.traceText = trace ? &std::cout : nullptr;
             hooks.runOptions = &ropts;
-            hooks.capsule = capsulePath.empty() ? nullptr : &capCtx;
+            // Context is captured even without --capsule so an
+            // interrupt can still produce its default capsule.
+            hooks.capsule = &capCtx;
             const KernelRun run = runKernel(kernelByName(kernelName), cfg,
                                             mode, false, hooks);
             result = run.result;
@@ -385,11 +423,9 @@ main(int argc, char **argv)
                 sys.setTrace(&std::cout);
             sys.setObserver(tr, prof);
             sys.loadProgram(prog);
-            if (!capsulePath.empty()) {
-                capCtx.valid = true;
-                capCtx.program = prog;
-                capCtx.initialMem.copyFrom(sys.memory());
-            }
+            capCtx.valid = true;
+            capCtx.program = prog;
+            capCtx.initialMem.copyFrom(sys.memory());
             try {
                 result = sys.run(prog, mode, 500'000'000, ropts);
             } catch (...) {
@@ -446,6 +482,9 @@ main(int argc, char **argv)
         // message, and the full run context becomes a replay capsule
         // when one was requested.
         std::fprintf(stderr, "%s\n", error.what());
+        if (capsulePath.empty() &&
+            error.kind() == SimErrorKind::Interrupted)
+            capsulePath = "xsim-interrupt.capsule.json";
         if (!capsulePath.empty() && capCtx.valid) {
             try {
                 writeCapsule(capsulePath, capSpec, capCtx, error);

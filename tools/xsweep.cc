@@ -8,9 +8,13 @@
  * cell). The report is byte-identical for every --jobs value; see
  * docs/OBSERVABILITY.md §5 and tests/test_sweep_determinism.cc.
  *
- * Exit codes: 0 all cells validated, 1 user/config error, 2 one or
+ * Exit codes: 0 all cells validated, 1 user/config error, 6 one or
  * more cells failed validation (or died with a diagnosed SimError —
  * per-cell errors are in the report, the sweep itself never wedges).
+ * The failed-cell code is distinct from every xsim code (2 = checker,
+ * 3 = diagnosis, 5 = divergence) so a harness can tell "the sweep ran
+ * to completion but cells failed" apart from a driver-level death; a
+ * "failed cells: N/M" summary on stderr lists the count explicitly.
  */
 
 #include <cstdio>
@@ -23,6 +27,7 @@
 
 #include "common/log.h"
 #include "common/pool.h"
+#include "common/sim_error.h"
 #include "kernels/kernel.h"
 #include "system/sweep.h"
 
@@ -50,8 +55,13 @@ const Flag flagTable[] = {
     {"--inject-rate", "<p>",
      "per-opportunity fault probability (default 0.02 with a seed)"},
     {"--max-insts", "<n>", "per-cell instruction valve"},
+    {"--deadline-ms", "<n>",
+     "wall-clock budget for the whole sweep (0 = none); on expiry "
+     "remaining cells are skipped and the sweep exits 6"},
     {"--out", "<file>", "write the xloops-sweep-1 report here"},
-    {"--help", nullptr, "print this usage and exit"},
+    {"--help", nullptr,
+     "print this usage and exit (exit codes: 0 all validated, 1 user "
+     "error, 6 failed/skipped cells)"},
 };
 
 void
@@ -139,6 +149,9 @@ main(int argc, char **argv)
                 haveRate = true;
             } else if (arg == "--max-insts")
                 opts.maxInsts = std::strtoull(next().c_str(), nullptr, 0);
+            else if (arg == "--deadline-ms")
+                opts.deadlineMs =
+                    std::strtoull(next().c_str(), nullptr, 0);
             else if (arg == "--out")
                 outPath = next();
             else if (arg == "--help" || arg == "-h") {
@@ -196,6 +209,9 @@ main(int argc, char **argv)
             }
         }
         std::printf("passed: %zu/%zu\n", passed, results.size());
+        if (passed != results.size())
+            std::fprintf(stderr, "failed cells: %zu/%zu\n",
+                         results.size() - passed, results.size());
 
         if (!outPath.empty()) {
             std::ofstream out(outPath);
@@ -204,7 +220,15 @@ main(int argc, char **argv)
             writeSweepJson(out, cells, results, opts);
             std::printf("report: %s\n", outPath.c_str());
         }
-        return passed == results.size() ? 0 : 2;
+        // Failed cells get their own exit code, distinct from every
+        // xsim code: harnesses must be able to tell "the sweep
+        // completed and some cells failed" from a driver death.
+        return passed == results.size() ? 0 : 6;
+    } catch (const SimError &error) {
+        // The sweep-level deadline tripped: the batch stopped early
+        // and the skipped cells count as failures.
+        std::fprintf(stderr, "%s\n", error.what());
+        return 6;
     } catch (const FatalError &error) {
         std::fprintf(stderr, "%s\n", error.what());
         return 1;
