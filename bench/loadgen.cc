@@ -27,6 +27,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -35,6 +36,7 @@
 #include "bench_util.h"
 #include "common/json.h"
 #include "common/log.h"
+#include "common/metrics.h"
 #include "service/client.h"
 #include "service/protocol.h"
 #include "service/supervisor.h"
@@ -50,6 +52,12 @@ struct JobResult
     bool cached = false;
     bool hasCapsule = false;
     std::string errorKind;
+    u64 attempts = 0;
+    // Server-side span timings from the xloops-result-1 reply: where
+    // the latency went (queueing vs cache lookup vs simulation).
+    u64 queueWaitUs = 0;
+    u64 cacheLookupUs = 0;
+    u64 simUs = 0;
 };
 
 struct Options
@@ -63,6 +71,11 @@ struct Options
     double divergenceFrac = 0.0;
     u64 deadlineMs = 0;
     std::string outDir = ".";
+    /** Interleave telemetry-off and telemetry-on passes and report
+     *  the best-of throughput delta. In-process only: the toggle is
+     *  process-local. */
+    bool telemetryOverhead = false;
+    unsigned overheadReps = 3;
 };
 
 JobSpec
@@ -114,6 +127,14 @@ submitOverSocket(const Options &opts, const JobSpec &spec)
     r.hasCapsule = v.has("capsule_path");
     if (v.has("error_kind"))
         r.errorKind = v.at("error_kind").asString();
+    if (v.has("attempts"))
+        r.attempts = v.at("attempts").asU64();
+    if (v.has("queue_wait_us"))
+        r.queueWaitUs = v.at("queue_wait_us").asU64();
+    if (v.has("cache_lookup_us"))
+        r.cacheLookupUs = v.at("cache_lookup_us").asU64();
+    if (v.has("sim_us"))
+        r.simUs = v.at("sim_us").asU64();
     return r;
 }
 
@@ -137,6 +158,10 @@ submitInProcess(Supervisor &sup, const JobSpec &spec)
     r.cached = o.cached;
     r.hasCapsule = !o.capsulePath.empty();
     r.errorKind = o.errorKind;
+    r.attempts = static_cast<u64>(o.attempts > 0 ? o.attempts : 0);
+    r.queueWaitUs = o.queueWaitUs;
+    r.cacheLookupUs = o.cacheLookupUs;
+    r.simUs = o.simUs;
     return r;
 }
 
@@ -148,6 +173,111 @@ percentile(std::vector<double> sorted, double p)
     const size_t idx = static_cast<size_t>(
         p * static_cast<double>(sorted.size() - 1));
     return sorted[idx];
+}
+
+struct PassStats
+{
+    std::vector<JobResult> results;
+    double wallSec = 0;
+};
+
+/** One full fleet run (all clients x all jobs) against a fresh
+ *  in-process Supervisor, or the daemon at opts.socketPath. */
+PassStats
+runPass(const Options &opts)
+{
+    std::unique_ptr<Supervisor> localSup;
+    if (opts.socketPath.empty()) {
+        SupervisorConfig scfg;
+        scfg.artifactDir = opts.outDir;
+        localSup = std::make_unique<Supervisor>(scfg);
+    }
+
+    PassStats pass;
+    std::mutex resultsMutex;
+    const auto start = std::chrono::steady_clock::now();
+
+    std::vector<std::thread> fleet;
+    fleet.reserve(opts.clients);
+    for (unsigned c = 0; c < opts.clients; c++) {
+        fleet.emplace_back([&, c] {
+            for (unsigned j = 0; j < opts.jobsPerClient; j++) {
+                const JobSpec spec = specForJob(opts, c, j);
+                JobResult r;
+                try {
+                    r = opts.socketPath.empty()
+                            ? submitInProcess(*localSup, spec)
+                            : submitOverSocket(opts, spec);
+                } catch (const FatalError &err) {
+                    r.status = "connection-error";
+                    std::fprintf(stderr, "client %u: %s\n", c,
+                                 err.what());
+                }
+                std::lock_guard<std::mutex> lock(resultsMutex);
+                pass.results.push_back(r);
+            }
+        });
+    }
+    for (std::thread &t : fleet)
+        t.join();
+    pass.wallSec = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    return pass;
+}
+
+/** Outcome counts plus mean server-side span timings. */
+struct Tally
+{
+    size_t done = 0, failed = 0, shed = 0, cancelled = 0, cached = 0,
+           capsuled = 0, errors = 0, missingCapsules = 0, retried = 0;
+    u64 attemptsTotal = 0;
+    double queueWaitUsMean = 0;
+    double cacheLookupUsMean = 0;
+    double simUsMean = 0;
+    std::vector<double> latencies;
+};
+
+Tally
+tallyResults(const std::vector<JobResult> &results)
+{
+    Tally t;
+    double queueWaitSum = 0, cacheLookupSum = 0, simSum = 0;
+    for (const JobResult &r : results) {
+        if (r.status == "done") {
+            t.done++;
+            t.cached += r.cached ? 1 : 0;
+        } else if (r.status == "failed") {
+            t.failed++;
+            t.capsuled += r.hasCapsule ? 1 : 0;
+            // Checker failures have no SimError and thus no capsule;
+            // every other failure kind must have one.
+            if (!r.hasCapsule && r.errorKind != "checker" &&
+                r.errorKind != "fatal")
+                t.missingCapsules++;
+        } else if (r.status == "overloaded") {
+            t.shed++;
+        } else if (r.status == "cancelled") {
+            t.cancelled++;
+        } else {
+            t.errors++;
+        }
+        t.attemptsTotal += r.attempts;
+        t.retried += r.attempts > 1 ? 1 : 0;
+        queueWaitSum += static_cast<double>(r.queueWaitUs);
+        cacheLookupSum += static_cast<double>(r.cacheLookupUs);
+        simSum += static_cast<double>(r.simUs);
+        if (r.latencyMs > 0)
+            t.latencies.push_back(r.latencyMs);
+    }
+    if (!results.empty()) {
+        const double n = static_cast<double>(results.size());
+        t.queueWaitUsMean = queueWaitSum / n;
+        t.cacheLookupUsMean = cacheLookupSum / n;
+        t.simUsMean = simSum / n;
+    }
+    std::sort(t.latencies.begin(), t.latencies.end());
+    return t;
 }
 
 void
@@ -166,6 +296,11 @@ printUsage(std::FILE *out)
         "  --divergence-frac <f>  fraction of jobs that are "
         "guaranteed-divergence specimens\n"
         "  --deadline-ms <n>      per-job wall-clock deadline\n"
+        "  --telemetry-overhead   interleave telemetry-off/on passes "
+        "and report the\n"
+        "                         best-of throughput delta (in-process "
+        "only)\n"
+        "  --overhead-reps <n>    passes per setting (default 3)\n"
         "  --out <dir>            where BENCH_service.json goes "
         "(default .)\n");
 }
@@ -223,6 +358,11 @@ main(int argc, char **argv)
             else if (arg == "--deadline-ms")
                 opts.deadlineMs =
                     std::strtoull(next().c_str(), nullptr, 0);
+            else if (arg == "--telemetry-overhead")
+                opts.telemetryOverhead = true;
+            else if (arg == "--overhead-reps")
+                opts.overheadReps = static_cast<unsigned>(
+                    std::strtoul(next().c_str(), nullptr, 10));
             else if (arg == "--out")
                 opts.outDir = next();
             else if (arg == "--help" || arg == "-h") {
@@ -234,90 +374,6 @@ main(int argc, char **argv)
             }
         }
 
-        // The in-process supervisor (when no daemon drives the test).
-        std::unique_ptr<Supervisor> localSup;
-        if (opts.socketPath.empty()) {
-            SupervisorConfig scfg;
-            scfg.artifactDir = opts.outDir;
-            localSup = std::make_unique<Supervisor>(scfg);
-        }
-
-        std::vector<JobResult> results;
-        std::mutex resultsMutex;
-        const auto start = std::chrono::steady_clock::now();
-
-        std::vector<std::thread> fleet;
-        fleet.reserve(opts.clients);
-        for (unsigned c = 0; c < opts.clients; c++) {
-            fleet.emplace_back([&, c] {
-                for (unsigned j = 0; j < opts.jobsPerClient; j++) {
-                    const JobSpec spec = specForJob(opts, c, j);
-                    JobResult r;
-                    try {
-                        r = opts.socketPath.empty()
-                                ? submitInProcess(*localSup, spec)
-                                : submitOverSocket(opts, spec);
-                    } catch (const FatalError &err) {
-                        r.status = "connection-error";
-                        std::fprintf(stderr, "client %u: %s\n", c,
-                                     err.what());
-                    }
-                    std::lock_guard<std::mutex> lock(resultsMutex);
-                    results.push_back(r);
-                }
-            });
-        }
-        for (std::thread &t : fleet)
-            t.join();
-        const double wallSec =
-            std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - start)
-                .count();
-
-        // Tally, and enforce the crash-isolation contract: a SimError
-        // failure without a capsule is a harness failure.
-        size_t done = 0, failed = 0, shed = 0, cancelled = 0,
-               cached = 0, capsuled = 0, errors = 0;
-        size_t missingCapsules = 0;
-        std::vector<double> latencies;
-        for (const JobResult &r : results) {
-            if (r.status == "done") {
-                done++;
-                cached += r.cached ? 1 : 0;
-            } else if (r.status == "failed") {
-                failed++;
-                capsuled += r.hasCapsule ? 1 : 0;
-                // Checker failures have no SimError and thus no
-                // capsule; every other failure kind must have one.
-                if (!r.hasCapsule && r.errorKind != "checker" &&
-                    r.errorKind != "fatal")
-                    missingCapsules++;
-            } else if (r.status == "overloaded") {
-                shed++;
-            } else if (r.status == "cancelled") {
-                cancelled++;
-            } else {
-                errors++;
-            }
-            if (r.latencyMs > 0)
-                latencies.push_back(r.latencyMs);
-        }
-        std::sort(latencies.begin(), latencies.end());
-
-        const size_t total = results.size();
-        const double jobsPerSec =
-            wallSec > 0 ? static_cast<double>(total) / wallSec : 0;
-        const double p50 = percentile(latencies, 0.50);
-        const double p99 = percentile(latencies, 0.99);
-
-        std::printf("loadgen: %zu jobs in %.2fs = %.2f jobs/sec\n",
-                    total, wallSec, jobsPerSec);
-        std::printf(
-            "  done %zu (cached %zu), failed %zu (capsuled %zu), "
-            "shed %zu, cancelled %zu, errors %zu\n",
-            done, cached, failed, capsuled, shed, cancelled, errors);
-        std::printf("  latency p50 %.1fms p99 %.1fms\n", p50, p99);
-
         benchutil::BenchReport report("service");
         report.note("transport", opts.socketPath.empty()
                                      ? "in-process"
@@ -326,30 +382,115 @@ main(int argc, char **argv)
                     std::to_string(opts.injectRate));
         report.note("divergence_frac_str",
                     std::to_string(opts.divergenceFrac));
+
+        const auto rate = [](const PassStats &p) {
+            return p.wallSec > 0
+                       ? static_cast<double>(p.results.size()) /
+                             p.wallSec
+                       : 0.0;
+        };
+
+        // Overhead mode: interleave kill-switch-off and -on passes
+        // and compare best-of rates (best-of shaves scheduler noise,
+        // interleaving cancels warmup drift). The switch is
+        // process-local, so the comparison is only meaningful against
+        // an in-process supervisor; for the true-zero baseline, build
+        // with -DXLOOPS_METRICS_DISABLED (docs/OBSERVABILITY.md).
+        PassStats pass;
+        PassStats offPass;
+        double offBestRate = 0, onBestRate = 0;
+        if (opts.telemetryOverhead) {
+            if (!opts.socketPath.empty())
+                fatal("--telemetry-overhead is in-process only");
+            for (unsigned r = 0; r < opts.overheadReps; r++) {
+                metricsEnable(false);
+                offPass = runPass(opts);
+                offBestRate = std::max(offBestRate, rate(offPass));
+                metricsEnable(true);
+                pass = runPass(opts);
+                onBestRate = std::max(onBestRate, rate(pass));
+            }
+        } else {
+            pass = runPass(opts);
+        }
+        const Tally t = tallyResults(pass.results);
+
+        const size_t total = pass.results.size();
+        const double jobsPerSec = rate(pass);
+        const double p50 = percentile(t.latencies, 0.50);
+        const double p99 = percentile(t.latencies, 0.99);
+
+        std::printf("loadgen: %zu jobs in %.2fs = %.2f jobs/sec\n",
+                    total, pass.wallSec, jobsPerSec);
+        std::printf(
+            "  done %zu (cached %zu), failed %zu (capsuled %zu), "
+            "shed %zu, cancelled %zu, errors %zu\n",
+            t.done, t.cached, t.failed, t.capsuled, t.shed,
+            t.cancelled, t.errors);
+        std::printf("  latency p50 %.1fms p99 %.1fms\n", p50, p99);
+        std::printf("  spans: queue %.0fus cache %.0fus sim %.0fus "
+                    "(mean), %zu retried\n",
+                    t.queueWaitUsMean, t.cacheLookupUsMean,
+                    t.simUsMean, t.retried);
+
         report.beginRow("overall");
         report.metric("clients", opts.clients);
         report.metric("jobs", static_cast<double>(total));
         report.metric("jobs_per_sec", jobsPerSec);
         report.metric("latency_p50_ms", p50);
         report.metric("latency_p99_ms", p99);
-        report.metric("done", static_cast<double>(done));
-        report.metric("cached", static_cast<double>(cached));
-        report.metric("failed", static_cast<double>(failed));
-        report.metric("capsuled", static_cast<double>(capsuled));
-        report.metric("shed", static_cast<double>(shed));
-        report.metric("cancelled", static_cast<double>(cancelled));
+        report.metric("done", static_cast<double>(t.done));
+        report.metric("cached", static_cast<double>(t.cached));
+        report.metric("failed", static_cast<double>(t.failed));
+        report.metric("capsuled", static_cast<double>(t.capsuled));
+        report.metric("shed", static_cast<double>(t.shed));
+        report.metric("cancelled", static_cast<double>(t.cancelled));
+        report.metric("retried", static_cast<double>(t.retried));
+        report.metric("queue_wait_us_mean", t.queueWaitUsMean);
+        report.metric("cache_lookup_us_mean", t.cacheLookupUsMean);
+        report.metric("sim_us_mean", t.simUsMean);
+
+        if (opts.telemetryOverhead) {
+            const double overheadPct =
+                offBestRate > 0
+                    ? (offBestRate - onBestRate) / offBestRate * 100.0
+                    : 0.0;
+            std::printf("  telemetry: off %.2f jobs/sec, on %.2f "
+                        "jobs/sec (best of %u), overhead %.2f%%\n",
+                        offBestRate, onBestRate, opts.overheadReps,
+                        overheadPct);
+            const Tally offT = tallyResults(offPass.results);
+            report.beginRow("telemetry_off");
+            report.metric("jobs", static_cast<double>(
+                                      offPass.results.size()));
+            report.metric("jobs_per_sec", offBestRate);
+            report.metric("latency_p50_ms",
+                          percentile(offT.latencies, 0.50));
+            report.metric("latency_p99_ms",
+                          percentile(offT.latencies, 0.99));
+            report.beginRow("telemetry_overhead");
+            report.metric("jobs_per_sec_on", onBestRate);
+            report.metric("overhead_pct", overheadPct);
+            report.metric("reps", opts.overheadReps);
+            if (offT.errors) {
+                std::fprintf(stderr,
+                             "FAILED: transport errors in the "
+                             "telemetry-off pass\n");
+                return 1;
+            }
+        }
         report.write(opts.outDir);
 
-        if (missingCapsules) {
+        if (t.missingCapsules) {
             std::fprintf(stderr,
                          "FAILED: %zu SimError failures without a "
                          "capsule\n",
-                         missingCapsules);
+                         t.missingCapsules);
             return 1;
         }
-        if (errors) {
+        if (t.errors) {
             std::fprintf(stderr, "FAILED: %zu transport errors\n",
-                         errors);
+                         t.errors);
             return 1;
         }
         return 0;

@@ -1,0 +1,126 @@
+#include "common/flight.h"
+
+#include <sstream>
+
+#include "common/json.h"
+#include "common/metrics.h"
+
+namespace xloops {
+
+const char *
+flightKindName(FlightKind kind)
+{
+    switch (kind) {
+    case FlightKind::JobAdmitted: return "job-admitted";
+    case FlightKind::JobShed: return "job-shed";
+    case FlightKind::JobInvalid: return "job-invalid";
+    case FlightKind::JobStarted: return "job-started";
+    case FlightKind::JobCacheHit: return "job-cache-hit";
+    case FlightKind::JobRetried: return "job-retried";
+    case FlightKind::JobDeadline: return "job-deadline";
+    case FlightKind::JobFinished: return "job-finished";
+    case FlightKind::JobFailed: return "job-failed";
+    case FlightKind::JobCancelled: return "job-cancelled";
+    case FlightKind::DrainBegin: return "drain-begin";
+    case FlightKind::DrainEnd: return "drain-end";
+    }
+    return "unknown";
+}
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : cap(capacity == 0 ? 1 : capacity)
+{
+    ring.reserve(cap);
+}
+
+void
+FlightRecorder::record(FlightKind kind, u64 jobId, const std::string &detail)
+{
+    if (!metricsEnabled())
+        return;
+    FlightEvent ev;
+    ev.atUs = monotonicUs();
+    ev.kind = kind;
+    ev.jobId = jobId;
+    ev.detail = detail;
+
+    std::lock_guard<std::mutex> lock(m);
+    ev.seq = nextSeq++;
+    if (ring.size() < cap) {
+        ring.push_back(std::move(ev));
+    } else {
+        ring[head] = std::move(ev);
+        head = (head + 1) % cap;
+    }
+}
+
+std::vector<FlightEvent>
+FlightRecorder::events() const
+{
+    std::lock_guard<std::mutex> lock(m);
+    std::vector<FlightEvent> out;
+    out.reserve(ring.size());
+    for (size_t i = 0; i < ring.size(); ++i)
+        out.push_back(ring[(head + i) % ring.size()]);
+    return out;
+}
+
+u64
+FlightRecorder::totalRecorded() const
+{
+    std::lock_guard<std::mutex> lock(m);
+    return nextSeq;
+}
+
+u64
+FlightRecorder::dropped() const
+{
+    std::lock_guard<std::mutex> lock(m);
+    return nextSeq - ring.size();
+}
+
+void
+FlightRecorder::writeJson(JsonWriter &w) const
+{
+    // Snapshot under one lock so seq/dropped/events agree exactly.
+    std::vector<FlightEvent> evs;
+    u64 recorded, lost;
+    {
+        std::lock_guard<std::mutex> lock(m);
+        recorded = nextSeq;
+        lost = nextSeq - ring.size();
+        evs.reserve(ring.size());
+        for (size_t i = 0; i < ring.size(); ++i)
+            evs.push_back(ring[(head + i) % ring.size()]);
+    }
+
+    w.beginObject();
+    w.field("schema", "xloops-flight-1");
+    w.field("capacity", static_cast<u64>(cap));
+    w.field("recorded", recorded);
+    w.field("dropped", lost);
+    w.key("events").beginArray();
+    for (const FlightEvent &ev : evs) {
+        w.beginObject();
+        w.field("seq", ev.seq);
+        w.field("at_us", ev.atUs);
+        w.field("kind", flightKindName(ev.kind));
+        w.field("job", ev.jobId);
+        if (!ev.detail.empty())
+            w.field("detail", ev.detail);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+std::string
+FlightRecorder::dumpJson(bool pretty) const
+{
+    std::ostringstream os;
+    JsonWriter w(os, pretty);
+    writeJson(w);
+    return os.str();
+}
+
+} // namespace xloops

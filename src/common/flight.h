@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Flight recorder: a bounded in-memory ring of recent structured
+ * service events (job admitted / started / retried / shed / finished,
+ * each stamped with a correlation id and a monotonic timestamp).
+ *
+ * The ring is the service-plane analogue of the Tracer (common/trace):
+ * always on, O(1) per event, and only ever *read* when something goes
+ * wrong — the supervisor dumps it into every capsule it writes and
+ * xloopsd dumps it to a file on SIGTERM, so crash artifacts carry the
+ * fleet context that led up to the failure, not just the one job's
+ * machine state.
+ *
+ * Dump format is the "xloops-flight-1" document: total events
+ * recorded, how many the ring dropped, and the surviving events in
+ * record order. docs/OBSERVABILITY.md §6.3 is the normative schema.
+ */
+
+#ifndef XLOOPS_COMMON_FLIGHT_H
+#define XLOOPS_COMMON_FLIGHT_H
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace xloops {
+
+class JsonWriter;
+
+/** What happened. Names render via flightKindName(). */
+enum class FlightKind : u8 {
+    JobAdmitted,   ///< validated and enqueued
+    JobShed,       ///< validated but rejected — queue full
+    JobInvalid,    ///< rejected at validation
+    JobStarted,    ///< a worker picked it up
+    JobCacheHit,   ///< served byte-identical from the result cache
+    JobRetried,    ///< attempt failed retryably; backoff then re-run
+    JobDeadline,   ///< watchdog armed the deadline stop
+    JobFinished,   ///< terminal: done
+    JobFailed,     ///< terminal: failed (capsule written when possible)
+    JobCancelled,  ///< terminal: cancelled (drain or explicit)
+    DrainBegin,    ///< graceful shutdown started
+    DrainEnd,      ///< graceful shutdown finished
+};
+
+const char *flightKindName(FlightKind kind);
+
+/** One recorded event. @p detail is small free-form context (error
+ *  kind, retry attempt, shed reason) — never a full document. */
+struct FlightEvent
+{
+    u64 seq = 0;    ///< global record index (monotone, never reused)
+    u64 atUs = 0;   ///< monotonicUs() timestamp
+    FlightKind kind = FlightKind::JobAdmitted;
+    u64 jobId = 0;  ///< correlation id; 0 for service-level events
+    std::string detail;
+};
+
+/**
+ * The bounded ring. Thread-safe; record() is a mutex push into a
+ * fixed vector (service events are rare next to simulated cycles, so
+ * a mutex is cheap and keeps dump consistency trivial).
+ */
+class FlightRecorder
+{
+  public:
+    explicit FlightRecorder(size_t capacity = 1024);
+
+    void record(FlightKind kind, u64 jobId, const std::string &detail = "");
+
+    /** Events currently held, oldest first. */
+    std::vector<FlightEvent> events() const;
+
+    u64 totalRecorded() const;
+    u64 dropped() const;
+    size_t capacity() const { return cap; }
+
+    /** Emit the "xloops-flight-1" document as the writer's next value. */
+    void writeJson(JsonWriter &w) const;
+
+    /** The document as a string (pretty or compact). */
+    std::string dumpJson(bool pretty = true) const;
+
+  private:
+    mutable std::mutex m;
+    size_t cap;
+    size_t head = 0;  ///< next write slot once the ring is full
+    u64 nextSeq = 0;
+    std::vector<FlightEvent> ring;
+};
+
+} // namespace xloops
+
+#endif // XLOOPS_COMMON_FLIGHT_H

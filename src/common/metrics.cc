@@ -1,0 +1,309 @@
+#include "common/metrics.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "common/json.h"
+
+namespace xloops {
+
+namespace {
+
+std::atomic<bool> gEnabled{true};
+std::atomic<unsigned> gNextShard{0};
+
+} // namespace
+
+unsigned
+metricShardIndex()
+{
+    thread_local unsigned idx =
+        gNextShard.fetch_add(1, std::memory_order_relaxed) % numMetricShards;
+    return idx;
+}
+
+u64
+monotonicUs()
+{
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point epoch = clock::now();
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
+                                                              epoch)
+            .count());
+}
+
+void
+metricsEnable(bool on)
+{
+    gEnabled.store(on, std::memory_order_relaxed);
+}
+
+bool
+metricsEnabled()
+{
+#ifndef XLOOPS_METRICS_DISABLED
+    return gEnabled.load(std::memory_order_relaxed);
+#else
+    return false;
+#endif
+}
+
+u64
+Counter::value() const
+{
+    u64 total = 0;
+    for (const Shard &s : shards)
+        total += s.v.load(std::memory_order_relaxed);
+    return total;
+}
+
+void
+Counter::publish(u64 total)
+{
+    // Fold the externally consistent total into shard 0 and clear the
+    // rest, so value() returns exactly @p total until the next inc().
+    shards[0].v.store(total, std::memory_order_relaxed);
+    for (unsigned i = 1; i < numMetricShards; ++i)
+        shards[i].v.store(0, std::memory_order_relaxed);
+}
+
+void
+HistogramMetric::observe(u64 value)
+{
+#ifndef XLOOPS_METRICS_DISABLED
+    if (!metricsEnabled())
+        return;
+    buckets[Histogram::bucketIndex(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    n.fetch_add(1, std::memory_order_relaxed);
+    total.fetch_add(value, std::memory_order_relaxed);
+    u64 cur = lo.load(std::memory_order_relaxed);
+    while (value < cur &&
+           !lo.compare_exchange_weak(cur, value, std::memory_order_relaxed))
+        ;
+    cur = hi.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !hi.compare_exchange_weak(cur, value, std::memory_order_relaxed))
+        ;
+#else
+    (void)value;
+#endif
+}
+
+HistSnapshot
+HistogramMetric::snapshot() const
+{
+    HistSnapshot s;
+    s.count = n.load(std::memory_order_relaxed);
+    s.sum = total.load(std::memory_order_relaxed);
+    s.min = s.count == 0 ? 0 : lo.load(std::memory_order_relaxed);
+    s.max = hi.load(std::memory_order_relaxed);
+    unsigned last = 0;
+    std::array<u64, numMetricBuckets> raw{};
+    for (unsigned i = 0; i < numMetricBuckets; ++i) {
+        raw[i] = buckets[i].load(std::memory_order_relaxed);
+        if (raw[i] != 0)
+            last = i + 1;
+    }
+    s.buckets.assign(raw.begin(), raw.begin() + last);
+    return s;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(m);
+    auto &slot = counters[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(m);
+    auto &slot = gauges[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+HistogramMetric &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(m);
+    auto &slot = histograms[name];
+    if (!slot)
+        slot = std::make_unique<HistogramMetric>();
+    return *slot;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(m);
+    MetricsSnapshot s;
+    for (const auto &[name, c] : counters)
+        s.counters[name] = c->value();
+    for (const auto &[name, g] : gauges)
+        s.gauges[name] = g->value();
+    for (const auto &[name, h] : histograms)
+        s.histograms[name] = h->snapshot();
+    return s;
+}
+
+namespace {
+
+/** `xloops_retries_total{kind="watchdog"}` → `xloops_retries_total`. */
+std::string
+familyOf(const std::string &name)
+{
+    size_t brace = name.find('{');
+    return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+/** Splice extra labels into a possibly-labelled series name:
+ *  spliceLabels("f{kind=\"x\"}", "le=\"1\"") → `f{kind="x",le="1"}`. */
+std::string
+spliceLabels(const std::string &name, const std::string &extra)
+{
+    size_t brace = name.find('{');
+    if (brace == std::string::npos)
+        return name + "{" + extra + "}";
+    std::string out = name.substr(0, name.size() - 1); // drop '}'
+    return out + "," + extra + "}";
+}
+
+void
+typeLineOnce(std::ostream &out, std::string &lastFamily,
+             const std::string &name, const char *type)
+{
+    std::string fam = familyOf(name);
+    if (fam != lastFamily) {
+        out << "# TYPE " << fam << " " << type << "\n";
+        lastFamily = fam;
+    }
+}
+
+void
+writeHistJson(JsonWriter &w, const HistSnapshot &h)
+{
+    w.beginObject();
+    w.field("count", h.count);
+    w.field("max", h.max);
+    w.field("min", h.min);
+    w.field("sum", h.sum);
+    w.key("buckets").beginArray();
+    for (u64 b : h.buckets)
+        w.value(b);
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace
+
+void
+MetricsRegistry::writeProm(std::ostream &out) const
+{
+    MetricsSnapshot s = snapshot();
+    std::string lastFamily;
+    for (const auto &[name, v] : s.counters) {
+        typeLineOnce(out, lastFamily, name, "counter");
+        out << name << " " << v << "\n";
+    }
+    lastFamily.clear();
+    for (const auto &[name, v] : s.gauges) {
+        typeLineOnce(out, lastFamily, name, "gauge");
+        out << name << " " << v << "\n";
+    }
+    lastFamily.clear();
+    for (const auto &[name, h] : s.histograms) {
+        typeLineOnce(out, lastFamily, name, "histogram");
+        // Cumulative counts at the log2 bucket upper edges: bucket 0
+        // holds only the value 0 (le="0"); bucket k covers up to
+        // 2^k - 1 inclusive.
+        u64 cum = 0;
+        for (size_t k = 0; k < h.buckets.size(); ++k) {
+            cum += h.buckets[k];
+            u64 le = k == 0 ? 0 : (u64{1} << k) - 1;
+            out << spliceLabels(name + "_bucket",
+                                "le=\"" + std::to_string(le) + "\"")
+                << " " << cum << "\n";
+        }
+        out << spliceLabels(name + "_bucket", "le=\"+Inf\"") << " " << h.count
+            << "\n";
+        out << name << "_sum " << h.sum << "\n";
+        out << name << "_count " << h.count << "\n";
+    }
+}
+
+std::string
+MetricsRegistry::promText() const
+{
+    std::ostringstream os;
+    writeProm(os);
+    return os.str();
+}
+
+void
+MetricsRegistry::writeJson(JsonWriter &w) const
+{
+    MetricsSnapshot s = snapshot();
+    w.beginObject();
+    w.field("schema", "xloops-metrics-1");
+    w.field("at_us", monotonicUs());
+    w.key("counters").beginObject();
+    for (const auto &[name, v] : s.counters)
+        w.field(name, v);
+    w.endObject();
+    w.key("gauges").beginObject();
+    for (const auto &[name, v] : s.gauges)
+        w.field(name, v);
+    w.endObject();
+    w.key("histograms").beginObject();
+    for (const auto &[name, h] : s.histograms) {
+        w.key(name);
+        writeHistJson(w, h);
+    }
+    w.endObject();
+    w.endObject();
+}
+
+std::string
+MetricsRegistry::jsonText(bool pretty) const
+{
+    std::ostringstream os;
+    JsonWriter w(os, pretty);
+    writeJson(w);
+    return os.str();
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(m);
+    for (auto &[name, c] : counters)
+        for (auto &shard : c->shards)
+            shard.v.store(0, std::memory_order_relaxed);
+    for (auto &[name, g] : gauges)
+        g->v.store(0, std::memory_order_relaxed);
+    for (auto &[name, h] : histograms) {
+        for (auto &b : h->buckets)
+            b.store(0, std::memory_order_relaxed);
+        h->n.store(0, std::memory_order_relaxed);
+        h->total.store(0, std::memory_order_relaxed);
+        h->lo.store(~u64{0}, std::memory_order_relaxed);
+        h->hi.store(0, std::memory_order_relaxed);
+    }
+}
+
+MetricsRegistry &
+metricsRegistry()
+{
+    static MetricsRegistry reg;
+    return reg;
+}
+
+} // namespace xloops

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Process-global service metrics registry: named counters, gauges,
+ * and log2 histograms with a deterministic text exposition in the
+ * Prometheus format plus an "xloops-metrics-1" JSON snapshot.
+ *
+ * This is the service plane's analogue of the per-run StatGroup
+ * (common/stats.h): where StatGroup describes one simulated machine
+ * and resets per run, the registry describes the *process* — queue
+ * depths, cache hit rates, retries, wire traffic — and accumulates
+ * monotonically for the daemon's lifetime so trend analysis across a
+ * metrics log is meaningful.
+ *
+ * Hot-path cost discipline (the same contract XTRACE honors):
+ *
+ *  - Counter::inc is one relaxed fetch_add on a per-thread shard
+ *    (cache-line padded, so concurrent workers never contend on one
+ *    line); shards are summed only at scrape time.
+ *  - Gauge::set/add are single relaxed atomic ops.
+ *  - HistogramMetric::observe is a handful of relaxed atomic ops
+ *    (bucket + count + sum, CAS loops for min/max).
+ *  - Handle lookup by name takes the registry mutex — callers cache
+ *    the returned reference (it is stable for the registry's
+ *    lifetime) and pay the lookup once, not per event.
+ *  - metricsEnabled(false) turns every mutation into a load+branch;
+ *    compiling with -DXLOOPS_METRICS_DISABLED removes even that.
+ *
+ * Histogram buckets are the loop_profile shape: bucket 0 holds the
+ * value 0 and bucket k (k >= 1) holds [2^(k-1), 2^k), so the
+ * Prometheus `le` edges are 0, 1, 3, 7, ... 2^k - 1, +Inf.
+ */
+
+#ifndef XLOOPS_COMMON_METRICS_H
+#define XLOOPS_COMMON_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace xloops {
+
+class JsonWriter;
+
+/** Shard count for counters: enough that a worker fleet rarely lands
+ *  two threads on one line, small enough that scrape is trivial. */
+constexpr unsigned numMetricShards = 16;
+
+/** The calling thread's stable shard index in [0, numMetricShards). */
+unsigned metricShardIndex();
+
+/** Monotonic microseconds since the first call in this process — the
+ *  shared clock for service spans, flight events, and metric logs. */
+u64 monotonicUs();
+
+/** Runtime kill switch for every registry mutation (spans and flight
+ *  recording follow it too). Defaults to enabled. */
+void metricsEnable(bool on);
+bool metricsEnabled();
+
+/**
+ * A monotone event counter, sharded per thread. Obtain via
+ * MetricsRegistry::counter(); the reference stays valid for the
+ * registry's lifetime.
+ */
+class Counter
+{
+  public:
+    void
+    inc(u64 delta = 1)
+    {
+#ifndef XLOOPS_METRICS_DISABLED
+        if (metricsEnabled())
+            shards[metricShardIndex()].v.fetch_add(
+                delta, std::memory_order_relaxed);
+#else
+        (void)delta;
+#endif
+    }
+
+    /** Sum over shards (scrape-time; racy reads are fine — each shard
+     *  is itself atomic and the counter is monotone). */
+    u64 value() const;
+
+    /** Overwrite the counter with an externally consistent total (the
+     *  supervisor publishes its mutex-guarded job accounting this way
+     *  so the conservation invariant holds exactly at scrape time). */
+    void publish(u64 total);
+
+  private:
+    friend class MetricsRegistry;
+    struct alignas(64) Shard
+    {
+        std::atomic<u64> v{0};
+    };
+    std::array<Shard, numMetricShards> shards{};
+};
+
+/** A point-in-time value (queue depth, cache entries, bytes held). */
+class Gauge
+{
+  public:
+    void
+    set(u64 value)
+    {
+#ifndef XLOOPS_METRICS_DISABLED
+        if (metricsEnabled())
+            v.store(value, std::memory_order_relaxed);
+#else
+        (void)value;
+#endif
+    }
+
+    void
+    add(u64 delta)
+    {
+#ifndef XLOOPS_METRICS_DISABLED
+        if (metricsEnabled())
+            v.fetch_add(delta, std::memory_order_relaxed);
+#else
+        (void)delta;
+#endif
+    }
+
+    void
+    sub(u64 delta)
+    {
+#ifndef XLOOPS_METRICS_DISABLED
+        if (metricsEnabled())
+            v.fetch_sub(delta, std::memory_order_relaxed);
+#else
+        (void)delta;
+#endif
+    }
+
+    u64 value() const { return v.load(std::memory_order_relaxed); }
+
+    /** Ungated set for scrape-time publication (like Counter::publish):
+     *  works even while the runtime kill switch is off, so consistency
+     *  invariants hold in overhead-measurement runs too. */
+    void publish(u64 value) { v.store(value, std::memory_order_relaxed); }
+
+  private:
+    friend class MetricsRegistry;
+    std::atomic<u64> v{0};
+};
+
+/** Maximum log2 bucket index tracked (2^63 is bucket 64). */
+constexpr unsigned numMetricBuckets = 65;
+
+/** Scraped histogram state (trailing zero buckets trimmed, matching
+ *  Histogram::buckets()). */
+struct HistSnapshot
+{
+    std::vector<u64> buckets;
+    u64 count = 0;
+    u64 sum = 0;
+    u64 min = 0;
+    u64 max = 0;
+};
+
+/**
+ * A log2-bucketed histogram safe for concurrent observe(). Bucket
+ * boundaries are exactly Histogram's (common/stats.h), so the two
+ * report formats agree.
+ */
+class HistogramMetric
+{
+  public:
+    void observe(u64 value);
+
+    /** A consistent-enough snapshot for reporting (per-field atomic;
+     *  a scrape racing an observe may be off by the in-flight sample,
+     *  never corrupt). */
+    HistSnapshot snapshot() const;
+
+  private:
+    friend class MetricsRegistry;
+    std::array<std::atomic<u64>, numMetricBuckets> buckets{};
+    std::atomic<u64> n{0};
+    std::atomic<u64> total{0};
+    std::atomic<u64> lo{~u64{0}};
+    std::atomic<u64> hi{0};
+};
+
+/** One scrape: every metric's value at (approximately) one instant. */
+struct MetricsSnapshot
+{
+    std::map<std::string, u64> counters;
+    std::map<std::string, u64> gauges;
+    std::map<std::string, HistSnapshot> histograms;
+};
+
+/**
+ * The registry: named metric handles plus the two exposition formats.
+ * Metric names follow the Prometheus convention — `xloops_` prefix,
+ * `_total` suffix on counters, unit suffixes on histograms — and may
+ * carry a label set in the name itself (`xloops_retries_total{kind=
+ * "watchdog"}`); the text exposition groups label variants under one
+ * `# TYPE` family line. docs/OBSERVABILITY.md §6 is the catalogue.
+ */
+class MetricsRegistry
+{
+  public:
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    HistogramMetric &histogram(const std::string &name);
+
+    MetricsSnapshot snapshot() const;
+
+    /**
+     * Deterministic Prometheus text exposition: families sorted by
+     * name, one `# TYPE` line per family, histograms as cumulative
+     * `_bucket{le=...}` series plus `_sum` and `_count`.
+     */
+    void writeProm(std::ostream &out) const;
+    std::string promText() const;
+
+    /** One-object "xloops-metrics-1" document (sorted keys). */
+    void writeJson(JsonWriter &w) const;
+    std::string jsonText(bool pretty = true) const;
+
+    /** Zero every registered metric (tests; never the daemon). */
+    void reset();
+
+  private:
+    mutable std::mutex m;
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<HistogramMetric>> histograms;
+};
+
+/** The process-global registry every component instruments into. */
+MetricsRegistry &metricsRegistry();
+
+} // namespace xloops
+
+#endif // XLOOPS_COMMON_METRICS_H

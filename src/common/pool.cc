@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/log.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/sim_error.h"
 
@@ -47,6 +48,24 @@ struct Shard
     std::deque<size_t> q;
 };
 
+/** Pool metric handles, resolved once (stable for process lifetime). */
+struct PoolMetrics
+{
+    Counter &tasks = metricsRegistry().counter("xloops_pool_tasks_total");
+    Counter &steals = metricsRegistry().counter("xloops_pool_steals_total");
+    Counter &batches =
+        metricsRegistry().counter("xloops_pool_batches_total");
+    HistogramMetric &idleUs =
+        metricsRegistry().histogram("xloops_pool_worker_idle_us");
+};
+
+PoolMetrics &
+poolMetrics()
+{
+    static PoolMetrics pm;
+    return pm;
+}
+
 bool
 popTask(std::vector<Shard> &shards, unsigned self, size_t &out)
 {
@@ -65,6 +84,7 @@ popTask(std::vector<Shard> &shards, unsigned self, size_t &out)
         if (!victim.q.empty()) {
             out = victim.q.back();
             victim.q.pop_back();
+            poolMetrics().steals.inc();
             return true;
         }
     }
@@ -116,6 +136,8 @@ WorkerPool::run(size_t n, const std::function<void(size_t)> &fn,
         return k == SimErrorKind::Cancelled || k == SimErrorKind::Deadline;
     };
 
+    poolMetrics().batches.inc();
+
     if (jobCount <= 1 || n == 1) {
         // Inline execution: index order, first failure propagates
         // immediately (which also cancels every later task — the
@@ -125,6 +147,7 @@ WorkerPool::run(size_t n, const std::function<void(size_t)> &fn,
             if (isStop(stop))
                 throwBatchStop(stop, i, n - i, n);
             fn(i);
+            poolMetrics().tasks.inc();
         }
         return;
     }
@@ -148,6 +171,11 @@ WorkerPool::run(size_t n, const std::function<void(size_t)> &fn,
     std::atomic<size_t> skippedCancel{0};
     std::atomic<size_t> skippedDeadline{0};
 
+    // Per-worker busy time: idle = batch wall clock minus busy, the
+    // load-balance signal (a well-balanced batch has near-zero idle).
+    const u64 batchStartUs = monotonicUs();
+    std::vector<u64> busyUs(workers, 0);
+
     std::vector<std::thread> threads;
     threads.reserve(workers);
     for (unsigned w = 0; w < workers; w++) {
@@ -166,7 +194,10 @@ WorkerPool::run(size_t n, const std::function<void(size_t)> &fn,
                 if (task > lowestFailure.load(std::memory_order_acquire))
                     continue;  // cancelled by an earlier failure
                 try {
+                    const u64 t0 = monotonicUs();
                     fn(task);
+                    busyUs[w] += monotonicUs() - t0;
+                    poolMetrics().tasks.inc();
                     ran++;
                 } catch (...) {
                     errors[task] = std::current_exception();
@@ -183,6 +214,11 @@ WorkerPool::run(size_t n, const std::function<void(size_t)> &fn,
     }
     for (std::thread &t : threads)
         t.join();
+
+    const u64 batchWallUs = monotonicUs() - batchStartUs;
+    for (unsigned w = 0; w < workers; w++)
+        poolMetrics().idleUs.observe(
+            batchWallUs > busyUs[w] ? batchWallUs - busyUs[w] : 0);
 
     // Deterministic propagation: the lowest-index failure wins, no
     // matter which worker hit it or when.

@@ -48,6 +48,12 @@ traceKindName(TraceKind kind)
       case TraceKind::StormFallback: return "storm-fallback";
       case TraceKind::Migration: return "migration";
       case TraceKind::FaultInject: return "fault-inject";
+      case TraceKind::JobAdmit: return "job-admit";
+      case TraceKind::JobQueueWait: return "job-queue-wait";
+      case TraceKind::JobCacheLookup: return "job-cache-lookup";
+      case TraceKind::JobAttempt: return "job-attempt";
+      case TraceKind::JobBackoff: return "job-backoff";
+      case TraceKind::JobReply: return "job-reply";
     }
     return "?";
 }
@@ -63,6 +69,7 @@ traceCompName(TraceComp comp)
       case TraceComp::Lsq: return "LSQ";
       case TraceComp::Mem: return "MEM";
       case TraceComp::Sys: return "SYS";
+      case TraceComp::Svc: return "SVC";
     }
     return "?";
 }
@@ -134,6 +141,7 @@ tidFor(const TraceEvent &ev)
       case TraceComp::Cib: return 2;
       case TraceComp::Mem: return 3;
       case TraceComp::Sys: return 4;
+      case TraceComp::Svc: return 5;
       case TraceComp::Lane:
       case TraceComp::Lsq: return laneTidBase + ev.index;
     }
@@ -146,7 +154,10 @@ bool
 isSlice(TraceKind kind)
 {
     return kind == TraceKind::IterEnd || kind == TraceKind::LaneStall ||
-           kind == TraceKind::ScanDone || kind == TraceKind::XloopSlice;
+           kind == TraceKind::ScanDone || kind == TraceKind::XloopSlice ||
+           kind == TraceKind::JobQueueWait ||
+           kind == TraceKind::JobCacheLookup ||
+           kind == TraceKind::JobAttempt || kind == TraceKind::JobBackoff;
 }
 
 std::string
@@ -160,6 +171,12 @@ sliceName(const TraceEvent &ev)
       case TraceKind::ScanDone: return "scan";
       case TraceKind::XloopSlice:
         return strf("xloop@0x", std::hex, ev.a0);
+      case TraceKind::JobQueueWait: return strf("queue j", ev.a0);
+      case TraceKind::JobCacheLookup: return strf("cache j", ev.a0);
+      case TraceKind::JobAttempt:
+        return strf("run j", ev.a0, "#", unsigned{ev.index});
+      case TraceKind::JobBackoff:
+        return strf("backoff j", ev.a0, "#", unsigned{ev.index});
       default: return traceKindName(ev.kind);
     }
 }
@@ -186,11 +203,16 @@ Tracer::writeChromeJson(std::ostream &out) const
     w.key("traceEvents").beginArray();
 
     // Thread-name metadata: one track per lane plus the fixed tracks.
+    // The SVC track appears only when service spans are present, so
+    // pure simulator traces are unchanged byte for byte.
     int maxLane = -1;
+    bool haveSvc = false;
     for (size_t i = 0; i < size(); i++) {
         const TraceEvent &ev = at(i);
         if (ev.comp == TraceComp::Lane || ev.comp == TraceComp::Lsq)
             maxLane = std::max(maxLane, static_cast<int>(ev.index));
+        if (ev.comp == TraceComp::Svc)
+            haveSvc = true;
     }
     auto meta = [&](int tid, const std::string &name) {
         w.beginObject();
@@ -206,6 +228,8 @@ Tracer::writeChromeJson(std::ostream &out) const
     meta(2, "CIB");
     meta(3, "MEM");
     meta(4, "SYS");
+    if (haveSvc)
+        meta(5, "SVC");
     for (int l = 0; l <= maxLane; l++)
         meta(laneTidBase + l, strf("lane ", l));
 

@@ -43,6 +43,7 @@ enum class TraceComp : u8
     Lsq,   ///< a lane's load-store queue (index = lane number)
     Mem,   ///< memory hierarchy (cache misses)
     Sys,   ///< system / adaptive controller
+    Svc,   ///< service plane (xloopsd job lifecycle spans)
 };
 
 /**
@@ -91,6 +92,19 @@ enum class TraceKind : u8
     StormFallback,  ///< Lmu: a0 = fallback iteration cap
     Migration,      ///< Lmu: a0 = dispatch cap (injected migration)
     FaultInject,    ///< Lmu: a0 = kind-specific detail
+
+    // Service-plane spans (TraceComp::Svc). The "cycle" field is
+    // monotonicUs() and a0 is always the job correlation id, so one
+    // job's whole lifetime lines up as adjacent slices in Perfetto.
+    // Slices are stamped at their end time with the length (us) in
+    // a1, exactly like the hardware slice kinds above; index holds
+    // the attempt number where noted.
+    JobAdmit,       ///< Svc: instant; a1 = 1 when shed at admission
+    JobQueueWait,   ///< Svc: a1 = us from admission to worker pickup
+    JobCacheLookup, ///< Svc: a1 = us spent probing the result cache
+    JobAttempt,     ///< Svc: a1 = us simulating; index = attempt
+    JobBackoff,     ///< Svc: a1 = us backing off; index = attempt
+    JobReply,       ///< Svc: instant; terminal outcome recorded
 };
 
 const char *traceKindName(TraceKind kind);

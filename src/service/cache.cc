@@ -65,6 +65,7 @@ ResultCache::insert(u64 key, const std::string &resultJson)
 {
     std::lock_guard<std::mutex> lock(m);
     if (entries.emplace(key, resultJson).second) {
+        byteCount += resultJson.size();
         insertionOrder.push_back(key);
         evictIfNeeded();
     }
@@ -74,7 +75,12 @@ void
 ResultCache::evictIfNeeded()
 {
     while (entries.size() > maxEntries && !insertionOrder.empty()) {
-        entries.erase(insertionOrder.front());
+        const auto it = entries.find(insertionOrder.front());
+        if (it != entries.end()) {
+            byteCount -= it->second.size();
+            entries.erase(it);
+            evictCount++;
+        }
         insertionOrder.pop_front();
     }
 }
@@ -91,6 +97,20 @@ ResultCache::misses() const
 {
     std::lock_guard<std::mutex> lock(m);
     return missCount;
+}
+
+u64
+ResultCache::evictions() const
+{
+    std::lock_guard<std::mutex> lock(m);
+    return evictCount;
+}
+
+u64
+ResultCache::bytes() const
+{
+    std::lock_guard<std::mutex> lock(m);
+    return byteCount;
 }
 
 size_t
@@ -139,6 +159,7 @@ ResultCache::loadIndex(const std::string &path)
     size_t loaded = 0;
     for (const auto &[key, text] : v.at("entries").members()) {
         if (entries.emplace(parseU64(key), text.asString()).second) {
+            byteCount += text.asString().size();
             insertionOrder.push_back(parseU64(key));
             loaded++;
         }

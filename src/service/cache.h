@@ -51,7 +51,11 @@ class ResultCache
 
     u64 hits() const;
     u64 misses() const;
+    u64 evictions() const;
     size_t size() const;
+
+    /** Total bytes of cached result text currently held. */
+    u64 bytes() const;
 
     /** Persist the index ("xloops-cache-1"); throws on I/O errors. */
     void saveIndex(const std::string &path) const;
@@ -70,6 +74,8 @@ class ResultCache
     std::deque<u64> insertionOrder;
     u64 hitCount = 0;
     u64 missCount = 0;
+    u64 evictCount = 0;
+    u64 byteCount = 0;
 };
 
 } // namespace xloops

@@ -95,6 +95,14 @@ struct JobOutcome
     u64 gppInsts = 0;
     std::string statsJson;      ///< canonical "xloops-stats-1" document
 
+    /** Span timings: where this job's wall-clock latency went (also
+     *  emitted as SVC trace slices — docs/OBSERVABILITY.md §6.2).
+     *  simUs sums every attempt, so (simUs, attempts, cached) answer
+     *  "why was this job slow" from the reply alone. */
+    u64 queueWaitUs = 0;        ///< admission -> worker pickup
+    u64 cacheLookupUs = 0;      ///< result-cache probe
+    u64 simUs = 0;              ///< total time simulating, all attempts
+
     bool
     terminal() const
     {

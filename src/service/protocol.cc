@@ -46,6 +46,7 @@ parseRequest(const std::string &line)
     } else if (req.op == "status" || req.op == "capsule") {
         req.jobId = v.at("id").asU64();
     } else if (req.op != "ping" && req.op != "stats" &&
+               req.op != "metrics" && req.op != "health" &&
                req.op != "drain") {
         fatal("unknown op '" + req.op + "'");
     }
@@ -86,6 +87,11 @@ encodeOutcome(const JobOutcome &outcome)
             w.field("capsule_path", outcome.capsulePath);
         w.field("cycles", outcome.cycles);
         w.field("gpp_insts", outcome.gppInsts);
+        // Span timings: with attempts and cached above, these answer
+        // "why was this job slow" from the reply alone.
+        w.field("queue_wait_us", outcome.queueWaitUs);
+        w.field("cache_lookup_us", outcome.cacheLookupUs);
+        w.field("sim_us", outcome.simUs);
         // The canonical "xloops-stats-1" document, embedded as an
         // escaped string so the response stays one line and a hit is
         // byte-for-byte what the cold run wrote.
@@ -140,6 +146,33 @@ encodeStats(const SupervisorStats &stats)
         w.field("cache_misses", stats.cacheMisses);
         w.field("queued", stats.queued);
         w.field("running", stats.running);
+        w.endObject();
+    });
+}
+
+std::string
+encodeMetrics(const std::string &metricsJson, const std::string &promText)
+{
+    return oneLine([&](JsonWriter &w) {
+        beginResult(w, "ok");
+        w.field("metrics", metricsJson);
+        w.field("prom", promText);
+        w.endObject();
+    });
+}
+
+std::string
+encodeHealth(const HealthInfo &health)
+{
+    return oneLine([&](JsonWriter &w) {
+        beginResult(w, "ok");
+        w.field("uptime_us", health.uptimeUs);
+        w.field("queued", health.queued);
+        w.field("running", health.running);
+        w.field("in_flight", health.inFlight);
+        w.field("cache_entries", health.cacheEntries);
+        w.field("degraded", health.degraded);
+        w.field("draining", health.draining);
         w.endObject();
     });
 }

@@ -13,11 +13,14 @@
  *   op "status"  — {"id":N}: non-blocking outcome snapshot
  *   op "capsule" — {"id":N}: download a failed job's capsule
  *   op "stats"   — server counters
+ *   op "metrics" — full telemetry scrape ("xloops-metrics-1" JSON +
+ *                  Prometheus text exposition)
+ *   op "health"  — one-shot health probe (uptime, queue, in-flight)
  *   op "drain"   — begin graceful shutdown
  *
  * Responses: {"schema":"xloops-result-1","status":<status>, ...}
- *   status is a JobStatus name, or "ok" (ping/stats/drain),
- *   "overloaded" (shed by admission control), or "invalid"
+ *   status is a JobStatus name, or "ok" (ping/stats/metrics/health/
+ *   drain), "overloaded" (shed by admission control), or "invalid"
  *   (malformed request / unknown id / rejected spec).
  */
 
@@ -62,6 +65,15 @@ std::string encodeOk();
 
 /** "ok" response carrying server counters. */
 std::string encodeStats(const SupervisorStats &stats);
+
+/** "ok" response carrying a telemetry scrape: the "xloops-metrics-1"
+ *  document (escaped string under "metrics") plus the Prometheus text
+ *  exposition (escaped string under "prom"). */
+std::string encodeMetrics(const std::string &metricsJson,
+                          const std::string &promText);
+
+/** "ok" response carrying a health probe. */
+std::string encodeHealth(const HealthInfo &health);
 
 /** "ok" response carrying a capsule document (escaped string). */
 std::string encodeCapsule(u64 jobId, const std::string &capsule);

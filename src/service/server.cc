@@ -1,8 +1,10 @@
 #include "service/server.h"
 
 #include <cerrno>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -13,6 +15,7 @@
 #include <unistd.h>
 
 #include "common/log.h"
+#include "common/metrics.h"
 #include "service/protocol.h"
 
 namespace xloops {
@@ -59,15 +62,39 @@ writeAll(int fd, const std::string &text)
     return true;
 }
 
+/** Wire metric handles, resolved once. */
+struct WireMetrics
+{
+    Counter &connections =
+        metricsRegistry().counter("xloops_wire_connections_total");
+    Counter &requests =
+        metricsRegistry().counter("xloops_wire_requests_total");
+    Counter &decodeErrors =
+        metricsRegistry().counter("xloops_wire_decode_errors_total");
+    Counter &bytesIn =
+        metricsRegistry().counter("xloops_wire_bytes_in_total");
+    Counter &bytesOut =
+        metricsRegistry().counter("xloops_wire_bytes_out_total");
+};
+
+WireMetrics &
+wireMetrics()
+{
+    static WireMetrics wm;
+    return wm;
+}
+
 /** One request line -> one response line. */
 std::string
 handleRequest(Supervisor &sup, const std::string &line,
               std::atomic<bool> &drainRequested)
 {
+    wireMetrics().requests.inc();
     Request req;
     try {
         req = parseRequest(line);
     } catch (const FatalError &err) {
+        wireMetrics().decodeErrors.inc();
         return encodeError(err.what());
     }
 
@@ -76,6 +103,16 @@ handleRequest(Supervisor &sup, const std::string &line,
             return encodeOk();
         if (req.op == "stats")
             return encodeStats(sup.stats());
+        if (req.op == "metrics") {
+            // Publish first so the scrape's job-accounting family is
+            // one consistent instant (the conservation invariant).
+            sup.publishMetrics();
+            return encodeMetrics(
+                metricsRegistry().jsonText(/*pretty=*/false),
+                metricsRegistry().promText());
+        }
+        if (req.op == "health")
+            return encodeHealth(sup.health());
         if (req.op == "drain") {
             // The accept loop owns the actual drain (it must also
             // stop accepting and persist the cache); just signal it.
@@ -152,6 +189,37 @@ runServer(const ServerConfig &cfg, const std::atomic<u32> &shutdownFlag)
     std::vector<int> connFds;
     std::mutex connMutex;
 
+    // Periodic metrics log: one compact "xloops-metrics-1" line per
+    // interval, so a misbehaving daemon leaves a trend to post-mortem
+    // even when nobody was scraping. The final line lands at drain.
+    std::mutex logMutex;
+    std::condition_variable logCv;
+    bool logStop = false;
+    std::ofstream metricsLog;
+    std::thread metricsLogger;
+    const auto appendSnapshot = [&] {
+        sup.publishMetrics();
+        metricsLog << metricsRegistry().jsonText(/*pretty=*/false)
+                   << "\n";
+        metricsLog.flush();
+    };
+    if (!cfg.metricsLogPath.empty()) {
+        metricsLog.open(cfg.metricsLogPath, std::ios::app);
+        if (!metricsLog)
+            fatal("cannot write metrics log " + cfg.metricsLogPath);
+        metricsLogger = std::thread([&] {
+            std::unique_lock<std::mutex> lock(logMutex);
+            while (!logStop) {
+                logCv.wait_for(
+                    lock,
+                    std::chrono::milliseconds(cfg.metricsIntervalMs));
+                if (logStop)
+                    return;
+                appendSnapshot();
+            }
+        });
+    }
+
     // Accept with a poll timeout so shutdown requests (signal or
     // protocol "drain") are noticed within ~200ms even when idle.
     while (shutdownFlag.load() == 0 && !drainRequested.load()) {
@@ -164,6 +232,7 @@ runServer(const ServerConfig &cfg, const std::atomic<u32> &shutdownFlag)
         const int connFd = ::accept(listenFd, nullptr, nullptr);
         if (connFd < 0)
             continue;
+        wireMetrics().connections.inc();
         std::lock_guard<std::mutex> lock(connMutex);
         connFds.push_back(connFd);
         connections.emplace_back([connFd, &sup, &drainRequested,
@@ -172,10 +241,12 @@ runServer(const ServerConfig &cfg, const std::atomic<u32> &shutdownFlag)
             while (readLine(connFd, line)) {
                 if (line.empty())
                     continue;
+                wireMetrics().bytesIn.inc(line.size() + 1);
                 const std::string response =
                     handleRequest(sup, line, drainRequested);
                 if (!writeAll(connFd, response + "\n"))
                     break;
+                wireMetrics().bytesOut.inc(response.size() + 1);
                 if (drainRequested.load() || shutdownFlag.load())
                     break;
             }
@@ -212,6 +283,44 @@ runServer(const ServerConfig &cfg, const std::atomic<u32> &shutdownFlag)
             std::fprintf(stderr, "xloopsd: %s\n", err.what());
         }
     }
+
+    // Telemetry artifacts: final metrics snapshot, the flight
+    // recorder (the service context leading up to shutdown), and the
+    // per-job span ring as a Perfetto-viewable trace.
+    if (metricsLogger.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(logMutex);
+            logStop = true;
+        }
+        logCv.notify_all();
+        metricsLogger.join();
+        appendSnapshot();
+        std::fprintf(stderr, "xloopsd: metrics log: %s\n",
+                     cfg.metricsLogPath.c_str());
+    }
+    if (!cfg.flightDumpPath.empty()) {
+        std::ofstream out(cfg.flightDumpPath);
+        if (out) {
+            out << sup.flight().dumpJson(/*pretty=*/true) << "\n";
+            std::fprintf(stderr, "xloopsd: flight dump: %s\n",
+                         cfg.flightDumpPath.c_str());
+        } else {
+            std::fprintf(stderr, "xloopsd: cannot write %s\n",
+                         cfg.flightDumpPath.c_str());
+        }
+    }
+    if (!cfg.tracePath.empty()) {
+        std::ofstream out(cfg.tracePath);
+        if (out) {
+            sup.spanTracer().writeChromeJson(out);
+            std::fprintf(stderr, "xloopsd: span trace: %s\n",
+                         cfg.tracePath.c_str());
+        } else {
+            std::fprintf(stderr, "xloopsd: cannot write %s\n",
+                         cfg.tracePath.c_str());
+        }
+    }
+
     ::unlink(cfg.socketPath.c_str());
     std::fprintf(stderr, "xloopsd: drained cleanly\n");
     return 0;

@@ -21,6 +21,17 @@ struct ServerConfig
     std::string socketPath = "xloopsd.sock";
     std::string cacheIndexPath;  ///< persisted cache ("" = none)
     SupervisorConfig supervisor;
+
+    /** Append one compact "xloops-metrics-1" line per interval (plus
+     *  a final one at drain) for post-mortem trend analysis. */
+    std::string metricsLogPath;        ///< "" = no metrics log
+    u64 metricsIntervalMs = 1000;
+
+    /** Write the flight-recorder dump here on drain/SIGTERM. */
+    std::string flightDumpPath;
+
+    /** Write the per-job span ring as Chrome trace JSON on drain. */
+    std::string tracePath;
 };
 
 /**

@@ -6,6 +6,7 @@
 #include "common/fault.h"
 #include "common/log.h"
 #include "common/loop_profile.h"
+#include "common/metrics.h"
 #include "common/pool.h"
 #include "common/sim_error.h"
 #include "kernels/kernel.h"
@@ -50,12 +51,48 @@ readFileText(const std::string &path)
     return ss.str();
 }
 
+/** Hot-path metric handles, resolved once (the registry reference is
+ *  stable for process lifetime; see docs/OBSERVABILITY.md §6.1 for
+ *  the name catalogue). */
+struct SvcMetrics
+{
+    Counter &deadlineKills =
+        metricsRegistry().counter("xloops_deadline_kills_total");
+    Counter &backoffs = metricsRegistry().counter("xloops_backoffs_total");
+    Counter &backoffMsSlept =
+        metricsRegistry().counter("xloops_backoff_ms_total");
+    HistogramMetric &queueWaitUs =
+        metricsRegistry().histogram("xloops_job_queue_wait_us");
+    HistogramMetric &cacheLookupUs =
+        metricsRegistry().histogram("xloops_job_cache_lookup_us");
+    HistogramMetric &simUs =
+        metricsRegistry().histogram("xloops_job_sim_us");
+};
+
+SvcMetrics &
+svcMetrics()
+{
+    static SvcMetrics sm;
+    return sm;
+}
+
+/** The per-error-kind retry counter (label-in-name; rare path, so the
+ *  registry lookup per retry is fine). */
+Counter &
+retryCounterFor(const char *kindName)
+{
+    return metricsRegistry().counter(
+        strf("xloops_retries_total{kind=\"", kindName, "\"}"));
+}
+
 } // namespace
 
 Supervisor::Supervisor(const SupervisorConfig &config)
     : cfg(config), resultCache(config.cacheEntries),
       queue(config.queueDepth), paused(config.startPaused)
 {
+    startUs = monotonicUs();
+    spans.enable();
     unsigned n = cfg.workers;
     if (n == 0) {
         n = std::thread::hardware_concurrency();
@@ -79,16 +116,19 @@ Supervisor::submit(const JobSpec &spec)
     Admission adm;
     if (drainFlag.load()) {
         adm.reason = "draining";
+        flightRec.record(FlightKind::JobInvalid, 0, "draining");
         return adm;
     }
     std::string why;
     if (!spec.validate(why)) {
         adm.reason = why;
+        flightRec.record(FlightKind::JobInvalid, 0, why);
         return adm;
     }
 
     auto rec = std::make_unique<JobRecord>();
     rec->spec = spec;
+    rec->admittedUs = monotonicUs();
     const u64 id = nextJobId.fetch_add(1);
     rec->outcome.jobId = id;
     adm.jobId = id;
@@ -98,6 +138,11 @@ Supervisor::submit(const JobSpec &spec)
         std::lock_guard<std::mutex> lock(m);
         jobs.emplace(id, std::move(rec));
     }
+    // Record admission before the push: once the id is in the queue a
+    // worker may start it, and the flight ring must show admitted
+    // before started. A shed job reads "admitted then shed".
+    flightRec.record(FlightKind::JobAdmitted, id,
+                     strf(spec.kernel, "/", spec.config, "/", spec.mode));
     if (!queue.tryPush(id)) {
         // Never queued: the workers are saturated and the backlog is
         // already as deep as we are willing to make a client wait.
@@ -108,6 +153,8 @@ Supervisor::submit(const JobSpec &spec)
         }
         terminalCv.notify_all();
         adm.reason = "overloaded";
+        flightRec.record(FlightKind::JobShed, id, "queue full");
+        emitSpan(TraceKind::JobAdmit, 0, id, /*shed=*/1);
         return adm;
     }
     {
@@ -115,6 +162,7 @@ Supervisor::submit(const JobSpec &spec)
         counters.submitted++;
     }
     adm.accepted = true;
+    emitSpan(TraceKind::JobAdmit, 0, id, 0);
     return adm;
 }
 
@@ -188,10 +236,28 @@ Supervisor::resume()
 }
 
 void
+Supervisor::emitSpan(TraceKind kind, unsigned attempt, u64 jobId, i64 a1)
+{
+#ifndef XLOOPS_TRACE_DISABLED
+    if (!metricsEnabled())
+        return;
+    std::lock_guard<std::mutex> lock(spanMu);
+    spans.emit(monotonicUs(), TraceComp::Svc, attempt, kind,
+               static_cast<i64>(jobId), a1);
+#else
+    (void)kind;
+    (void)attempt;
+    (void)jobId;
+    (void)a1;
+#endif
+}
+
+void
 Supervisor::drain()
 {
     const bool first = !drainFlag.exchange(true);
     if (first) {
+        flightRec.record(FlightKind::DrainBegin, 0);
         queue.close();
         // Cancel the backlog: anything still Queued will never be
         // popped (workers skip terminal records), and clients blocked
@@ -219,6 +285,7 @@ Supervisor::drain()
         t.join();
     if (watchdog.joinable())
         watchdog.join();
+    flightRec.record(FlightKind::DrainEnd, 0);
 }
 
 SupervisorStats
@@ -234,6 +301,71 @@ Supervisor::stats() const
         if (rec->outcome.status == JobStatus::Running)
             s.running++;
     return s;
+}
+
+HealthInfo
+Supervisor::health() const
+{
+    const SupervisorStats s = stats();
+    HealthInfo h;
+    h.uptimeUs = monotonicUs() - startUs;
+    h.queued = s.queued;
+    h.running = s.running;
+    // Every accepted job that has not yet turned terminal (includes
+    // the instants between accept->queue and pop->Running).
+    h.inFlight = s.submitted - s.done - s.failed - s.cancelled;
+    h.cacheEntries = resultCache.size();
+    h.draining = drainFlag.load();
+    // Degraded = alive but refusing (or about to refuse) work: the
+    // queue is at its admission bound, so the next submit sheds.
+    h.degraded = h.draining || s.queued >= cfg.queueDepth;
+    return h;
+}
+
+void
+Supervisor::publishMetrics() const
+{
+    MetricsRegistry &reg = metricsRegistry();
+    SupervisorStats s;
+    {
+        // One lock hold for the whole job family: the published
+        // counters describe a single consistent instant, which is
+        // what makes the conservation invariant exact at any scrape
+        // (tools/check_metrics.py enforces it).
+        std::lock_guard<std::mutex> lock(m);
+        s = counters;
+    }
+    // "Admitted" counts every validated submission that received an
+    // id — accepted into the queue or shed at the door.
+    const u64 admitted = s.submitted + s.shed;
+    const u64 inFlight = s.submitted - s.done - s.failed - s.cancelled;
+    reg.counter("xloops_jobs_admitted_total").publish(admitted);
+    reg.counter("xloops_jobs_completed_total").publish(s.done);
+    reg.counter("xloops_jobs_failed_total").publish(s.failed);
+    reg.counter("xloops_jobs_shed_total").publish(s.shed);
+    reg.counter("xloops_jobs_cancelled_total").publish(s.cancelled);
+    // The unlabeled series totals the per-kind variants (they are
+    // incremented at the same site), sharing one exposition family.
+    reg.counter("xloops_retries_total").publish(s.retries);
+    reg.gauge("xloops_jobs_in_flight").publish(inFlight);
+
+    reg.gauge("xloops_queue_depth").publish(queue.depth());
+    reg.gauge("xloops_queue_capacity").publish(cfg.queueDepth);
+    reg.counter("xloops_cache_hits_total").publish(resultCache.hits());
+    reg.counter("xloops_cache_misses_total")
+        .publish(resultCache.misses());
+    reg.counter("xloops_cache_evictions_total")
+        .publish(resultCache.evictions());
+    reg.gauge("xloops_cache_entries").publish(resultCache.size());
+    reg.gauge("xloops_cache_bytes").publish(resultCache.bytes());
+    reg.gauge("xloops_uptime_us").publish(monotonicUs() - startUs);
+    reg.gauge("xloops_workers").publish(workers.size());
+    reg.counter("xloops_flight_events_total")
+        .publish(flightRec.totalRecorded());
+    reg.counter("xloops_span_events_total").publish([this] {
+        std::lock_guard<std::mutex> lock(spanMu);
+        return spans.totalEmitted();
+    }());
 }
 
 void
@@ -254,7 +386,12 @@ Supervisor::workerLoop()
             if (rec.outcome.terminal())
                 continue;  // cancelled while queued
             rec.outcome.status = JobStatus::Running;
+            rec.outcome.queueWaitUs = monotonicUs() - rec.admittedUs;
         }
+        svcMetrics().queueWaitUs.observe(rec.outcome.queueWaitUs);
+        emitSpan(TraceKind::JobQueueWait, 0, id,
+                 static_cast<i64>(rec.outcome.queueWaitUs));
+        flightRec.record(FlightKind::JobStarted, id);
         runJob(rec);
     }
 }
@@ -274,6 +411,9 @@ Supervisor::watchdogLoop()
             if (rec->deadlineArmed && now >= rec->deadlineAt &&
                 rec->stop.load() == 0) {
                 rec->stop.store(static_cast<u32>(StopCause::Deadline));
+                svcMetrics().deadlineKills.inc();
+                flightRec.record(FlightKind::JobDeadline, id,
+                                 strf("attempt ", rec->outcome.attempts));
             }
         }
     }
@@ -282,10 +422,12 @@ Supervisor::watchdogLoop()
 void
 Supervisor::finish(JobRecord &rec, JobStatus status)
 {
+    std::string detail;
     {
         std::lock_guard<std::mutex> lock(m);
         rec.outcome.status = status;
         rec.deadlineArmed = false;
+        detail = rec.outcome.errorKind;
         switch (status) {
           case JobStatus::Done: counters.done++; break;
           case JobStatus::Failed: counters.failed++; break;
@@ -293,6 +435,14 @@ Supervisor::finish(JobRecord &rec, JobStatus status)
           default: break;
         }
     }
+    const FlightKind kind = status == JobStatus::Done
+                                ? FlightKind::JobFinished
+                                : status == JobStatus::Cancelled
+                                      ? FlightKind::JobCancelled
+                                      : FlightKind::JobFailed;
+    flightRec.record(kind, rec.outcome.jobId, detail);
+    emitSpan(TraceKind::JobReply, 0, rec.outcome.jobId,
+             static_cast<i64>(status));
     terminalCv.notify_all();
 }
 
@@ -308,12 +458,23 @@ Supervisor::runJob(JobRecord &rec)
     // A hit is served verbatim: the simulator is deterministic, so
     // this is byte-identical to what the run below would produce.
     std::string cached;
-    if (resultCache.lookup(cacheKey, cached)) {
+    const u64 lookupStartUs = monotonicUs();
+    const bool hit = resultCache.lookup(cacheKey, cached);
+    const u64 lookupUs = monotonicUs() - lookupStartUs;
+    svcMetrics().cacheLookupUs.observe(lookupUs);
+    emitSpan(TraceKind::JobCacheLookup, 0, rec.outcome.jobId,
+             static_cast<i64>(lookupUs));
+    {
+        std::lock_guard<std::mutex> lock(m);
+        rec.outcome.cacheLookupUs = lookupUs;
+    }
+    if (hit) {
         {
             std::lock_guard<std::mutex> lock(m);
             rec.outcome.cached = true;
             rec.outcome.statsJson = cached;
         }
+        flightRec.record(FlightKind::JobCacheHit, rec.outcome.jobId);
         finish(rec, JobStatus::Done);
         return;
     }
@@ -383,13 +544,21 @@ Supervisor::runJob(JobRecord &rec)
             rec.deadlineArmed = true;
         }
 
+        const u64 attemptStartUs = monotonicUs();
+        const auto closeAttempt = [&] {
+            const u64 us = monotonicUs() - attemptStartUs;
+            svcMetrics().simUs.observe(us);
+            emitSpan(TraceKind::JobAttempt, attempt, rec.outcome.jobId,
+                     static_cast<i64>(us));
+            std::lock_guard<std::mutex> lock(m);
+            rec.deadlineArmed = false;
+            rec.outcome.simUs += us;
+        };
+
         try {
             const KernelRun run =
                 runKernel(kernel, sysCfg, mode, spec.gpBinary, hooks);
-            {
-                std::lock_guard<std::mutex> lock(m);
-                rec.deadlineArmed = false;
-            }
+            closeAttempt();
             if (!run.passed) {
                 // A checker failure is a wrong *answer*, not a wedged
                 // schedule: deterministic, so never retried, and
@@ -413,23 +582,35 @@ Supervisor::runJob(JobRecord &rec)
                                    : JobStatus::Failed);
             return;
         } catch (const SimError &err) {
-            {
-                std::lock_guard<std::mutex> lock(m);
-                rec.deadlineArmed = false;
-            }
+            closeAttempt();
             const FailureClass cls = classifySimError(err.kind());
             const bool stopped = rec.stop.load() != 0;
             if (cls == FailureClass::Retryable && !stopped &&
                 attempt < maxRetries && !drainFlag.load()) {
                 const u64 waitMs =
                     backoffMs(cfg.retry, attempt, jitter);
-                std::unique_lock<std::mutex> lock(m);
-                counters.retries++;
-                const bool interrupted = gateCv.wait_for(
-                    lock, std::chrono::milliseconds(waitMs), [&] {
-                        return drainFlag.load() ||
-                               rec.stop.load() != 0;
-                    });
+                retryCounterFor(simErrorKindName(err.kind())).inc();
+                svcMetrics().backoffs.inc();
+                svcMetrics().backoffMsSlept.inc(waitMs);
+                flightRec.record(
+                    FlightKind::JobRetried, rec.outcome.jobId,
+                    strf(simErrorKindName(err.kind()), " attempt ",
+                         attempt, " backoff ", waitMs, "ms"));
+                const u64 backoffStartUs = monotonicUs();
+                bool interrupted;
+                {
+                    std::unique_lock<std::mutex> lock(m);
+                    counters.retries++;
+                    interrupted = gateCv.wait_for(
+                        lock, std::chrono::milliseconds(waitMs), [&] {
+                            return drainFlag.load() ||
+                                   rec.stop.load() != 0;
+                        });
+                }
+                emitSpan(TraceKind::JobBackoff, attempt,
+                         rec.outcome.jobId,
+                         static_cast<i64>(monotonicUs() -
+                                          backoffStartUs));
                 if (!interrupted)
                     continue;  // backoff elapsed: next attempt
                 // Drain or cancel won the backoff wait: finalize with
@@ -444,7 +625,8 @@ Supervisor::runJob(JobRecord &rec)
                     strf(cfg.artifactDir, "/job-", rec.outcome.jobId,
                          ".capsule.json");
                 try {
-                    writeCapsule(capsulePath, capSpec, capCtx, err);
+                    writeCapsule(capsulePath, capSpec, capCtx, err,
+                                 flightRec.dumpJson(/*pretty=*/false));
                 } catch (const FatalError &werr) {
                     warn(strf("job ", rec.outcome.jobId,
                               ": capsule write failed: ",
@@ -469,9 +651,9 @@ Supervisor::runJob(JobRecord &rec)
         } catch (const std::exception &err) {
             // FatalError / PanicError: a bug or bad input slipped
             // past validate(). Isolate it to this job.
+            closeAttempt();
             {
                 std::lock_guard<std::mutex> lock(m);
-                rec.deadlineArmed = false;
                 rec.outcome.error = err.what();
                 rec.outcome.errorKind = "fatal";
             }

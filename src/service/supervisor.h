@@ -37,6 +37,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/flight.h"
+#include "common/trace.h"
 #include "service/cache.h"
 #include "service/job.h"
 #include "service/queue.h"
@@ -80,6 +82,21 @@ struct Admission
     bool accepted = false;
     u64 jobId = 0;          ///< allocated even for shed jobs
     std::string reason;     ///< why not, when !accepted
+};
+
+/** One-shot health probe ("health" protocol verb, `xloopsc health`). */
+struct HealthInfo
+{
+    u64 uptimeUs = 0;
+    u64 queued = 0;       ///< current queue depth
+    u64 inFlight = 0;     ///< admitted but not yet terminal
+    u64 running = 0;      ///< jobs on workers right now
+    u64 cacheEntries = 0;
+
+    /** Shedding (queue at capacity) or draining: alive but refusing
+     *  or about to refuse work — `xloopsc health` exits 5. */
+    bool degraded = false;
+    bool draining = false;
 };
 
 class Supervisor
@@ -130,7 +147,27 @@ class Supervisor
 
     SupervisorStats stats() const;
 
+    /** Snapshot for the "health" verb (degraded = shedding/draining). */
+    HealthInfo health() const;
+
+    /**
+     * Publish the supervisor's mutex-guarded job accounting (plus the
+     * cache and queue views) into the global metrics registry as one
+     * consistent family, so `jobs_admitted == completed + failed +
+     * shed + cancelled + in_flight` holds *exactly* at every scrape.
+     * Call immediately before reading the registry (the metrics verb,
+     * the metrics-log tick, and loadgen's final snapshot all do).
+     */
+    void publishMetrics() const;
+
     ResultCache &cache() { return resultCache; }
+
+    /** The service flight recorder (dumped into capsules/on drain). */
+    FlightRecorder &flight() { return flightRec; }
+
+    /** The per-job span ring: Svc-track slices in monotonicUs() time,
+     *  renderable next to simulator traces via writeChromeJson(). */
+    Tracer &spanTracer() { return spans; }
 
   private:
     struct JobRecord
@@ -139,6 +176,7 @@ class Supervisor
         JobOutcome outcome;
         std::atomic<u32> stop{0};  ///< a StopCause, polled by the run
         std::string capsule;       ///< capsule document (in-memory)
+        u64 admittedUs = 0;        ///< monotonicUs() at admission
 
         /** Wall-clock deadline of the current attempt (watchdog
          *  scans these; guarded by the supervisor mutex). */
@@ -149,6 +187,11 @@ class Supervisor
     void workerLoop();
     void watchdogLoop();
     void runJob(JobRecord &rec);
+
+    /** Emit one Svc-track span event (the Tracer ring is not itself
+     *  thread-safe; job lifecycle events are rare enough that a mutex
+     *  costs nothing). Gated on metricsEnabled(). */
+    void emitSpan(TraceKind kind, unsigned attempt, u64 jobId, i64 a1);
 
     /** Finalize @p rec with a terminal status; wakes waiters and
      *  bumps the matching counter. */
@@ -170,6 +213,11 @@ class Supervisor
     bool joined = false;
 
     SupervisorStats counters;  ///< guarded by m (gauges computed live)
+
+    FlightRecorder flightRec;
+    mutable std::mutex spanMu;
+    Tracer spans{size_t{1} << 16};
+    u64 startUs = 0;           ///< monotonicUs() at construction
 
     std::vector<std::thread> workers;
     std::thread watchdog;

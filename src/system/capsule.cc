@@ -83,7 +83,8 @@ struct ReplayOutcome
 
 void
 writeCapsule(const std::string &path, const CapsuleRunSpec &spec,
-             const CapsuleContext &ctx, const SimError &error)
+             const CapsuleContext &ctx, const SimError &error,
+             const std::string &flightJson)
 {
     if (!ctx.valid)
         fatal("cannot write a capsule: run context was not captured");
@@ -135,6 +136,12 @@ writeCapsule(const std::string &path, const CapsuleRunSpec &spec,
     if (!ctx.lastCheckpoint.empty()) {
         w.key("checkpoint");
         writeJsonValue(w, jsonParse(ctx.lastCheckpoint));
+    }
+
+    // Service context: what the fleet was doing when this job died.
+    if (!flightJson.empty()) {
+        w.key("flight");
+        writeJsonValue(w, jsonParse(flightJson));
     }
 
     w.endObject();

@@ -54,9 +54,14 @@ struct CapsuleRunSpec
     u64 watchdogCycles = 0;
 };
 
-/** Write @p error and its run context as a capsule at @p path. */
+/** Write @p error and its run context as a capsule at @p path.
+ *  @p flightJson, when non-empty, is an "xloops-flight-1" document
+ *  (the service flight recorder's dump) embedded under "flight" so a
+ *  daemon-produced capsule carries the fleet context that led up to
+ *  the failure. */
 void writeCapsule(const std::string &path, const CapsuleRunSpec &spec,
-                  const CapsuleContext &ctx, const SimError &error);
+                  const CapsuleContext &ctx, const SimError &error,
+                  const std::string &flightJson = "");
 
 /**
  * Replay the capsule at @p path: re-execute, verify the recorded

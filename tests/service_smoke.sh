@@ -6,17 +6,25 @@
 #   1. daemon comes up and answers --ping
 #   2. cold submit runs a job; warm resubmit is served from the result
 #      cache and the two --stats-out files are byte-identical
-#   3. a guaranteed-divergence job fails, its capsule downloads via
-#      --capsule-out, and check_capsule.py validates it (when python3
-#      is available)
-#   4. SIGTERM drains gracefully: exit 0, cache index persisted
+#   3. the telemetry surface: `xloopsc health` is healthy (exit 0),
+#      `xloopsc metrics` returns a valid xloops-metrics-1 snapshot
+#      whose conservation invariant check_metrics.py confirms (when
+#      python3 is available), and the Prometheus exposition carries
+#      the job-accounting family
+#   4. a guaranteed-divergence job fails, its capsule downloads via
+#      --capsule-out, embeds the flight-recorder dump, and
+#      check_capsule.py validates it (when python3 is available)
+#   5. SIGTERM drains gracefully: exit 0, cache index persisted,
+#      metrics log and flight dump written
 #
-# usage: service_smoke.sh <xloopsd> <xloopsc> <check_capsule.py|->
+# usage: service_smoke.sh <xloopsd> <xloopsc> <check_capsule.py|-> \
+#            [check_metrics.py|-]
 set -u
 
 XLOOPSD=$1
 XLOOPSC=$2
 CHECK_CAPSULE=$3
+CHECK_METRICS=${4:--}
 
 WORK=$(mktemp -d) || exit 1
 SOCK="$WORK/xloopsd.sock"
@@ -31,7 +39,9 @@ fail()
 }
 
 "$XLOOPSD" --socket "$SOCK" --workers 2 --artifact-dir "$WORK" \
-    --cache-index "$WORK/cache.json" &
+    --cache-index "$WORK/cache.json" \
+    --metrics-log "$WORK/metrics.ndjson" --metrics-interval-ms 200 \
+    --flight-dump "$WORK/flight.json" &
 DAEMON_PID=$!
 
 # Wait for the daemon to come up (ping retries, ~5s budget).
@@ -59,6 +69,29 @@ cmp -s "$WORK/cold.json" "$WORK/warm.json" \
     || fail "cached stats are not byte-identical"
 echo "service_smoke: warm hit byte-identical"
 
+# The health surface: an idle daemon is healthy (exit 0).
+health_out=$("$XLOOPSC" --socket "$SOCK" health) \
+    || fail "health probe exited $?"
+case "$health_out" in
+healthy*) ;;
+*) fail "health reported: $health_out" ;;
+esac
+
+# The metrics surface: a JSON snapshot that validates (including the
+# jobs_admitted == completed + failed + shed + cancelled + in_flight
+# conservation invariant), plus the Prometheus text exposition.
+"$XLOOPSC" --socket "$SOCK" metrics --metrics-out "$WORK/metrics.json" \
+    >/dev/null || fail "metrics scrape exited $?"
+[ -s "$WORK/metrics.json" ] || fail "empty metrics snapshot"
+if [ "$CHECK_METRICS" != "-" ]; then
+    python3 "$CHECK_METRICS" --require-jobs "$WORK/metrics.json" \
+        || fail "metrics snapshot failed validation"
+fi
+"$XLOOPSC" --socket "$SOCK" metrics --prom \
+    | grep -q "xloops_jobs_admitted_total" \
+    || fail "prom exposition lacks the job-accounting family"
+echo "service_smoke: metrics and health surfaces ok"
+
 # A guaranteed divergence: lockstep with certain architectural
 # corruption. Must fail (exit 2) and hand back a valid capsule.
 "$XLOOPSC" --socket "$SOCK" -k kmeans-or -c io+x -m S --lockstep \
@@ -67,11 +100,13 @@ echo "service_smoke: warm hit byte-identical"
 code=$?
 [ "$code" -eq 2 ] || fail "divergence job exited $code, want 2"
 [ -s "$WORK/capsule.json" ] || fail "no capsule downloaded"
+grep -q '"flight"' "$WORK/capsule.json" \
+    || fail "capsule does not embed the flight-recorder dump"
 if [ "$CHECK_CAPSULE" != "-" ]; then
     python3 "$CHECK_CAPSULE" "$WORK/capsule.json" \
         || fail "capsule failed validation"
 fi
-echo "service_smoke: divergence capsuled"
+echo "service_smoke: divergence capsuled (with flight dump)"
 
 # Graceful drain: SIGTERM must finish cleanly (exit 0) and persist
 # the cache index.
@@ -81,7 +116,15 @@ code=$?
 DAEMON_PID=""
 [ "$code" -eq 0 ] || fail "daemon exited $code on SIGTERM, want 0"
 [ -s "$WORK/cache.json" ] || fail "cache index not persisted"
-echo "service_smoke: drained cleanly, cache persisted"
+[ -s "$WORK/flight.json" ] || fail "flight dump not written on drain"
+grep -q '"xloops-flight-1"' "$WORK/flight.json" \
+    || fail "flight dump has the wrong schema"
+[ -s "$WORK/metrics.ndjson" ] || fail "metrics log not written"
+if [ "$CHECK_METRICS" != "-" ]; then
+    python3 "$CHECK_METRICS" "$WORK/metrics.ndjson" \
+        || fail "metrics log failed validation"
+fi
+echo "service_smoke: drained cleanly, cache + telemetry persisted"
 
 rm -rf "$WORK"
 echo "service_smoke: PASS"

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Unit tests for the service telemetry plane: the metrics registry
+ * (common/metrics) and the flight recorder (common/flight).
+ *
+ * The hot-path contract under test: counters shard per thread and
+ * merge losslessly at scrape, histogram buckets are byte-compatible
+ * with the loop_profile Histogram shape, the Prometheus text
+ * exposition is deterministic down to the byte, and the runtime kill
+ * switch really does turn every mutation into a no-op.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/flight.h"
+#include "common/json.h"
+#include "common/metrics.h"
+#include "common/stats.h"
+
+using namespace xloops;
+
+namespace {
+
+/** Restore the global kill switch no matter how the test exits. */
+struct MetricsSwitchGuard
+{
+    ~MetricsSwitchGuard() { metricsEnable(true); }
+};
+
+TEST(Metrics, CounterConcurrentIncrements)
+{
+    Counter c;
+    constexpr unsigned threads = 8;
+    constexpr unsigned perThread = 10000;
+    std::vector<std::thread> fleet;
+    for (unsigned t = 0; t < threads; t++) {
+        fleet.emplace_back([&c] {
+            for (unsigned i = 0; i < perThread; i++)
+                c.inc();
+        });
+    }
+    for (std::thread &t : fleet)
+        t.join();
+    EXPECT_EQ(c.value(), u64{threads} * perThread);
+}
+
+TEST(Metrics, CounterShardMergeAndPublish)
+{
+    Counter c;
+    c.inc(5);
+    // Increments from other threads land in other shards; value()
+    // must merge them all.
+    std::thread t1([&c] { c.inc(7); });
+    std::thread t2([&c] { c.inc(30); });
+    t1.join();
+    t2.join();
+    EXPECT_EQ(c.value(), 42u);
+
+    // publish() folds an externally consistent total over every
+    // shard, so value() returns exactly that total afterwards.
+    c.publish(1000);
+    EXPECT_EQ(c.value(), 1000u);
+    c.inc(1);
+    EXPECT_EQ(c.value(), 1001u);
+}
+
+TEST(Metrics, GaugeOps)
+{
+    Gauge g;
+    g.set(10);
+    g.add(5);
+    g.sub(3);
+    EXPECT_EQ(g.value(), 12u);
+}
+
+TEST(Metrics, KillSwitchGatesMutationsButNotPublish)
+{
+    MetricsSwitchGuard guard;
+    Counter c;
+    Gauge g;
+    HistogramMetric h;
+    FlightRecorder flight(8);
+
+    metricsEnable(false);
+    c.inc(100);
+    g.set(100);
+    h.observe(100);
+    flight.record(FlightKind::JobAdmitted, 1);
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(g.value(), 0u);
+    EXPECT_EQ(h.snapshot().count, 0u);
+    EXPECT_EQ(flight.totalRecorded(), 0u);
+
+    // The ungated publish path keeps scrape-time consistency working
+    // even in overhead-measurement runs with the switch off.
+    c.publish(3);
+    g.publish(4);
+    EXPECT_EQ(c.value(), 3u);
+    EXPECT_EQ(g.value(), 4u);
+
+    metricsEnable(true);
+    c.inc();
+    h.observe(7);
+    EXPECT_EQ(c.value(), 4u);
+    EXPECT_EQ(h.snapshot().count, 1u);
+}
+
+TEST(Metrics, HistogramBucketBoundaries)
+{
+    // Bucket 0 holds only the value 0; bucket k holds [2^(k-1), 2^k).
+    // These edges must agree with Histogram::bucketIndex so the
+    // service metrics and the per-run loop profile report the same
+    // shape for the same samples.
+    HistogramMetric h;
+    h.observe(0);                      // bucket 0
+    h.observe(1);                      // bucket 1
+    h.observe(2);                      // bucket 2 low edge
+    h.observe(3);                      // bucket 2 high edge
+    h.observe(4);                      // bucket 3 low edge
+    h.observe(7);                      // bucket 3 high edge
+    h.observe(8);                      // bucket 4
+
+    const HistSnapshot s = h.snapshot();
+    const std::vector<u64> want = {1, 1, 2, 2, 1};
+    EXPECT_EQ(s.buckets, want);
+    EXPECT_EQ(s.count, 7u);
+    EXPECT_EQ(s.sum, 25u);
+    EXPECT_EQ(s.min, 0u);
+    EXPECT_EQ(s.max, 8u);
+}
+
+TEST(Metrics, HistogramAgreesWithStatsBucketIndex)
+{
+    const u64 samples[] = {0,  1,    2,        3,    4,          7, 8,
+                           15, 1023, 1024,     4096, (u64{1} << 40),
+                           (u64{1} << 40) + 1, ~u64{0}};
+    for (const u64 v : samples) {
+        HistogramMetric h;
+        h.observe(v);
+        const HistSnapshot s = h.snapshot();
+        ASSERT_FALSE(s.buckets.empty()) << "value " << v;
+        // The single observation must land exactly where the per-run
+        // Histogram would put it.
+        EXPECT_EQ(s.buckets.size(), Histogram::bucketIndex(v) + 1)
+            << "value " << v;
+        EXPECT_EQ(s.buckets.back(), 1u) << "value " << v;
+    }
+}
+
+TEST(Metrics, HistogramEmptySnapshot)
+{
+    HistogramMetric h;
+    const HistSnapshot s = h.snapshot();
+    EXPECT_TRUE(s.buckets.empty());
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.sum, 0u);
+    EXPECT_EQ(s.min, 0u);
+    EXPECT_EQ(s.max, 0u);
+}
+
+TEST(Metrics, GoldenPromExposition)
+{
+    // Byte-identical golden: sorted families, one # TYPE line per
+    // family shared by labelled variants, cumulative histogram
+    // buckets at the log2 edges. Any byte of drift here breaks
+    // downstream scrapers, so the comparison is exact.
+    MetricsRegistry reg;
+    reg.counter("xloops_test_jobs_total").inc(3);
+    reg.counter("xloops_test_retries_total").inc(7);
+    reg.counter("xloops_test_retries_total{kind=\"watchdog\"}").inc(5);
+    reg.counter("xloops_test_retries_total{kind=\"deadline\"}").inc(2);
+    reg.gauge("xloops_test_depth").set(4);
+    HistogramMetric &h = reg.histogram("xloops_test_wait_us");
+    h.observe(0);
+    h.observe(1);
+    h.observe(3);
+    h.observe(8);
+
+    const std::string want =
+        "# TYPE xloops_test_jobs_total counter\n"
+        "xloops_test_jobs_total 3\n"
+        "# TYPE xloops_test_retries_total counter\n"
+        "xloops_test_retries_total 7\n"
+        "xloops_test_retries_total{kind=\"deadline\"} 2\n"
+        "xloops_test_retries_total{kind=\"watchdog\"} 5\n"
+        "# TYPE xloops_test_depth gauge\n"
+        "xloops_test_depth 4\n"
+        "# TYPE xloops_test_wait_us histogram\n"
+        "xloops_test_wait_us_bucket{le=\"0\"} 1\n"
+        "xloops_test_wait_us_bucket{le=\"1\"} 2\n"
+        "xloops_test_wait_us_bucket{le=\"3\"} 3\n"
+        "xloops_test_wait_us_bucket{le=\"7\"} 3\n"
+        "xloops_test_wait_us_bucket{le=\"15\"} 4\n"
+        "xloops_test_wait_us_bucket{le=\"+Inf\"} 4\n"
+        "xloops_test_wait_us_sum 12\n"
+        "xloops_test_wait_us_count 4\n";
+    EXPECT_EQ(reg.promText(), want);
+
+    // Scrapes are idempotent: a second exposition is the same bytes.
+    EXPECT_EQ(reg.promText(), want);
+}
+
+TEST(Metrics, JsonSnapshotRoundTrips)
+{
+    MetricsRegistry reg;
+    reg.counter("xloops_test_a_total").inc(9);
+    reg.gauge("xloops_test_b").set(2);
+    reg.histogram("xloops_test_c_us").observe(5);
+
+    const JsonValue v = jsonParse(reg.jsonText(/*pretty=*/true));
+    EXPECT_EQ(v.at("schema").asString(), "xloops-metrics-1");
+    EXPECT_TRUE(v.has("at_us"));
+    EXPECT_EQ(v.at("counters").at("xloops_test_a_total").asU64(), 9u);
+    EXPECT_EQ(v.at("gauges").at("xloops_test_b").asU64(), 2u);
+    const JsonValue &h = v.at("histograms").at("xloops_test_c_us");
+    EXPECT_EQ(h.at("count").asU64(), 1u);
+    EXPECT_EQ(h.at("sum").asU64(), 5u);
+    EXPECT_EQ(h.at("min").asU64(), 5u);
+    EXPECT_EQ(h.at("max").asU64(), 5u);
+    EXPECT_EQ(h.at("buckets").array().size(),
+              Histogram::bucketIndex(5) + 1);
+
+    // Compact mode emits the same document as a single line (the
+    // daemon's --metrics-log appends one per interval).
+    const std::string compact = reg.jsonText(/*pretty=*/false);
+    EXPECT_EQ(compact.find('\n'), std::string::npos);
+    EXPECT_TRUE(jsonValidate(compact));
+}
+
+TEST(Metrics, RegistryHandleStabilityAndReset)
+{
+    MetricsRegistry reg;
+    Counter &c1 = reg.counter("xloops_test_stable_total");
+    Counter &c2 = reg.counter("xloops_test_stable_total");
+    EXPECT_EQ(&c1, &c2);  // one handle per name, stable for reuse
+
+    c1.inc(5);
+    reg.histogram("xloops_test_h_us").observe(3);
+    reg.gauge("xloops_test_g").set(1);
+    reg.reset();
+    EXPECT_EQ(c1.value(), 0u);
+    EXPECT_EQ(reg.gauge("xloops_test_g").value(), 0u);
+    const HistSnapshot s = reg.histogram("xloops_test_h_us").snapshot();
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_TRUE(s.buckets.empty());
+
+    // A reset histogram observes fresh (min/max re-seed correctly).
+    reg.histogram("xloops_test_h_us").observe(9);
+    const HistSnapshot s2 =
+        reg.histogram("xloops_test_h_us").snapshot();
+    EXPECT_EQ(s2.min, 9u);
+    EXPECT_EQ(s2.max, 9u);
+}
+
+TEST(Flight, RingKeepsNewestAndCountsDrops)
+{
+    FlightRecorder rec(4);
+    for (u64 id = 1; id <= 6; id++)
+        rec.record(FlightKind::JobAdmitted, id);
+
+    EXPECT_EQ(rec.capacity(), 4u);
+    EXPECT_EQ(rec.totalRecorded(), 6u);
+    EXPECT_EQ(rec.dropped(), 2u);
+
+    const std::vector<FlightEvent> events = rec.events();
+    ASSERT_EQ(events.size(), 4u);
+    // Oldest first, and the two oldest records (jobs 1 and 2) are the
+    // ones the ring overwrote.
+    EXPECT_EQ(events.front().jobId, 3u);
+    EXPECT_EQ(events.back().jobId, 6u);
+    for (size_t i = 1; i < events.size(); i++) {
+        EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+        EXPECT_GE(events[i].atUs, events[i - 1].atUs);
+    }
+}
+
+TEST(Flight, DumpMatchesSchema)
+{
+    FlightRecorder rec(8);
+    rec.record(FlightKind::JobAdmitted, 1, "rgb2cmyk-uc/io+x/S");
+    rec.record(FlightKind::JobStarted, 1);
+    rec.record(FlightKind::JobRetried, 1, "watchdog attempt 1");
+    rec.record(FlightKind::JobFinished, 1);
+    rec.record(FlightKind::DrainBegin, 0);
+
+    const JsonValue v = jsonParse(rec.dumpJson(/*pretty=*/true));
+    EXPECT_EQ(v.at("schema").asString(), "xloops-flight-1");
+    EXPECT_EQ(v.at("capacity").asU64(), 8u);
+    EXPECT_EQ(v.at("recorded").asU64(), 5u);
+    EXPECT_EQ(v.at("dropped").asU64(), 0u);
+    const auto &events = v.at("events").array();
+    ASSERT_EQ(events.size(), 5u);
+    EXPECT_EQ(events[0].at("kind").asString(), "job-admitted");
+    EXPECT_EQ(events[0].at("job").asU64(), 1u);
+    EXPECT_EQ(events[0].at("detail").asString(), "rgb2cmyk-uc/io+x/S");
+    EXPECT_EQ(events[1].at("kind").asString(), "job-started");
+    EXPECT_FALSE(events[1].has("detail"));  // empty detail is elided
+    EXPECT_EQ(events[2].at("kind").asString(), "job-retried");
+    EXPECT_EQ(events[3].at("kind").asString(), "job-finished");
+    EXPECT_EQ(events[4].at("kind").asString(), "drain-begin");
+    EXPECT_EQ(events[4].at("job").asU64(), 0u);
+}
+
+TEST(Flight, KindNamesAreKebabCase)
+{
+    EXPECT_STREQ(flightKindName(FlightKind::JobAdmitted),
+                 "job-admitted");
+    EXPECT_STREQ(flightKindName(FlightKind::JobShed), "job-shed");
+    EXPECT_STREQ(flightKindName(FlightKind::JobInvalid),
+                 "job-invalid");
+    EXPECT_STREQ(flightKindName(FlightKind::JobCacheHit),
+                 "job-cache-hit");
+    EXPECT_STREQ(flightKindName(FlightKind::JobDeadline),
+                 "job-deadline");
+    EXPECT_STREQ(flightKindName(FlightKind::JobFailed), "job-failed");
+    EXPECT_STREQ(flightKindName(FlightKind::JobCancelled),
+                 "job-cancelled");
+    EXPECT_STREQ(flightKindName(FlightKind::DrainEnd), "drain-end");
+}
+
+TEST(Flight, ConcurrentRecordsAllLand)
+{
+    FlightRecorder rec(1u << 12);
+    constexpr unsigned threads = 4;
+    constexpr unsigned perThread = 500;
+    std::vector<std::thread> fleet;
+    for (unsigned t = 0; t < threads; t++) {
+        fleet.emplace_back([&rec, t] {
+            for (unsigned i = 0; i < perThread; i++)
+                rec.record(FlightKind::JobFinished,
+                           u64{t} * perThread + i);
+        });
+    }
+    for (std::thread &t : fleet)
+        t.join();
+    EXPECT_EQ(rec.totalRecorded(), u64{threads} * perThread);
+    EXPECT_EQ(rec.dropped(), 0u);
+    // seq values are unique and dense.
+    std::vector<bool> seen(threads * perThread, false);
+    for (const FlightEvent &e : rec.events()) {
+        ASSERT_LT(e.seq, seen.size());
+        EXPECT_FALSE(seen[e.seq]);
+        seen[e.seq] = true;
+    }
+}
+
+} // namespace

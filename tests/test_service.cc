@@ -13,8 +13,10 @@
 #include <sstream>
 #include <string>
 
+#include "common/flight.h"
 #include "common/json.h"
 #include "common/log.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/sim_error.h"
 #include "kernels/kernel.h"
@@ -361,6 +363,76 @@ TEST(Protocol, OutcomeEncodingIsSingleLineAndComplete)
         << "the stats document survives byte-for-byte";
 }
 
+TEST(Protocol, OutcomeCarriesSpanTimings)
+{
+    JobOutcome o;
+    o.jobId = 4;
+    o.status = JobStatus::Done;
+    o.attempts = 2;
+    o.cached = false;
+    o.queueWaitUs = 120;
+    o.cacheLookupUs = 3;
+    o.simUs = 4500;
+
+    const JsonValue v = jsonParse(encodeOutcome(o));
+    EXPECT_EQ(v.at("queue_wait_us").asU64(), 120u);
+    EXPECT_EQ(v.at("cache_lookup_us").asU64(), 3u);
+    EXPECT_EQ(v.at("sim_us").asU64(), 4500u);
+    EXPECT_EQ(v.at("attempts").asU64(), 2u);
+    EXPECT_FALSE(v.at("cached").asBool());
+}
+
+TEST(Protocol, MetricsAndHealthRequestsParse)
+{
+    EXPECT_EQ(parseRequest("{\"schema\":\"xloops-job-1\","
+                           "\"op\":\"metrics\"}")
+                  .op,
+              "metrics");
+    EXPECT_EQ(parseRequest("{\"schema\":\"xloops-job-1\","
+                           "\"op\":\"health\"}")
+                  .op,
+              "health");
+}
+
+TEST(Protocol, MetricsResponseRoundTripsBothExpositions)
+{
+    // The metrics payloads embed JSON-in-JSON and multi-line
+    // Prometheus text; both must survive the single-line framing.
+    const std::string metricsJson =
+        "{\"schema\":\"xloops-metrics-1\",\"counters\":{}}";
+    const std::string prom =
+        "# TYPE xloops_x_total counter\nxloops_x_total 1\n";
+    const std::string line = encodeMetrics(metricsJson, prom);
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+
+    const JsonValue v = jsonParse(line);
+    EXPECT_EQ(v.at("status").asString(), "ok");
+    EXPECT_EQ(v.at("metrics").asString(), metricsJson);
+    EXPECT_EQ(v.at("prom").asString(), prom);
+}
+
+TEST(Protocol, HealthResponseCarriesEveryField)
+{
+    HealthInfo h;
+    h.uptimeUs = 123456;
+    h.queued = 2;
+    h.inFlight = 5;
+    h.running = 3;
+    h.cacheEntries = 17;
+    h.degraded = true;
+    h.draining = false;
+
+    const JsonValue v = jsonParse(encodeHealth(h));
+    EXPECT_EQ(v.at("status").asString(), "ok");
+    EXPECT_EQ(v.at("uptime_us").asU64(), 123456u);
+    EXPECT_EQ(v.at("queued").asU64(), 2u);
+    EXPECT_EQ(v.at("in_flight").asU64(), 5u);
+    EXPECT_EQ(v.at("running").asU64(), 3u);
+    EXPECT_EQ(v.at("cache_entries").asU64(), 17u);
+    EXPECT_TRUE(v.at("degraded").asBool());
+    EXPECT_FALSE(v.at("draining").asBool());
+}
+
 // ----------------------------------------------------------- supervisor
 
 SupervisorConfig
@@ -481,6 +553,113 @@ TEST(Supervisor, CancelUnqueuesAJobBeforeItRuns)
 
     sup.resume();
     sup.drain();
+}
+
+TEST(Supervisor, OutcomeRecordsSpanTimingsAndFlightEvents)
+{
+    Supervisor sup(testConfig("spans"));
+    const Admission a1 = sup.submit(specimenSpec());
+    ASSERT_TRUE(a1.accepted) << a1.reason;
+    const JobOutcome o1 = sup.wait(a1.jobId);
+    ASSERT_EQ(o1.status, JobStatus::Done);
+    EXPECT_GT(o1.simUs, 0u) << "a cold run spent time simulating";
+
+    // The warm hit skips simulation entirely: sim_us stays zero.
+    const Admission a2 = sup.submit(specimenSpec());
+    ASSERT_TRUE(a2.accepted);
+    const JobOutcome o2 = sup.wait(a2.jobId);
+    ASSERT_TRUE(o2.cached);
+    EXPECT_EQ(o2.simUs, 0u) << "cache hits never simulate";
+
+    // The flight recorder saw the whole lifecycle, in order: job 1
+    // admitted, started, finished; job 2 admitted, started,
+    // cache-hit, finished.
+    std::vector<FlightKind> kinds;
+    for (const FlightEvent &ev : sup.flight().events())
+        kinds.push_back(ev.kind);
+    const std::vector<FlightKind> want = {
+        FlightKind::JobAdmitted, FlightKind::JobStarted,
+        FlightKind::JobFinished, FlightKind::JobAdmitted,
+        FlightKind::JobStarted,  FlightKind::JobCacheHit,
+        FlightKind::JobFinished,
+    };
+    EXPECT_EQ(kinds, want);
+}
+
+TEST(Supervisor, PublishMetricsUpholdsConservation)
+{
+    SupervisorConfig cfg = testConfig("conserve");
+    cfg.queueDepth = 1;
+    cfg.startPaused = true;
+    Supervisor sup(cfg);
+
+    // One admitted job held behind the pause gate, one shed.
+    const Admission a1 = sup.submit(specimenSpec());
+    ASSERT_TRUE(a1.accepted);
+    const Admission a2 = sup.submit(specimenSpec());
+    ASSERT_FALSE(a2.accepted);
+    EXPECT_EQ(a2.reason, "overloaded");
+
+    // Mid-flight scrape: the queued job counts as in-flight.
+    sup.publishMetrics();
+    MetricsSnapshot s = metricsRegistry().snapshot();
+    const auto invariantHolds = [&s] {
+        return s.counters.at("xloops_jobs_admitted_total") ==
+               s.counters.at("xloops_jobs_completed_total") +
+                   s.counters.at("xloops_jobs_failed_total") +
+                   s.counters.at("xloops_jobs_shed_total") +
+                   s.counters.at("xloops_jobs_cancelled_total") +
+                   s.gauges.at("xloops_jobs_in_flight");
+    };
+    EXPECT_EQ(s.counters.at("xloops_jobs_admitted_total"), 2u);
+    EXPECT_EQ(s.counters.at("xloops_jobs_shed_total"), 1u);
+    EXPECT_EQ(s.gauges.at("xloops_jobs_in_flight"), 1u);
+    EXPECT_TRUE(invariantHolds());
+
+    // Run to completion, scrape again: in-flight drains to zero and
+    // the invariant still balances.
+    sup.resume();
+    (void)sup.wait(a1.jobId);
+    sup.publishMetrics();
+    s = metricsRegistry().snapshot();
+    EXPECT_EQ(s.gauges.at("xloops_jobs_in_flight"), 0u);
+    EXPECT_EQ(s.counters.at("xloops_jobs_completed_total"), 1u);
+    EXPECT_TRUE(invariantHolds());
+
+    sup.drain();
+}
+
+TEST(Supervisor, HealthReportsDegradedWhenSheddingOrDraining)
+{
+    SupervisorConfig cfg = testConfig("health");
+    cfg.queueDepth = 1;
+    cfg.startPaused = true;
+    Supervisor sup(cfg);
+
+    HealthInfo h = sup.health();
+    EXPECT_FALSE(h.degraded);
+    EXPECT_FALSE(h.draining);
+    EXPECT_EQ(h.queued, 0u);
+    EXPECT_EQ(h.inFlight, 0u);
+
+    // A full queue is the shedding regime: degraded.
+    const Admission adm = sup.submit(specimenSpec());
+    ASSERT_TRUE(adm.accepted);
+    h = sup.health();
+    EXPECT_TRUE(h.degraded);
+    EXPECT_EQ(h.queued, 1u);
+    EXPECT_EQ(h.inFlight, 1u);
+
+    sup.resume();
+    (void)sup.wait(adm.jobId);
+    h = sup.health();
+    EXPECT_FALSE(h.degraded);
+    EXPECT_GT(h.uptimeUs, 0u);
+
+    sup.drain();
+    h = sup.health();
+    EXPECT_TRUE(h.draining);
+    EXPECT_TRUE(h.degraded) << "draining is a degraded state";
 }
 
 // A preset stop flag surfaces as the matching SimError kind through a

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Validate xloopsd telemetry snapshots.
+
+Checks that a snapshot scraped via `xloopsc metrics --metrics-out`
+(or one line of the daemon's `--metrics-log`) matches the
+xloops-metrics-1 schema: well-formed metric names, non-negative
+integer samples, internally consistent histograms (bucket counts sum
+to the observation count, min <= max), and — when the job-accounting
+family is present — the service conservation invariant
+
+    jobs_admitted == completed + failed + shed + cancelled + in_flight
+
+which the supervisor publishes from one consistent instant, so any
+violation means lost or double-counted jobs, not scrape skew. A file
+holding several newline-delimited snapshots (the daemon's metrics
+log) is validated line by line. Used by CI and the service_smoke
+ctest; exits non-zero with a message on the first violation.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+NAME_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="
+    r"\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?$")
+
+# The job-accounting family (see Supervisor::publishMetrics). The
+# invariant includes the cancelled leg: a drain cancels the backlog,
+# and those jobs are neither completed nor failed nor still in flight.
+ADMITTED = "xloops_jobs_admitted_total"
+COMPLETED = "xloops_jobs_completed_total"
+FAILED = "xloops_jobs_failed_total"
+SHED = "xloops_jobs_shed_total"
+CANCELLED = "xloops_jobs_cancelled_total"
+IN_FLIGHT = "xloops_jobs_in_flight"
+
+
+def fail(msg):
+    print(f"check_metrics: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_samples(table, ctx):
+    if not isinstance(table, dict):
+        fail(f"{ctx} is not an object")
+    for name, value in table.items():
+        if not NAME_RE.match(name):
+            fail(f"{ctx}: bad metric name {name!r}")
+        if not isinstance(value, int) or value < 0:
+            fail(f"{ctx}.{name}: expected a non-negative integer, "
+                 f"got {value!r}")
+
+
+def check_histogram(name, h):
+    ctx = f"histograms.{name}"
+    if not isinstance(h, dict):
+        fail(f"{ctx} is not an object")
+    for key in ("count", "sum", "min", "max", "buckets"):
+        if key not in h:
+            fail(f"{ctx}: missing key '{key}'")
+    for key in ("count", "sum", "min", "max"):
+        if not isinstance(h[key], int) or h[key] < 0:
+            fail(f"{ctx}.{key}: expected a non-negative integer, "
+                 f"got {h[key]!r}")
+    buckets = h["buckets"]
+    if not isinstance(buckets, list) or not all(
+            isinstance(b, int) and b >= 0 for b in buckets):
+        fail(f"{ctx}.buckets is not a list of non-negative integers")
+    if sum(buckets) != h["count"]:
+        fail(f"{ctx}: buckets sum to {sum(buckets)}, count is "
+             f"{h['count']}")
+    if h["count"] > 0:
+        if h["min"] > h["max"]:
+            fail(f"{ctx}: min {h['min']} > max {h['max']}")
+        if not h["min"] <= h["sum"] / h["count"] <= h["max"]:
+            fail(f"{ctx}: mean outside [min, max]")
+    elif buckets:
+        fail(f"{ctx}: empty histogram with non-empty buckets")
+
+
+def check_snapshot(doc, ctx, require_jobs):
+    if doc.get("schema") != "xloops-metrics-1":
+        fail(f"{ctx}: schema is {doc.get('schema')!r}")
+    for key in ("at_us", "counters", "gauges", "histograms"):
+        if key not in doc:
+            fail(f"{ctx}: missing key '{key}'")
+    if not isinstance(doc["at_us"], int) or doc["at_us"] < 0:
+        fail(f"{ctx}: at_us is {doc['at_us']!r}")
+    counters = doc["counters"]
+    gauges = doc["gauges"]
+    check_samples(counters, f"{ctx}: counters")
+    check_samples(gauges, f"{ctx}: gauges")
+    if not isinstance(doc["histograms"], dict):
+        fail(f"{ctx}: histograms is not an object")
+    for name, h in doc["histograms"].items():
+        if not NAME_RE.match(name):
+            fail(f"{ctx}: bad histogram name {name!r}")
+        check_histogram(name, h)
+
+    if require_jobs and ADMITTED not in counters:
+        fail(f"{ctx}: job-accounting family absent "
+             f"(no {ADMITTED}; was the supervisor scraped?)")
+    if ADMITTED not in counters:
+        return None
+
+    for name in (COMPLETED, FAILED, SHED, CANCELLED):
+        if name not in counters:
+            fail(f"{ctx}: {ADMITTED} present but {name} missing")
+    if IN_FLIGHT not in gauges:
+        fail(f"{ctx}: {ADMITTED} present but {IN_FLIGHT} missing")
+    admitted = counters[ADMITTED]
+    accounted = (counters[COMPLETED] + counters[FAILED] +
+                 counters[SHED] + counters[CANCELLED] +
+                 gauges[IN_FLIGHT])
+    if admitted != accounted:
+        fail(f"{ctx}: conservation violated: admitted {admitted} != "
+             f"completed {counters[COMPLETED]} + failed "
+             f"{counters[FAILED]} + shed {counters[SHED]} + cancelled "
+             f"{counters[CANCELLED]} + in_flight {gauges[IN_FLIGHT]} "
+             f"= {accounted}")
+    return admitted
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("snapshot",
+                    help="xloops-metrics-1 JSON (one document, or one "
+                         "per line as the daemon's --metrics-log "
+                         "writes); '-' reads stdin")
+    ap.add_argument("--require-jobs", action="store_true",
+                    help="fail if the job-accounting family is absent "
+                         "(CI scrapes a supervisor, so it must be "
+                         "there)")
+    args = ap.parse_args()
+
+    if args.snapshot == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.snapshot) as f:
+            text = f.read()
+
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if not lines:
+        fail(f"{args.snapshot}: empty input")
+    try:
+        docs = [json.loads(ln) for ln in lines]
+    except json.JSONDecodeError:
+        # Not one-snapshot-per-line: a single pretty-printed document.
+        try:
+            docs = [json.loads(text)]
+        except json.JSONDecodeError as err:
+            fail(f"{args.snapshot}: not JSON: {err}")
+
+    admitted = None
+    for i, doc in enumerate(docs):
+        ctx = args.snapshot if len(docs) == 1 \
+            else f"{args.snapshot}:{i + 1}"
+        admitted = check_snapshot(doc, ctx, args.require_jobs)
+    plural = "" if len(docs) == 1 else f" x{len(docs)}"
+    conservation = "no job-accounting family" if admitted is None \
+        else f"{admitted} jobs admitted, conservation holds"
+    print(f"check_metrics: {args.snapshot}: OK{plural} "
+          f"({conservation})")
+
+
+if __name__ == "__main__":
+    main()

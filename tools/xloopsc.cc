@@ -6,9 +6,11 @@
  * outcome) or sends a control request. The job knobs mirror `xsim`
  * so anything reproducible from the CLI is submittable as a job.
  *
- * Exit codes: 0 job done (or control ok), 1 user/connection error,
- * 2 job failed (capsule downloadable with --capsule-out), 3 job
- * cancelled, 4 job shed by admission control ("overloaded").
+ * Exit codes: 0 job done (or control ok / healthy), 1 user/connection
+ * error (daemon unreachable), 2 job failed (capsule downloadable with
+ * --capsule-out), 3 job cancelled, 4 job shed by admission control
+ * ("overloaded"), 5 daemon degraded (`xloopsc health`: shedding or
+ * draining).
  */
 
 #include <cstdio>
@@ -31,12 +33,21 @@ printUsage(std::FILE *out)
 {
     std::fprintf(
         out,
-        "usage: xloopsc [options]\n"
+        "usage: xloopsc [metrics|health] [options]\n"
         "  --socket <path>        daemon socket (default "
         "xloopsd.sock)\n"
         "control requests:\n"
         "  --ping                 liveness probe\n"
         "  --stats                print server counters\n"
+        "  metrics | --metrics    scrape the telemetry registry "
+        "(xloops-metrics-1)\n"
+        "  --prom                 with metrics: print the Prometheus "
+        "text exposition\n"
+        "  --metrics-out <file>   with metrics: write the JSON "
+        "snapshot\n"
+        "  health | --health      one-shot health probe (exit 0 "
+        "healthy, 5 degraded,\n"
+        "                         1 unreachable)\n"
         "  --drain                ask the daemon to shut down "
         "gracefully\n"
         "  --status <id>          outcome snapshot of a job\n"
@@ -65,8 +76,9 @@ printUsage(std::FILE *out)
         "job\n"
         "  --help                 print this usage and exit\n"
         "\n"
-        "Exit codes: 0 done/ok, 1 user or connection error, 2 job\n"
-        "failed, 3 job cancelled, 4 overloaded (job shed).\n");
+        "Exit codes: 0 done/ok/healthy, 1 user or connection error,\n"
+        "2 job failed, 3 job cancelled, 4 overloaded (job shed),\n"
+        "5 degraded (health: shedding or draining).\n");
 }
 
 int
@@ -100,6 +112,8 @@ main(int argc, char **argv)
     std::string socketPath = "xloopsd.sock";
     std::string statsOut;
     std::string capsuleOut;
+    std::string metricsOut;
+    bool promText = false;
     Request req;
     req.op = "";
     bool haveJob = false;
@@ -120,6 +134,14 @@ main(int argc, char **argv)
                 req.op = "ping";
             else if (arg == "--stats")
                 req.op = "stats";
+            else if (arg == "metrics" || arg == "--metrics")
+                req.op = "metrics";
+            else if (arg == "health" || arg == "--health")
+                req.op = "health";
+            else if (arg == "--prom")
+                promText = true;
+            else if (arg == "--metrics-out")
+                metricsOut = next();
             else if (arg == "--drain")
                 req.op = "drain";
             else if (arg == "--status") {
@@ -195,6 +217,51 @@ main(int argc, char **argv)
         if (req.op == "stats") {
             std::printf("%s\n", responseLine.c_str());
             return exitCodeFor(status);
+        }
+        if (req.op == "metrics") {
+            if (status != "ok") {
+                std::fprintf(stderr, "%s\n",
+                             v.has("error")
+                                 ? v.at("error").asString().c_str()
+                                 : status.c_str());
+                return 1;
+            }
+            const std::string json = v.at("metrics").asString();
+            if (!metricsOut.empty()) {
+                writeFileOrDie(metricsOut, json);
+                std::printf("metrics: %s\n", metricsOut.c_str());
+            }
+            if (promText)
+                std::printf("%s", v.at("prom").asString().c_str());
+            else if (metricsOut.empty())
+                std::printf("%s\n", json.c_str());
+            return 0;
+        }
+        if (req.op == "health") {
+            if (status != "ok") {
+                std::fprintf(stderr, "%s\n",
+                             v.has("error")
+                                 ? v.at("error").asString().c_str()
+                                 : status.c_str());
+                return 1;
+            }
+            const bool degraded = v.at("degraded").asBool();
+            std::printf("%s uptime_us=%llu queued=%llu running=%llu "
+                        "in_flight=%llu cache_entries=%llu%s\n",
+                        degraded ? "degraded" : "healthy",
+                        static_cast<unsigned long long>(
+                            v.at("uptime_us").asU64()),
+                        static_cast<unsigned long long>(
+                            v.at("queued").asU64()),
+                        static_cast<unsigned long long>(
+                            v.at("running").asU64()),
+                        static_cast<unsigned long long>(
+                            v.at("in_flight").asU64()),
+                        static_cast<unsigned long long>(
+                            v.at("cache_entries").asU64()),
+                        v.at("draining").asBool() ? " (draining)"
+                                                  : "");
+            return degraded ? 5 : 0;
         }
         if (req.op == "capsule") {
             if (status != "ok") {

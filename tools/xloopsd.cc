@@ -60,6 +60,14 @@ printUsage(std::FILE *out)
         "(default 3)\n"
         "  --deadline-ms <n>     default per-job wall-clock deadline "
         "(default 30000)\n"
+        "  --metrics-log <file>  append one xloops-metrics-1 snapshot "
+        "line per interval\n"
+        "  --metrics-interval-ms <n>  metrics log cadence (default "
+        "1000)\n"
+        "  --flight-dump <file>  write the flight-recorder dump on "
+        "drain/SIGTERM\n"
+        "  --trace <file>        write per-job spans as Chrome trace "
+        "JSON on drain\n"
         "  --help                print this usage and exit\n"
         "\n"
         "SIGINT/SIGTERM drain gracefully (finish running jobs,\n"
@@ -105,6 +113,15 @@ main(int argc, char **argv)
             else if (arg == "--deadline-ms")
                 cfg.supervisor.defaultDeadlineMs =
                     std::strtoull(next().c_str(), nullptr, 10);
+            else if (arg == "--metrics-log")
+                cfg.metricsLogPath = next();
+            else if (arg == "--metrics-interval-ms")
+                cfg.metricsIntervalMs =
+                    std::strtoull(next().c_str(), nullptr, 10);
+            else if (arg == "--flight-dump")
+                cfg.flightDumpPath = next();
+            else if (arg == "--trace")
+                cfg.tracePath = next();
             else if (arg == "--help" || arg == "-h") {
                 printUsage(stdout);
                 return 0;
