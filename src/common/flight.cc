@@ -21,6 +21,10 @@ flightKindName(FlightKind kind)
     case FlightKind::JobFinished: return "job-finished";
     case FlightKind::JobFailed: return "job-failed";
     case FlightKind::JobCancelled: return "job-cancelled";
+    case FlightKind::JobRecovered: return "job-recovered";
+    case FlightKind::JobResumed: return "job-resumed";
+    case FlightKind::CacheCorrupt: return "cache-corrupt";
+    case FlightKind::JournalTorn: return "journal-torn";
     case FlightKind::DrainBegin: return "drain-begin";
     case FlightKind::DrainEnd: return "drain-end";
     }

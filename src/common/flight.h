@@ -41,6 +41,10 @@ enum class FlightKind : u8 {
     JobFinished,   ///< terminal: done
     JobFailed,     ///< terminal: failed (capsule written when possible)
     JobCancelled,  ///< terminal: cancelled (drain or explicit)
+    JobRecovered,  ///< re-enqueued from the journal after a crash
+    JobResumed,    ///< recovered job restored from a mid-run checkpoint
+    CacheCorrupt,  ///< cache entry failed its checksum; quarantined
+    JournalTorn,   ///< journal replay truncated a torn/corrupt tail
     DrainBegin,    ///< graceful shutdown started
     DrainEnd,      ///< graceful shutdown finished
 };

@@ -1,9 +1,13 @@
 #include "common/serialize.h"
 
+#include <array>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "common/json.h"
 #include "common/log.h"
@@ -99,6 +103,92 @@ readU64Array(const JsonValue &v)
     for (const JsonValue &e : v.array())
         out.push_back(e.asU64());
     return out;
+}
+
+namespace {
+
+/** The reflected CRC-32 table for polynomial 0xEDB88320, built once. */
+const u32 *
+crcTable()
+{
+    static const auto table = [] {
+        std::array<u32, 256> t{};
+        for (u32 i = 0; i < 256; i++) {
+            u32 c = i;
+            for (int k = 0; k < 8; k++)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table.data();
+}
+
+} // namespace
+
+u32
+crc32(const void *data, size_t n, u32 seed)
+{
+    const u8 *p = static_cast<const u8 *>(data);
+    const u32 *table = crcTable();
+    u32 c = seed ^ 0xFFFFFFFFu;
+    for (size_t i = 0; i < n; i++)
+        c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+u32
+crc32(const std::string &text, u32 seed)
+{
+    return crc32(text.data(), text.size(), seed);
+}
+
+void
+atomicWriteFile(const std::string &path, const std::string &text)
+{
+    const std::string tmp = strf(path, ".tmp.", ::getpid());
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                          0644);
+    if (fd < 0)
+        fatal(strf("cannot create ", tmp, ": ", std::strerror(errno)));
+
+    size_t off = 0;
+    while (off < text.size()) {
+        const ssize_t n =
+            ::write(fd, text.data() + off, text.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const std::string why = std::strerror(errno);
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            fatal(strf("write ", tmp, ": ", why));
+        }
+        off += static_cast<size_t>(n);
+    }
+    if (::fsync(fd) < 0) {
+        const std::string why = std::strerror(errno);
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        fatal(strf("fsync ", tmp, ": ", why));
+    }
+    ::close(fd);
+    if (::rename(tmp.c_str(), path.c_str()) < 0) {
+        const std::string why = std::strerror(errno);
+        ::unlink(tmp.c_str());
+        fatal(strf("rename ", tmp, " -> ", path, ": ", why));
+    }
+
+    // Make the rename itself durable: fsync the containing directory
+    // so a crash cannot forget the new directory entry.
+    const size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    const int dirFd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dirFd >= 0) {
+        ::fsync(dirFd);  // best effort: some filesystems refuse
+        ::close(dirFd);
+    }
 }
 
 } // namespace xloops

@@ -45,6 +45,23 @@ void writeU64Array(JsonWriter &w, const std::vector<u64> &values);
 /** Read a JSON array of u64. */
 std::vector<u64> readU64Array(const JsonValue &v);
 
+/** CRC-32 (IEEE 802.3, the zlib polynomial) of @p n bytes, chainable
+ *  via @p seed. The framing checksum of the job journal and the
+ *  per-entry content checksum of the result cache — zlib.crc32 in
+ *  tools/check_journal.py verifies the same values from Python. */
+u32 crc32(const void *data, size_t n, u32 seed = 0);
+u32 crc32(const std::string &text, u32 seed = 0);
+
+/**
+ * Crash-consistent file replacement: write @p text to a temporary
+ * sibling, fsync it, rename() it over @p path, then fsync the
+ * containing directory. A reader (or a daemon restarting after
+ * `kill -9`) sees either the old complete file or the new complete
+ * file, never a torn mix. Throws FatalError on any I/O failure (the
+ * temporary is cleaned up).
+ */
+void atomicWriteFile(const std::string &path, const std::string &text);
+
 } // namespace xloops
 
 #endif // XLOOPS_COMMON_SERIALIZE_H

@@ -15,9 +15,17 @@ namespace xloops {
 class ServiceClient
 {
   public:
-    /** Connect to the daemon at @p socketPath; throws FatalError
-     *  when the daemon is not there. */
-    explicit ServiceClient(const std::string &socketPath);
+    /**
+     * Connect to the daemon at @p socketPath; throws FatalError when
+     * the daemon is not there. A connection refused because the
+     * daemon is mid-restart (ECONNREFUSED, or ENOENT while the new
+     * socket is not yet bound) retries with capped exponential
+     * backoff for up to @p retryBudgetMs — clients ride through a
+     * crash-recovery cycle instead of failing the instant the old
+     * socket vanishes. Pass 0 to fail fast.
+     */
+    explicit ServiceClient(const std::string &socketPath,
+                           unsigned retryBudgetMs = 2000);
 
     ~ServiceClient();
 

@@ -146,6 +146,8 @@ encodeStats(const SupervisorStats &stats)
         w.field("cache_misses", stats.cacheMisses);
         w.field("queued", stats.queued);
         w.field("running", stats.running);
+        w.field("recovered", stats.recovered);
+        w.field("resumed", stats.resumed);
         w.endObject();
     });
 }

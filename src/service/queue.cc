@@ -23,6 +23,19 @@ BoundedJobQueue::tryPush(u64 jobId)
 }
 
 bool
+BoundedJobQueue::forcePush(u64 jobId)
+{
+    {
+        std::lock_guard<std::mutex> lock(m);
+        if (closedFlag)
+            return false;
+        jobs.push_back(jobId);
+    }
+    cv.notify_one();
+    return true;
+}
+
+bool
 BoundedJobQueue::pop(u64 &jobId)
 {
     std::unique_lock<std::mutex> lock(m);

@@ -32,6 +32,12 @@ class BoundedJobQueue
      *  caller sheds the job — it was never queued). */
     bool tryPush(u64 jobId);
 
+    /** Admit @p jobId even past the bound (crash recovery: a job the
+     *  dead daemon already acknowledged must never be shed, but it
+     *  still counts toward depth() so fresh submissions feel the
+     *  backpressure). False only when closed. */
+    bool forcePush(u64 jobId);
+
     /** Block for the next job; false when closed and drained (the
      *  calling worker should exit). */
     bool pop(u64 &jobId);

@@ -11,6 +11,7 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -148,6 +149,22 @@ int
 runServer(const ServerConfig &cfg, const std::atomic<u32> &shutdownFlag)
 {
     Supervisor sup(cfg.supervisor);
+
+    // Condemned cache data is preserved next to the capsules so a
+    // corruption report always has its evidence attached.
+    const std::string quarantineDir =
+        cfg.supervisor.artifactDir + "/quarantine";
+    ::mkdir(quarantineDir.c_str(), 0755);  // may already exist
+    sup.cache().setQuarantineDir(quarantineDir);
+
+    const RecoveryReport &rr = sup.recovery();
+    if (rr.recovered || rr.tornTail)
+        std::fprintf(stderr,
+                     "xloopsd: recovered %llu job(s) from journal "
+                     "(%llu resumable from checkpoint)%s\n",
+                     static_cast<unsigned long long>(rr.recovered),
+                     static_cast<unsigned long long>(rr.withCheckpoint),
+                     rr.tornTail ? ", torn tail truncated" : "");
 
     if (!cfg.cacheIndexPath.empty()) {
         const size_t restored =

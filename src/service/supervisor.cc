@@ -1,13 +1,19 @@
 #include "service/supervisor.h"
 
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+
+#include <unistd.h>
 
 #include "common/fault.h"
 #include "common/log.h"
 #include "common/loop_profile.h"
 #include "common/metrics.h"
 #include "common/pool.h"
+#include "common/serialize.h"
 #include "common/sim_error.h"
 #include "kernels/kernel.h"
 #include "system/capsule.h"
@@ -93,6 +99,21 @@ Supervisor::Supervisor(const SupervisorConfig &config)
 {
     startUs = monotonicUs();
     spans.enable();
+
+    // Corruption can never serve a wrong answer (the cache degrades
+    // to a miss) — but it must also never pass silently.
+    resultCache.setCorruptionHook([this](u64 key, const std::string &why) {
+        metricsRegistry().counter("xloops_cache_corrupt_total").inc();
+        flightRec.record(FlightKind::CacheCorrupt, 0,
+                         strf("key 0x", std::hex, key, ": ", why));
+    });
+
+    // Recovery must complete before the first worker exists: the
+    // journal rotation below re-accepts every carried-over job, and a
+    // worker racing that would observe a half-rebuilt queue.
+    if (!cfg.journalPath.empty())
+        recoverFromJournal();
+
     unsigned n = cfg.workers;
     if (n == 0) {
         n = std::thread::hardware_concurrency();
@@ -108,6 +129,98 @@ Supervisor::Supervisor(const SupervisorConfig &config)
 Supervisor::~Supervisor()
 {
     drain();
+}
+
+std::string
+Supervisor::ckptPathFor(u64 jobId) const
+{
+    const std::string &dir =
+        cfg.checkpointDir.empty() ? cfg.artifactDir : cfg.checkpointDir;
+    return strf(dir, "/job-", jobId, ".ckpt.json");
+}
+
+void
+Supervisor::recoverFromJournal()
+{
+    JournalRecovery pending;
+    if (cfg.recover) {
+        const JournalReplay replay = replayJournal(cfg.journalPath);
+        pending = recoverPending(replay);
+        recoveryInfo.tornTail = replay.tornTail;
+        recoveryInfo.previouslyFinished = pending.completed +
+                                          pending.failed +
+                                          pending.cancelled + pending.shed;
+        if (replay.tornTail) {
+            metricsRegistry()
+                .counter("xloops_journal_torn_tail_total")
+                .inc();
+            flightRec.record(FlightKind::JournalTorn, 0,
+                             strf(replay.tornBytes, " bytes dropped"));
+            warn(strf("journal ", cfg.journalPath, ": torn tail (",
+                      replay.tornBytes,
+                      " bytes dropped) — expected after kill -9"));
+        }
+    }
+
+    // This generation journals into a sibling first and renames over
+    // the old journal only after every carried-over job has been
+    // re-accepted in it. A crash during recovery therefore leaves
+    // either the old journal (recovery re-runs from scratch) or the
+    // complete new one — never a state that forgets a job.
+    const std::string tmp = cfg.journalPath + ".new";
+    ::unlink(tmp.c_str());  // a leftover from a crash mid-recovery
+    journal = std::make_unique<Journal>(tmp);
+
+    for (const RecoveredJob &rj : pending.pending) {
+        auto rec = std::make_unique<JobRecord>();
+        rec->spec = rj.spec;
+        rec->admittedUs = monotonicUs();
+        rec->recoveredFrom = rj.oldJobId;
+        const u64 id = nextJobId.fetch_add(1);
+        rec->outcome.jobId = id;
+
+        // Adopt the old generation's latest periodic checkpoint so a
+        // long job resumes mid-flight instead of restarting. The old
+        // file is consumed either way: its text now lives in the
+        // record, and this generation checkpoints under the new id.
+        const std::string oldCkpt = ckptPathFor(rj.oldJobId);
+        rec->resumeCkpt = readFileText(oldCkpt);
+        ::unlink(oldCkpt.c_str());
+        if (!rec->resumeCkpt.empty())
+            recoveryInfo.withCheckpoint++;
+
+        journal->append(JournalEvent::Accepted, id, "", 0, &rec->spec,
+                        /*sync=*/true);
+        journal->append(JournalEvent::Recovered, id,
+                        strf("was job ", rj.oldJobId,
+                             rj.started ? ", started" : "",
+                             rec->resumeCkpt.empty() ? ""
+                                                     : ", checkpointed"),
+                        rj.attempts);
+        flightRec.record(FlightKind::JobRecovered, id,
+                         strf("was job ", rj.oldJobId));
+
+        JobRecord *raw = rec.get();
+        {
+            std::lock_guard<std::mutex> lock(m);
+            jobs.emplace(id, std::move(rec));
+            counters.submitted++;
+            counters.recovered++;
+        }
+        // An acknowledged job is never shed, even into a full queue —
+        // it still occupies depth, so fresh traffic feels the
+        // backpressure instead.
+        if (!queue.forcePush(id)) {
+            std::lock_guard<std::mutex> lock(m);
+            raw->outcome.status = JobStatus::Cancelled;
+            counters.cancelled++;
+        }
+        recoveryInfo.recovered++;
+    }
+
+    if (::rename(tmp.c_str(), cfg.journalPath.c_str()) < 0)
+        fatal(strf("cannot rotate journal ", tmp, " -> ",
+                   cfg.journalPath, ": ", std::strerror(errno)));
 }
 
 Admission
@@ -143,6 +256,12 @@ Supervisor::submit(const JobSpec &spec)
     // before started. A shed job reads "admitted then shed".
     flightRec.record(FlightKind::JobAdmitted, id,
                      strf(spec.kernel, "/", spec.config, "/", spec.mode));
+    // The durability contract: the accepted record is on disk before
+    // the client can observe the admission, so a daemon killed right
+    // after replying still re-runs the job next generation.
+    if (journal)
+        journal->append(JournalEvent::Accepted, id, "", 0, &spec,
+                        /*sync=*/true);
     if (!queue.tryPush(id)) {
         // Never queued: the workers are saturated and the backlog is
         // already as deep as we are willing to make a client wait.
@@ -154,6 +273,9 @@ Supervisor::submit(const JobSpec &spec)
         terminalCv.notify_all();
         adm.reason = "overloaded";
         flightRec.record(FlightKind::JobShed, id, "queue full");
+        if (journal)
+            journal->append(JournalEvent::Shed, id, "queue full", 0,
+                            nullptr, /*sync=*/true);
         emitSpan(TraceKind::JobAdmit, 0, id, /*shed=*/1);
         return adm;
     }
@@ -206,6 +328,10 @@ Supervisor::cancel(u64 jobId)
             rec.outcome.status = JobStatus::Cancelled;
             counters.cancelled++;
             lock.unlock();
+            if (journal)
+                journal->append(JournalEvent::Cancelled, jobId,
+                                "cancelled while queued", 0, nullptr,
+                                /*sync=*/true);
             terminalCv.notify_all();
             return true;
         }
@@ -262,16 +388,22 @@ Supervisor::drain()
         // Cancel the backlog: anything still Queued will never be
         // popped (workers skip terminal records), and clients blocked
         // in wait() learn their fate now rather than never.
+        std::vector<u64> backlog;
         {
             std::lock_guard<std::mutex> lock(m);
             for (auto &[id, rec] : jobs) {
                 if (rec->outcome.status == JobStatus::Queued) {
                     rec->outcome.status = JobStatus::Cancelled;
                     counters.cancelled++;
+                    backlog.push_back(id);
                 }
             }
             paused = false;
         }
+        if (journal)
+            for (const u64 id : backlog)
+                journal->append(JournalEvent::Cancelled, id, "drain", 0,
+                                nullptr, /*sync=*/true);
         terminalCv.notify_all();
         gateCv.notify_all();  // release the pause gate + backoff waits
     }
@@ -358,6 +490,12 @@ Supervisor::publishMetrics() const
         .publish(resultCache.evictions());
     reg.gauge("xloops_cache_entries").publish(resultCache.size());
     reg.gauge("xloops_cache_bytes").publish(resultCache.bytes());
+    reg.counter("xloops_cache_corrupt_total")
+        .publish(resultCache.corruptions());
+    reg.counter("xloops_jobs_recovered_total")
+        .publish(recoveryInfo.recovered);
+    reg.counter("xloops_jobs_resumed_from_checkpoint_total")
+        .publish(s.resumed);
     reg.gauge("xloops_uptime_us").publish(monotonicUs() - startUs);
     reg.gauge("xloops_workers").publish(workers.size());
     reg.counter("xloops_flight_events_total")
@@ -392,6 +530,8 @@ Supervisor::workerLoop()
         emitSpan(TraceKind::JobQueueWait, 0, id,
                  static_cast<i64>(rec.outcome.queueWaitUs));
         flightRec.record(FlightKind::JobStarted, id);
+        if (journal)
+            journal->append(JournalEvent::Started, id);
         runJob(rec);
     }
 }
@@ -441,6 +581,19 @@ Supervisor::finish(JobRecord &rec, JobStatus status)
                                       ? FlightKind::JobCancelled
                                       : FlightKind::JobFailed;
     flightRec.record(kind, rec.outcome.jobId, detail);
+    if (journal) {
+        const JournalEvent ev = status == JobStatus::Done
+                                    ? JournalEvent::Completed
+                                    : status == JobStatus::Cancelled
+                                          ? JournalEvent::Cancelled
+                                          : JournalEvent::Failed;
+        // The terminal fsync is the other half of the contract: a
+        // finished job is never re-run by the next generation.
+        journal->append(ev, rec.outcome.jobId, detail,
+                        rec.outcome.attempts, nullptr, /*sync=*/true);
+        if (cfg.checkpointEveryInsts)
+            ::unlink(ckptPathFor(rec.outcome.jobId).c_str());
+    }
     emitSpan(TraceKind::JobReply, 0, rec.outcome.jobId,
              static_cast<i64>(status));
     terminalCv.notify_all();
@@ -516,6 +669,37 @@ Supervisor::runJob(JobRecord &rec)
         ropts.lockstep = spec.lockstep;
         ropts.stopFlag = &rec.stop;
 
+        // Durability extras ride on attempt 0 only: a retry's
+        // re-derived schedule differs from the key's run, so its
+        // checkpoints would lie, and a recovered retry simply starts
+        // over (at-least-once execution, exactly-once results).
+        if (journal && attempt == 0) {
+            if (cfg.checkpointEveryInsts) {
+                ropts.checkpointEvery = cfg.checkpointEveryInsts;
+                const std::string ckptPath =
+                    ckptPathFor(rec.outcome.jobId);
+                ropts.checkpointSink = [ckptPath](u64,
+                                                  const std::string &json) {
+                    // A failed checkpoint degrades resumability, never
+                    // the job itself.
+                    try {
+                        atomicWriteFile(ckptPath, json);
+                    } catch (const FatalError &err) {
+                        warn(strf("checkpoint write ", ckptPath, ": ",
+                                  err.what()));
+                    }
+                };
+            }
+            if (!rec.resumeCkpt.empty()) {
+                ropts.restoreText = rec.resumeCkpt;
+                flightRec.record(FlightKind::JobResumed,
+                                 rec.outcome.jobId,
+                                 strf("was job ", rec.recoveredFrom));
+                std::lock_guard<std::mutex> lock(m);
+                counters.resumed++;
+            }
+        }
+
         CapsuleContext capCtx;
         LoopProfiler profiler;
         RunHooks hooks;
@@ -543,6 +727,9 @@ Supervisor::runJob(JobRecord &rec)
                              std::chrono::milliseconds(deadlineMs);
             rec.deadlineArmed = true;
         }
+        if (journal)
+            journal->append(JournalEvent::Attempt, rec.outcome.jobId,
+                            "", attempt + 1);
 
         const u64 attemptStartUs = monotonicUs();
         const auto closeAttempt = [&] {
@@ -596,6 +783,10 @@ Supervisor::runJob(JobRecord &rec)
                     FlightKind::JobRetried, rec.outcome.jobId,
                     strf(simErrorKindName(err.kind()), " attempt ",
                          attempt, " backoff ", waitMs, "ms"));
+                if (journal)
+                    journal->append(JournalEvent::Backoff,
+                                    rec.outcome.jobId,
+                                    strf(waitMs, "ms"), attempt + 1);
                 const u64 backoffStartUs = monotonicUs();
                 bool interrupted;
                 {

@@ -41,6 +41,7 @@
 #include "common/trace.h"
 #include "service/cache.h"
 #include "service/job.h"
+#include "service/journal.h"
 #include "service/queue.h"
 #include "service/retry.h"
 
@@ -59,6 +60,24 @@ struct SupervisorConfig
     /** Start with workers gated (jobs queue but do not run) until
      *  resume() — deterministic queue-depth and shed tests. */
     bool startPaused = false;
+
+    /** Write-ahead job journal ("xloops-journal-1"); empty disables
+     *  durability (jobs die with the process, the pre-journal
+     *  behavior). See docs/SERVICE.md §7. */
+    std::string journalPath;
+
+    /** Replay the journal at startup and re-enqueue acknowledged
+     *  jobs the previous generation never finished. Only meaningful
+     *  with journalPath set; xloopsd --no-recover clears it. */
+    bool recover = true;
+
+    /** Periodically checkpoint attempt-0 runs every N committed GPP
+     *  instructions so recovery can resume a long job mid-flight
+     *  instead of restarting it (0 disables; needs journalPath). */
+    u64 checkpointEveryInsts = 0;
+
+    /** Where job checkpoints live; empty = artifactDir. */
+    std::string checkpointDir;
 };
 
 /** Monotonic counters a `stats` request reports. */
@@ -74,6 +93,17 @@ struct SupervisorStats
     u64 cacheMisses = 0;
     u64 queued = 0;      ///< current queue depth (gauge)
     u64 running = 0;     ///< jobs on workers right now (gauge)
+    u64 recovered = 0;   ///< re-enqueued from the journal at startup
+    u64 resumed = 0;     ///< recovered jobs restored from a checkpoint
+};
+
+/** What startup recovery found in the journal (xloopsd logs this). */
+struct RecoveryReport
+{
+    u64 recovered = 0;   ///< jobs re-enqueued this generation
+    u64 withCheckpoint = 0;  ///< of those, how many carry a checkpoint
+    u64 previouslyFinished = 0;  ///< terminal in the old generation
+    bool tornTail = false;   ///< the old journal ended mid-record
 };
 
 /** What submit() decided. */
@@ -162,6 +192,10 @@ class Supervisor
 
     ResultCache &cache() { return resultCache; }
 
+    /** What startup recovery replayed from the journal (all zeros
+     *  when journaling is off or this was a cold start). */
+    const RecoveryReport &recovery() const { return recoveryInfo; }
+
     /** The service flight recorder (dumped into capsules/on drain). */
     FlightRecorder &flight() { return flightRec; }
 
@@ -178,6 +212,12 @@ class Supervisor
         std::string capsule;       ///< capsule document (in-memory)
         u64 admittedUs = 0;        ///< monotonicUs() at admission
 
+        /** Crash recovery: the id this job had in the previous daemon
+         *  generation (0 = fresh submission) and the checkpoint text
+         *  it left behind, consumed by attempt 0 of the re-run. */
+        u64 recoveredFrom = 0;
+        std::string resumeCkpt;
+
         /** Wall-clock deadline of the current attempt (watchdog
          *  scans these; guarded by the supervisor mutex). */
         bool deadlineArmed = false;
@@ -187,6 +227,14 @@ class Supervisor
     void workerLoop();
     void watchdogLoop();
     void runJob(JobRecord &rec);
+
+    /** Replay the journal, re-enqueue the previous generation's
+     *  unfinished jobs, and rotate in this generation's journal.
+     *  Runs in the constructor before any worker exists. */
+    void recoverFromJournal();
+
+    /** The periodic-checkpoint file of @p jobId this generation. */
+    std::string ckptPathFor(u64 jobId) const;
 
     /** Emit one Svc-track span event (the Tracer ring is not itself
      *  thread-safe; job lifecycle events are rare enough that a mutex
@@ -202,6 +250,8 @@ class Supervisor
     SupervisorConfig cfg;
     ResultCache resultCache;
     BoundedJobQueue queue;
+    std::unique_ptr<Journal> journal;  ///< null when journaling is off
+    RecoveryReport recoveryInfo;
 
     mutable std::mutex m;
     std::condition_variable terminalCv;  ///< a job turned terminal

@@ -1,0 +1,156 @@
+#!/bin/sh
+# Crash-durability end-to-end test, registered with ctest as
+# service_crash_recovery. Exercises the write-ahead journal and the
+# cache-integrity machinery the unit tests cover only in-process:
+#
+#   1. the chaos harness (bench/chaos.cc) SIGKILLs a loaded daemon
+#      repeatedly: every acknowledged job survives each crash (the
+#      daemon's `recovered` counter must equal the journal's pending
+#      set) and the resubmitted matrix is byte-identical to an
+#      uninterrupted baseline
+#   2. both resulting journals validate under check_journal.py
+#      --strict --require-terminal (when python3 is available): well
+#      framed, CRC-clean, lifecycle-ordered, zero jobs without a
+#      terminal record
+#   3. a bit-rotted cache index entry is quarantined on restart, the
+#      resubmit transparently re-simulates to a byte-identical stats
+#      doc, and xloops_cache_corrupt_total counts it
+#   4. a torn journal tail (crash mid-append) does not prevent the
+#      next generation from starting and recovering
+#   5. a client started before the daemon rides through on connect
+#      retry instead of failing fast
+#
+# usage: service_crash_recovery.sh <chaos> <xloopsd> <xloopsc> \
+#            [check_journal.py|-] [cycles]
+set -u
+
+CHAOS=$1
+XLOOPSD=$2
+XLOOPSC=$3
+CHECK_JOURNAL=${4:--}
+CYCLES=${5:-3}
+
+WORK=$(mktemp -d) || exit 1
+DAEMON_PID=""
+
+fail()
+{
+    echo "service_crash_recovery: FAIL: $1" >&2
+    [ -n "$DAEMON_PID" ] && kill -KILL "$DAEMON_PID" 2>/dev/null
+    rm -rf "$WORK"
+    exit 1
+}
+
+wait_ping()
+{
+    tries=0
+    until "$XLOOPSC" --socket "$1" --ping >/dev/null 2>&1; do
+        tries=$((tries + 1))
+        [ "$tries" -ge 50 ] && fail "daemon never answered ping"
+        kill -0 "$DAEMON_PID" 2>/dev/null \
+            || fail "daemon died on startup"
+        sleep 0.1
+    done
+}
+
+# ---- 1. kill -9 chaos: zero lost acknowledged jobs, byte-identity --
+"$CHAOS" --xloopsd "$XLOOPSD" --workdir "$WORK/chaos" \
+    --cycles "$CYCLES" --kill-after-ms 500 --seeds 2 --verbose \
+    || fail "chaos harness exited $?"
+echo "service_crash_recovery: chaos survived $CYCLES kill -9 cycles"
+
+# ---- 2. the surviving journals validate strictly ------------------
+if [ "$CHECK_JOURNAL" != "-" ]; then
+    python3 "$CHECK_JOURNAL" --strict --require-terminal \
+        "$WORK/chaos/chaos/journal.jnl" \
+        || fail "chaos journal failed validation"
+    python3 "$CHECK_JOURNAL" --strict --require-terminal \
+        "$WORK/chaos/baseline/journal.jnl" \
+        || fail "baseline journal failed validation"
+    echo "service_crash_recovery: journals validate"
+fi
+
+# ---- 3. cache corruption: quarantined, recounted, re-simulated ----
+CDIR="$WORK/corrupt"
+mkdir -p "$CDIR"
+SOCK="$CDIR/xloopsd.sock"
+"$XLOOPSD" --socket "$SOCK" --workers 1 --artifact-dir "$CDIR" \
+    --cache-index "$CDIR/cache.json" --journal "$CDIR/journal.jnl" &
+DAEMON_PID=$!
+wait_ping "$SOCK"
+"$XLOOPSC" --socket "$SOCK" -k rgb2cmyk-uc -c io+x -m S \
+    --stats-out "$CDIR/before.json" >/dev/null \
+    || fail "cold submit exited $?"
+kill -TERM "$DAEMON_PID" && wait "$DAEMON_PID" \
+    || fail "daemon did not drain cleanly"
+DAEMON_PID=""
+[ -s "$CDIR/cache.json" ] || fail "cache index not persisted"
+
+# Rot one byte of the persisted result text (flip a digit inside the
+# stored stats document, leaving the recorded CRC stale).
+python3 - "$CDIR/cache.json" <<'EOF' || fail "could not rot the index"
+import re, sys
+path = sys.argv[1]
+text = open(path).read()
+rot = lambda m: m.group(1) + str((int(m.group(2)) + 1) % 10)
+rotted, n = re.subn(r'(\\"gpp_insts\\": )(\d)', rot, text, count=1)
+if n != 1:
+    sys.exit(1)
+open(path, "w").write(rotted)
+EOF
+
+"$XLOOPSD" --socket "$SOCK" --workers 1 --artifact-dir "$CDIR" \
+    --cache-index "$CDIR/cache.json" --journal "$CDIR/journal.jnl" &
+DAEMON_PID=$!
+wait_ping "$SOCK"
+"$XLOOPSC" --socket "$SOCK" -k rgb2cmyk-uc -c io+x -m S \
+    --stats-out "$CDIR/after.json" >/dev/null \
+    || fail "post-corruption submit exited $?"
+cmp -s "$CDIR/before.json" "$CDIR/after.json" \
+    || fail "re-simulated result is not byte-identical"
+"$XLOOPSC" --socket "$SOCK" metrics --prom \
+    | grep -q '^xloops_cache_corrupt_total [1-9]' \
+    || fail "corruption not counted in xloops_cache_corrupt_total"
+ls "$CDIR/quarantine/" 2>/dev/null | grep -q . \
+    || fail "corrupt entry was not quarantined"
+kill -TERM "$DAEMON_PID" && wait "$DAEMON_PID" \
+    || fail "daemon did not drain after corruption recovery"
+DAEMON_PID=""
+echo "service_crash_recovery: corrupt cache entry quarantined," \
+     "re-simulated byte-identical"
+
+# ---- 4. a torn journal tail never blocks the next generation ------
+printf 'xj1 deadbeef {"seq":999,"t_us":1,"ev":"acc' \
+    >> "$CDIR/journal.jnl"
+"$XLOOPSD" --socket "$SOCK" --workers 1 --artifact-dir "$CDIR" \
+    --cache-index "$CDIR/cache.json" --journal "$CDIR/journal.jnl" &
+DAEMON_PID=$!
+wait_ping "$SOCK"
+"$XLOOPSC" --socket "$SOCK" metrics --prom \
+    | grep -q '^xloops_journal_torn_tail_total [1-9]' \
+    || fail "torn tail not counted in xloops_journal_torn_tail_total"
+kill -TERM "$DAEMON_PID" && wait "$DAEMON_PID" \
+    || fail "daemon did not drain after torn-tail recovery"
+DAEMON_PID=""
+echo "service_crash_recovery: torn journal tail tolerated"
+
+# ---- 5. a client launched before the daemon rides the retry -------
+RDIR="$WORK/retry"
+mkdir -p "$RDIR"
+RSOCK="$RDIR/xloopsd.sock"
+"$XLOOPSC" --socket "$RSOCK" --connect-retry-ms 5000 --ping \
+    > "$RDIR/ping.out" 2>&1 &
+CLIENT_PID=$!
+sleep 0.3
+"$XLOOPSD" --socket "$RSOCK" --workers 1 --artifact-dir "$RDIR" &
+DAEMON_PID=$!
+wait "$CLIENT_PID" || fail "early client did not ride the retry: \
+$(cat "$RDIR/ping.out")"
+grep -q ok "$RDIR/ping.out" || fail "early client ping not ok"
+kill -TERM "$DAEMON_PID" && wait "$DAEMON_PID" \
+    || fail "daemon did not drain after retry scenario"
+DAEMON_PID=""
+echo "service_crash_recovery: early client rode the connect retry"
+
+rm -rf "$WORK"
+echo "service_crash_recovery: PASS"

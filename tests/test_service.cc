@@ -10,10 +10,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
 #include <string>
 
 #include "common/flight.h"
+#include "common/loop_profile.h"
 #include "common/json.h"
 #include "common/log.h"
 #include "common/metrics.h"
@@ -22,6 +24,7 @@
 #include "kernels/kernel.h"
 #include "service/cache.h"
 #include "service/job.h"
+#include "service/journal.h"
 #include "service/protocol.h"
 #include "service/queue.h"
 #include "service/retry.h"
@@ -443,9 +446,11 @@ testConfig(const std::string &tag)
     cfg.retry.baseBackoffMs = 1;  // keep retry tests fast
     cfg.retry.maxBackoffMs = 2;
     cfg.artifactDir = testing::TempDir() + "/xloops_sup_" + tag;
-    // TempDir exists; the artifact subdir may not — capsules fall
-    // back gracefully, but give them a real directory.
-    (void)std::system(("mkdir -p " + cfg.artifactDir).c_str());
+    // TempDir persists across runs, and the journal opens O_APPEND —
+    // a stale journal.jnl (or checkpoint) from a previous invocation
+    // would replay as a bogus prior generation. Start hermetic.
+    (void)std::system(("rm -rf " + cfg.artifactDir +
+                       " && mkdir -p " + cfg.artifactDir).c_str());
     return cfg;
 }
 
@@ -660,6 +665,246 @@ TEST(Supervisor, HealthReportsDegradedWhenSheddingOrDraining)
     h = sup.health();
     EXPECT_TRUE(h.draining);
     EXPECT_TRUE(h.degraded) << "draining is a degraded state";
+}
+
+// ------------------------------------------------------- crash recovery
+
+TEST(Supervisor, RecoversJournalledJobsAfterCrash)
+{
+    SupervisorConfig cfg = testConfig("recover");
+    cfg.journalPath = cfg.artifactDir + "/journal.jnl";
+
+    // Fabricate a dead generation's journal: job 7 was accepted but no
+    // worker ever took it; job 9 died mid-attempt; job 11 finished.
+    {
+        Journal j(cfg.journalPath);
+        const JobSpec spec = specimenSpec();
+        j.append(JournalEvent::Accepted, 7, "", 0, &spec, true);
+        j.append(JournalEvent::Accepted, 9, "", 0, &spec, true);
+        j.append(JournalEvent::Started, 9);
+        j.append(JournalEvent::Attempt, 9, "", 1);
+        j.append(JournalEvent::Accepted, 11, "", 0, &spec, true);
+        j.append(JournalEvent::Started, 11);
+        j.append(JournalEvent::Completed, 11, "", 1, nullptr, true);
+    }
+
+    Supervisor sup(cfg);
+    // Both unfinished jobs were re-accepted under this generation's
+    // ids (allocation starts at 1) in acceptance order.
+    const JobOutcome o1 = sup.wait(1);
+    const JobOutcome o2 = sup.wait(2);
+    EXPECT_EQ(o1.status, JobStatus::Done);
+    EXPECT_EQ(o2.status, JobStatus::Done);
+
+    const SupervisorStats s = sup.stats();
+    EXPECT_EQ(s.recovered, 2u) << "finished job 11 must not re-run";
+    EXPECT_EQ(s.done, 2u);
+
+    // The flight ring shows the recovery happened.
+    unsigned recoveredEvents = 0;
+    for (const FlightEvent &ev : sup.flight().events())
+        if (ev.kind == FlightKind::JobRecovered)
+            recoveredEvents++;
+    EXPECT_EQ(recoveredEvents, 2u);
+    sup.drain();
+
+    // This generation's journal reaches a settled state: replaying it
+    // now finds nothing pending (both re-runs reached terminal
+    // records), so a third generation would recover nothing.
+    const JournalRecovery rec =
+        recoverPending(replayJournal(cfg.journalPath));
+    EXPECT_TRUE(rec.pending.empty());
+    EXPECT_EQ(rec.completed, 2u);
+}
+
+TEST(Supervisor, RecoveredJobBypassesTheAdmissionBound)
+{
+    SupervisorConfig cfg = testConfig("recover_full");
+    cfg.journalPath = cfg.artifactDir + "/journal.jnl";
+    cfg.queueDepth = 1;
+    cfg.startPaused = true;
+
+    {
+        Journal j(cfg.journalPath);
+        const JobSpec spec = specimenSpec();
+        j.append(JournalEvent::Accepted, 1, "", 0, &spec, true);
+        j.append(JournalEvent::Accepted, 2, "", 0, &spec, true);
+        j.append(JournalEvent::Accepted, 3, "", 0, &spec, true);
+    }
+
+    // All three acknowledged jobs must survive even though the queue
+    // only admits one — recovery force-pushes past the bound (and a
+    // fresh submission now sheds, feeling their backpressure).
+    Supervisor sup(cfg);
+    EXPECT_EQ(sup.stats().recovered, 3u);
+    EXPECT_EQ(sup.stats().queued, 3u);
+    const Admission fresh = sup.submit(specimenSpec());
+    EXPECT_FALSE(fresh.accepted);
+    EXPECT_EQ(fresh.reason, "overloaded");
+
+    sup.resume();
+    for (u64 id = 1; id <= 3; id++)
+        EXPECT_EQ(sup.wait(id).status, JobStatus::Done);
+    sup.drain();
+}
+
+TEST(Supervisor, ResumesARecoveredJobFromItsCheckpoint)
+{
+    SupervisorConfig cfg = testConfig("resume");
+    cfg.journalPath = cfg.artifactDir + "/journal.jnl";
+    // Counts committed GPP instructions — specialized iterations run
+    // on the LPSU, so keep this small or a short kernel halts before
+    // its first checkpoint boundary.
+    cfg.checkpointEveryInsts = 16;
+
+    const JobSpec spec = specimenSpec();
+
+    // The uninterrupted baseline: what the job's stats document must
+    // be, byte for byte, no matter where the crash interrupts it.
+    std::string baseline;
+    {
+        SupervisorConfig base = testConfig("resume_base");
+        Supervisor bsup(base);
+        const Admission adm = bsup.submit(spec);
+        ASSERT_TRUE(adm.accepted);
+        baseline = bsup.wait(adm.jobId).statsJson;
+        ASSERT_FALSE(baseline.empty());
+        bsup.drain();
+    }
+
+    // Capture a mid-run checkpoint exactly as the dead generation's
+    // periodic sink would have left it (profiler included — its state
+    // is part of the stats document).
+    std::string ckpt;
+    {
+        RunOptions ropts;
+        ropts.checkpointEvery = cfg.checkpointEveryInsts;
+        ropts.checkpointSink = [&](u64, const std::string &json) {
+            if (ckpt.empty())
+                ckpt = json;  // keep the earliest: a mid-run state
+        };
+        LoopProfiler profiler;
+        RunHooks hooks;
+        hooks.runOptions = &ropts;
+        hooks.profiler = &profiler;
+        runKernel(kernelByName(spec.kernel), configs::byName(spec.config),
+                  ExecMode::Specialized, false, hooks);
+        ASSERT_FALSE(ckpt.empty())
+            << "kernel too short for checkpointEveryInsts";
+    }
+
+    {
+        std::ofstream out(cfg.artifactDir + "/job-42.ckpt.json");
+        out << ckpt;
+    }
+    {
+        Journal j(cfg.journalPath);
+        j.append(JournalEvent::Accepted, 42, "", 0, &spec, true);
+        j.append(JournalEvent::Started, 42);
+        j.append(JournalEvent::Attempt, 42, "", 1);
+    }
+
+    Supervisor sup(cfg);
+    const JobOutcome out = sup.wait(1);
+    EXPECT_EQ(out.status, JobStatus::Done);
+    EXPECT_EQ(out.statsJson, baseline)
+        << "resume-from-checkpoint must be byte-identical to the "
+           "uninterrupted run";
+    EXPECT_EQ(sup.stats().recovered, 1u);
+    EXPECT_EQ(sup.stats().resumed, 1u);
+
+    unsigned resumedEvents = 0;
+    for (const FlightEvent &ev : sup.flight().events())
+        if (ev.kind == FlightKind::JobResumed)
+            resumedEvents++;
+    EXPECT_EQ(resumedEvents, 1u);
+    sup.drain();
+}
+
+TEST(ResultCache, CorruptEntryIsQuarantinedAndBecomesAMiss)
+{
+    const std::string dir =
+        testing::TempDir() + "/xloops_cache_quarantine";
+    (void)std::system(("mkdir -p " + dir).c_str());
+
+    const std::string path = dir + "/index.json";
+    const u64 key = resultCacheKey(7, specimenSpec());
+    {
+        ResultCache cache(8);
+        cache.insert(key, "{\"cycles\": 123}\n");
+        cache.saveIndex(path);
+    }
+
+    // Rot one byte of the stored result text on disk.
+    std::string text;
+    {
+        std::ifstream in(path);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        text = ss.str();
+    }
+    const size_t at = text.find("123");
+    ASSERT_NE(at, std::string::npos);
+    text[at] = '9';
+    {
+        std::ofstream out(path);
+        out << text;
+    }
+
+    ResultCache restored(8);
+    restored.setQuarantineDir(dir);
+    u64 hookKey = 0;
+    restored.setCorruptionHook(
+        [&](u64 k, const std::string &) { hookKey = k; });
+    EXPECT_EQ(restored.loadIndex(path), 0u)
+        << "the rotted entry must not load";
+    EXPECT_EQ(restored.corruptions(), 1u);
+    EXPECT_EQ(hookKey, key);
+    std::string out;
+    EXPECT_FALSE(restored.lookup(key, out))
+        << "a corrupt entry is a miss (re-simulate), never an answer";
+}
+
+TEST(ResultCache, LegacyPlainStringIndexEntriesStillLoad)
+{
+    // Pre-durability indexes stored entries as bare strings; they
+    // must keep loading (and gain checksums) rather than strand a
+    // fleet's warm caches on upgrade.
+    const std::string path =
+        testing::TempDir() + "/xloops_cache_legacy.json";
+    const u64 key = resultCacheKey(3, specimenSpec());
+    const std::string doc = "{\"cycles\": 5}\n";
+    {
+        std::ofstream out(path);
+        JsonWriter w(out, /*pretty=*/true);
+        w.beginObject();
+        w.field("schema", "xloops-cache-1");
+        w.field("num_entries", 1);
+        w.key("entries").beginObject();
+        w.key(strf("0x", std::hex, key));
+        w.value(doc);
+        w.endObject();
+        w.endObject();
+    }
+    ResultCache cache(8);
+    EXPECT_EQ(cache.loadIndex(path), 1u);
+    std::string out;
+    ASSERT_TRUE(cache.lookup(key, out));
+    EXPECT_EQ(out, doc);
+}
+
+TEST(ResultCache, UnreadableIndexIsAColdStartNotACrash)
+{
+    const std::string path =
+        testing::TempDir() + "/xloops_cache_torn.json";
+    {
+        std::ofstream out(path);
+        out << "{\"schema\": \"xloops-cache-1\", \"entr";  // torn write
+    }
+    ResultCache cache(8);
+    EXPECT_EQ(cache.loadIndex(path), 0u)
+        << "a torn index must not keep the daemon down";
+    EXPECT_EQ(cache.corruptions(), 1u);
 }
 
 // A preset stop flag surfaces as the matching SimError kind through a

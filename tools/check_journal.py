@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Validate an xloopsd write-ahead job journal.
+
+Checks that a journal written by the daemon (xloops-journal-1, see
+docs/SERVICE.md section 7) is internally consistent:
+
+  * framing: every line is `xj1 <crc32-hex8> <compact-json>` and the
+    CRC-32 (IEEE, i.e. zlib.crc32) of the JSON payload matches
+  * the first record is an `open` header carrying the schema name
+  * sequence numbers are strictly increasing
+  * per-job lifecycle order: `accepted` precedes everything else for
+    that job, `started` at most once, `attempt` numbers strictly
+    increase, and a terminal event (`completed`/`failed`/`shed`/
+    `cancelled`) happens at most once with nothing after it
+
+A torn trailing line — the expected residue of a crash mid-append —
+is tolerated (and reported) by default; --strict turns it into a
+failure, which is right for journals written by a graceful drain.
+--require-terminal additionally fails if any accepted job never
+reached a terminal record, which is what the crash-recovery soak
+asserts after its final uninterrupted drain: zero lost acknowledged
+jobs. Used by CI and the service_crash_recovery ctest; exits non-zero
+with a message on the first violation.
+"""
+
+import argparse
+import json
+import re
+import sys
+import zlib
+
+FRAME_RE = re.compile(r"^xj1 ([0-9a-f]{8}) (\{.*\})$")
+
+SCHEMA = "xloops-journal-1"
+TERMINAL = {"completed", "failed", "shed", "cancelled"}
+EVENTS = TERMINAL | {"open", "accepted", "started", "attempt",
+                     "backoff", "recovered"}
+
+
+def fail(msg):
+    print(f"check_journal: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+class JobState:
+    __slots__ = ("started", "attempt", "terminal")
+
+    def __init__(self):
+        self.started = False
+        self.attempt = 0
+        self.terminal = None
+
+
+def parse_record(line, ctx):
+    m = FRAME_RE.match(line)
+    if not m:
+        return None, f"{ctx}: bad frame (want 'xj1 <hex8> {{json}}')"
+    want = int(m.group(1), 16)
+    payload = m.group(2)
+    got = zlib.crc32(payload.encode())
+    if got != want:
+        return None, (f"{ctx}: CRC mismatch (recorded {want:08x}, "
+                      f"computed {got:08x})")
+    try:
+        doc = json.loads(payload)
+    except json.JSONDecodeError as err:
+        return None, f"{ctx}: CRC ok but payload is not JSON: {err}"
+    return doc, None
+
+
+def check_journal(path, text, strict, require_terminal):
+    lines = text.split("\n")
+    torn = None
+    if lines and lines[-1] == "":
+        lines.pop()  # properly terminated final record
+    elif lines:
+        torn = f"unterminated final line ({len(lines[-1])} bytes)"
+        lines.pop()
+
+    if not lines and torn is None:
+        fail(f"{path}: empty journal")
+
+    last_seq = 0
+    jobs = {}
+    records = 0
+    for i, line in enumerate(lines):
+        ctx = f"{path}:{i + 1}"
+        doc, err = parse_record(line, ctx)
+        if doc is None:
+            # A bad record mid-file is rot the daemon would silently
+            # truncate at; flag it even without --strict unless it is
+            # the final complete line (a torn write can lose the
+            # newline of the record *before* the one it tore).
+            if i == len(lines) - 1:
+                torn = err
+                break
+            fail(err)
+
+        seq = doc.get("seq")
+        if not isinstance(seq, int) or seq <= last_seq:
+            fail(f"{ctx}: seq {seq!r} not greater than {last_seq}")
+        last_seq = seq
+
+        ev = doc.get("ev")
+        if ev not in EVENTS:
+            fail(f"{ctx}: unknown event {ev!r}")
+        if not isinstance(doc.get("t_us"), int) or doc["t_us"] < 0:
+            fail(f"{ctx}: t_us is {doc.get('t_us')!r}")
+
+        if records == 0:
+            if ev != "open":
+                fail(f"{ctx}: first record is '{ev}', want the "
+                     f"'open' header")
+            if doc.get("schema") != SCHEMA:
+                fail(f"{ctx}: open header schema is "
+                     f"{doc.get('schema')!r}, want {SCHEMA!r}")
+            records += 1
+            continue
+        if ev == "open":
+            fail(f"{ctx}: second 'open' header (journals are "
+                 f"rotated whole, never concatenated)")
+        records += 1
+
+        job_id = doc.get("job")
+        if not isinstance(job_id, int) or job_id <= 0:
+            fail(f"{ctx}: job id is {job_id!r}")
+
+        st = jobs.get(job_id)
+        if ev == "accepted":
+            if st is not None:
+                fail(f"{ctx}: job {job_id} accepted twice")
+            if "spec" not in doc:
+                fail(f"{ctx}: accepted record for job {job_id} "
+                     f"carries no spec (unrecoverable)")
+            jobs[job_id] = JobState()
+            continue
+        if st is None:
+            fail(f"{ctx}: '{ev}' for job {job_id} before its "
+                 f"'accepted'")
+        if st.terminal is not None:
+            fail(f"{ctx}: '{ev}' for job {job_id} after its "
+                 f"terminal '{st.terminal}'")
+
+        if ev == "started":
+            if st.started:
+                fail(f"{ctx}: job {job_id} started twice")
+            st.started = True
+        elif ev == "attempt":
+            attempt = doc.get("attempt")
+            if not isinstance(attempt, int) or attempt <= st.attempt:
+                fail(f"{ctx}: job {job_id} attempt {attempt!r} not "
+                     f"greater than {st.attempt}")
+            st.attempt = attempt
+        elif ev in TERMINAL:
+            st.terminal = ev
+
+    if torn is not None and strict:
+        fail(f"{path}: torn tail under --strict: {torn}")
+
+    unfinished = sorted(j for j, st in jobs.items()
+                        if st.terminal is None)
+    if require_terminal and unfinished:
+        fail(f"{path}: {len(unfinished)} accepted job(s) never "
+             f"reached a terminal record: {unfinished[:10]} — "
+             f"acknowledged work was lost")
+
+    outcomes = {}
+    for st in jobs.values():
+        if st.terminal is not None:
+            outcomes[st.terminal] = outcomes.get(st.terminal, 0) + 1
+    summary = ", ".join(f"{n} {ev}" for ev, n in sorted(outcomes.items()))
+    print(f"check_journal: {path}: OK ({records} records, "
+          f"{len(jobs)} jobs{': ' + summary if summary else ''}"
+          f"{', ' + str(len(unfinished)) + ' pending' if unfinished else ''}"
+          f"{', torn tail' if torn else ''})")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("journal",
+                    help="xloops-journal-1 file; '-' reads stdin")
+    ap.add_argument("--strict", action="store_true",
+                    help="fail on a torn trailing record (right for "
+                         "journals closed by a graceful drain)")
+    ap.add_argument("--require-terminal", action="store_true",
+                    help="fail if any accepted job has no terminal "
+                         "record (zero lost acknowledged jobs)")
+    args = ap.parse_args()
+
+    if args.journal == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.journal, encoding="utf-8",
+                  errors="surrogateescape") as f:
+            text = f.read()
+
+    check_journal(args.journal, text, args.strict,
+                  args.require_terminal)
+
+
+if __name__ == "__main__":
+    main()

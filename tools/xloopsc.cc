@@ -36,6 +36,10 @@ printUsage(std::FILE *out)
         "usage: xloopsc [metrics|health] [options]\n"
         "  --socket <path>        daemon socket (default "
         "xloopsd.sock)\n"
+        "  --connect-retry-ms <n> retry a refused/missing socket for "
+        "up to n ms\n"
+        "                         (default 2000; rides through daemon "
+        "restarts; 0 = fail fast)\n"
         "control requests:\n"
         "  --ping                 liveness probe\n"
         "  --stats                print server counters\n"
@@ -110,6 +114,7 @@ int
 main(int argc, char **argv)
 {
     std::string socketPath = "xloopsd.sock";
+    unsigned connectRetryMs = 2000;
     std::string statsOut;
     std::string capsuleOut;
     std::string metricsOut;
@@ -130,6 +135,9 @@ main(int argc, char **argv)
             };
             if (arg == "--socket")
                 socketPath = next();
+            else if (arg == "--connect-retry-ms")
+                connectRetryMs = static_cast<unsigned>(
+                    std::strtoul(next().c_str(), nullptr, 10));
             else if (arg == "--ping")
                 req.op = "ping";
             else if (arg == "--stats")
@@ -204,7 +212,7 @@ main(int argc, char **argv)
             req.op = "submit";
         }
 
-        ServiceClient client(socketPath);
+        ServiceClient client(socketPath, connectRetryMs);
         const std::string responseLine =
             client.request(encodeRequest(req));
         const JsonValue v = jsonParse(responseLine);

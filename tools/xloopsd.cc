@@ -56,6 +56,14 @@ printUsage(std::FILE *out)
         "index\n"
         "  --cache-entries <n>   result cache capacity (default "
         "4096)\n"
+        "  --journal <file>      write-ahead job journal; acknowledged "
+        "jobs survive kill -9\n"
+        "  --no-recover          do not replay the journal at startup "
+        "(forensics)\n"
+        "  --ckpt-every-insts <n>  checkpoint attempt-0 runs every n "
+        "committed GPP insts\n"
+        "                        so recovery resumes long jobs "
+        "mid-flight (default off)\n"
         "  --max-retries <n>     retry budget for retryable failures "
         "(default 3)\n"
         "  --deadline-ms <n>     default per-job wall-clock deadline "
@@ -105,6 +113,13 @@ main(int argc, char **argv)
                 cfg.cacheIndexPath = next();
             else if (arg == "--cache-entries")
                 cfg.supervisor.cacheEntries =
+                    std::strtoull(next().c_str(), nullptr, 10);
+            else if (arg == "--journal")
+                cfg.supervisor.journalPath = next();
+            else if (arg == "--no-recover")
+                cfg.supervisor.recover = false;
+            else if (arg == "--ckpt-every-insts")
+                cfg.supervisor.checkpointEveryInsts =
                     std::strtoull(next().c_str(), nullptr, 10);
             else if (arg == "--max-retries")
                 cfg.supervisor.retry.maxRetries =
