@@ -1,28 +1,27 @@
 #include "cpu/exec_core.h"
 
 #include <cmath>
-#include <cstring>
 
 #include "common/log.h"
+#include "cpu/fp.h"
 
 namespace xloops {
 
 namespace {
 
+// FP results go through fp::canon/fp::toWord (cpu/fp.h) so NaN
+// payloads and float→int edge cases are bit-identical across
+// executors and compilers.
 float
 asFloat(u32 v)
 {
-    float f;
-    std::memcpy(&f, &v, 4);
-    return f;
+    return fp::fromBits(v);
 }
 
 u32
 asBits(float f)
 {
-    u32 v;
-    std::memcpy(&v, &f, 4);
-    return v;
+    return fp::canon(f);
 }
 
 } // namespace
@@ -128,7 +127,7 @@ ExecCore::step(const Instruction &inst, Addr pc, RegFile &regs,
         writeReg(inst.rd, asBits(static_cast<float>(sa)));
         break;
       case Op::FCVTWS:
-        writeReg(inst.rd, static_cast<u32>(static_cast<i32>(asFloat(a))));
+        writeReg(inst.rd, fp::toWord(asFloat(a)));
         break;
 
       case Op::LW: load(4, false); break;

@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Compile-time per-opcode metadata for the threaded-dispatch executor.
+ *
+ * The X-macro in opcodes.h is the single source of truth for the
+ * opcode space; this header expands it a second time into a constexpr
+ * table of *execution* metadata: which semantic handler implements the
+ * opcode, which operand fields it reads and writes, what memory side
+ * effects it has, and whether it terminates a superblock. The threaded
+ * interpreter (cpu/threaded.cc) dispatches on the handler id with a
+ * computed goto instead of a per-opcode switch, and the superblock
+ * builder uses the side-effect flags to decide where decoded basic
+ * blocks end.
+ *
+ * Everything here is derived at compile time — the handler mapping, the
+ * operand classes (from the encoding Format), and the side-effect flags
+ * (from the FuClass) — and cross-checked against the OpTraits table by
+ * static_assert, so the metadata can never drift from the ISA
+ * definition without failing the build.
+ */
+
+#ifndef XLOOPS_ISA_OP_META_H
+#define XLOOPS_ISA_OP_META_H
+
+#include <array>
+
+#include "isa/opcodes.h"
+
+namespace xloops {
+
+/**
+ * Semantic handler implementing an opcode in the threaded interpreter.
+ * Opcodes whose semantics differ only by a metadata parameter share a
+ * handler: the five loads share Load (size/sign from OpMeta), the three
+ * stores share Store, the seven AMOs share Amo (the combine function is
+ * selected by the opcode inside MainMemory::amo), the ten xloop.*[.db]
+ * opcodes share Xloop (traditional increment-compare-branch), and the
+ * two xloop.*.de extensions share XloopDe.
+ */
+enum class OpHandler : u8
+{
+    Add, Sub, Mul, Mulh, Div, Rem, And, Or, Xor, Nor,
+    Sll, Srl, Sra, Slt, Sltu,
+    Addi, Andi, Ori, Xori, Slli, Srli, Srai, Slti, Sltiu, Lui,
+    Fadd, Fsub, Fmul, Fdiv, Fmin, Fmax, Flt, Fle, Feq, Fcvtsw, Fcvtws,
+    Load, Store, Amo, Fence,
+    Beq, Bne, Blt, Bge, Bltu, Bgeu, Jal, Jalr,
+    Xloop, XloopDe, AddiuXi, AdduXi,
+    Nop, Halt, Csrr,
+    NumHandlers
+};
+
+constexpr unsigned numOpHandlers =
+    static_cast<unsigned>(OpHandler::NumHandlers);
+
+/** Static execution metadata of one opcode. */
+struct OpMeta
+{
+    OpHandler handler = OpHandler::Nop;
+    bool readsRs1 = false;   ///< consumes the rs1 field as a register
+    bool readsRs2 = false;   ///< consumes the rs2 field as a register
+    bool readsRd = false;    ///< rd is also a source (xloop index, xi)
+    bool writesRd = false;   ///< architectural write to rd (r0 discarded)
+    bool memRead = false;    ///< reads data memory (loads, AMOs)
+    bool memWrite = false;   ///< writes data memory (stores, AMOs)
+    bool isAmo = false;      ///< read-modify-write atomic
+    bool endsBlock = false;  ///< control flow or halt: terminates a
+                             ///< superblock (everything after it in the
+                             ///< static text may never execute)
+    bool usesCycle = false;  ///< observes the cycle counter (csrr)
+    u8 memSize = 0;          ///< access bytes (1, 2, 4; 0 = no access)
+    bool memSigned = false;  ///< loads: sign-extend sub-word values
+};
+
+namespace op_meta_detail {
+
+// Second and third expansions of the ISA X-macro: the encoding format
+// and functional class of every opcode, indexable at compile time
+// (instruction.cc's OpTraits table is runtime-only by design).
+constexpr std::array<Format, numOpcodes> formats = {{
+#define XLOOPS_OP_FMT(name, mnem, fmt, fu, lat) Format::fmt,
+    XLOOPS_OPCODE_LIST(XLOOPS_OP_FMT)
+#undef XLOOPS_OP_FMT
+}};
+
+constexpr std::array<FuClass, numOpcodes> fuClasses = {{
+#define XLOOPS_OP_FU(name, mnem, fmt, fu, lat) FuClass::fu,
+    XLOOPS_OPCODE_LIST(XLOOPS_OP_FU)
+#undef XLOOPS_OP_FU
+}};
+
+constexpr bool
+isXloopAt(unsigned i)
+{
+    return i >= static_cast<unsigned>(Op::XLOOP_UC) &&
+           i <= static_cast<unsigned>(Op::XLOOP_ORM_DE);
+}
+
+constexpr bool
+isDataDepExitAt(unsigned i)
+{
+    return i == static_cast<unsigned>(Op::XLOOP_OM_DE) ||
+           i == static_cast<unsigned>(Op::XLOOP_ORM_DE);
+}
+
+/** Handler id of @p op; the shared-handler groups are keyed off the
+ *  functional class so a new load/store/AMO/xloop opcode added to the
+ *  X-macro lands in the right handler automatically. */
+constexpr OpHandler
+handlerOf(Op op)
+{
+    const unsigned i = static_cast<unsigned>(op);
+    switch (fuClasses[i]) {
+      case FuClass::Load: return OpHandler::Load;
+      case FuClass::Store: return OpHandler::Store;
+      case FuClass::Amo: return OpHandler::Amo;
+      case FuClass::Xloop:
+        return isDataDepExitAt(i) ? OpHandler::XloopDe : OpHandler::Xloop;
+      default:
+        break;
+    }
+    switch (op) {
+      case Op::ADD: return OpHandler::Add;
+      case Op::SUB: return OpHandler::Sub;
+      case Op::MUL: return OpHandler::Mul;
+      case Op::MULH: return OpHandler::Mulh;
+      case Op::DIV: return OpHandler::Div;
+      case Op::REM: return OpHandler::Rem;
+      case Op::AND: return OpHandler::And;
+      case Op::OR: return OpHandler::Or;
+      case Op::XOR: return OpHandler::Xor;
+      case Op::NOR: return OpHandler::Nor;
+      case Op::SLL: return OpHandler::Sll;
+      case Op::SRL: return OpHandler::Srl;
+      case Op::SRA: return OpHandler::Sra;
+      case Op::SLT: return OpHandler::Slt;
+      case Op::SLTU: return OpHandler::Sltu;
+      case Op::ADDI: return OpHandler::Addi;
+      case Op::ANDI: return OpHandler::Andi;
+      case Op::ORI: return OpHandler::Ori;
+      case Op::XORI: return OpHandler::Xori;
+      case Op::SLLI: return OpHandler::Slli;
+      case Op::SRLI: return OpHandler::Srli;
+      case Op::SRAI: return OpHandler::Srai;
+      case Op::SLTI: return OpHandler::Slti;
+      case Op::SLTIU: return OpHandler::Sltiu;
+      case Op::LUI: return OpHandler::Lui;
+      case Op::FADD: return OpHandler::Fadd;
+      case Op::FSUB: return OpHandler::Fsub;
+      case Op::FMUL: return OpHandler::Fmul;
+      case Op::FDIV: return OpHandler::Fdiv;
+      case Op::FMIN: return OpHandler::Fmin;
+      case Op::FMAX: return OpHandler::Fmax;
+      case Op::FLT: return OpHandler::Flt;
+      case Op::FLE: return OpHandler::Fle;
+      case Op::FEQ: return OpHandler::Feq;
+      case Op::FCVTSW: return OpHandler::Fcvtsw;
+      case Op::FCVTWS: return OpHandler::Fcvtws;
+      case Op::FENCE: return OpHandler::Fence;
+      case Op::BEQ: return OpHandler::Beq;
+      case Op::BNE: return OpHandler::Bne;
+      case Op::BLT: return OpHandler::Blt;
+      case Op::BGE: return OpHandler::Bge;
+      case Op::BLTU: return OpHandler::Bltu;
+      case Op::BGEU: return OpHandler::Bgeu;
+      case Op::JAL: return OpHandler::Jal;
+      case Op::JALR: return OpHandler::Jalr;
+      case Op::ADDIU_XI: return OpHandler::AddiuXi;
+      case Op::ADDU_XI: return OpHandler::AdduXi;
+      case Op::NOP: return OpHandler::Nop;
+      case Op::HALT: return OpHandler::Halt;
+      case Op::CSRR: return OpHandler::Csrr;
+      default: return OpHandler::NumHandlers;  // caught by static_assert
+    }
+}
+
+/** Memory access width of @p op (0 for non-memory opcodes). */
+constexpr u8
+memSizeOf(Op op)
+{
+    switch (op) {
+      case Op::LW: case Op::SW: return 4;
+      case Op::LH: case Op::LHU: case Op::SH: return 2;
+      case Op::LB: case Op::LBU: case Op::SB: return 1;
+      case Op::AMOADD: case Op::AMOAND: case Op::AMOOR: case Op::AMOXOR:
+      case Op::AMOSWAP: case Op::AMOMIN: case Op::AMOMAX:
+        return 4;
+      default: return 0;
+    }
+}
+
+constexpr bool
+memSignedOf(Op op)
+{
+    return op == Op::LH || op == Op::LB;
+}
+
+constexpr OpMeta
+metaOf(unsigned i)
+{
+    const Op op = static_cast<Op>(i);
+    const Format fmt = formats[i];
+    const FuClass fu = fuClasses[i];
+    OpMeta m;
+    m.handler = handlerOf(op);
+    // Operand classes follow the encoding format (the same derivation
+    // Instruction::srcRegs/destReg make at run time).
+    m.readsRs1 = fmt == Format::R || fmt == Format::A || fmt == Format::I ||
+                 fmt == Format::S || fmt == Format::B || fmt == Format::X;
+    m.readsRs2 = fmt == Format::R || fmt == Format::A || fmt == Format::S ||
+                 fmt == Format::B || op == Op::ADDU_XI;
+    m.readsRd = fmt == Format::X || fmt == Format::XI;
+    m.writesRd = fmt == Format::R || fmt == Format::A || fmt == Format::I ||
+                 fmt == Format::U || fmt == Format::C || fmt == Format::J ||
+                 fmt == Format::X || fmt == Format::XI;
+    m.memRead = fu == FuClass::Load || fu == FuClass::Amo;
+    m.memWrite = fu == FuClass::Store || fu == FuClass::Amo;
+    m.isAmo = fu == FuClass::Amo;
+    m.endsBlock = fu == FuClass::Branch || fu == FuClass::Jump ||
+                  fu == FuClass::Xloop || op == Op::HALT;
+    m.usesCycle = op == Op::CSRR;
+    m.memSize = memSizeOf(op);
+    m.memSigned = memSignedOf(op);
+    return m;
+}
+
+template <unsigned... Is>
+constexpr std::array<OpMeta, numOpcodes>
+buildTable(std::integer_sequence<unsigned, Is...>)
+{
+    return {{metaOf(Is)...}};
+}
+
+} // namespace op_meta_detail
+
+/** The compile-time metadata table, indexed by opcode value. */
+constexpr std::array<OpMeta, numOpcodes> opMetaTable =
+    op_meta_detail::buildTable(
+        std::make_integer_sequence<unsigned, numOpcodes>{});
+
+/** Metadata of opcode @p op. */
+constexpr const OpMeta &
+opMeta(Op op)
+{
+    return opMetaTable[static_cast<unsigned>(op)];
+}
+
+namespace op_meta_detail {
+
+// The table cannot drift from the ISA definition: every opcode must
+// map to a real handler, memory flags must agree with the functional
+// class, block termination must cover exactly the control opcodes plus
+// halt, and the load metadata must be present exactly for loads.
+constexpr bool
+tableConsistent()
+{
+    for (unsigned i = 0; i < numOpcodes; i++) {
+        const OpMeta &m = opMetaTable[i];
+        const FuClass fu = fuClasses[i];
+        if (m.handler == OpHandler::NumHandlers)
+            return false;
+        if (m.memRead != (fu == FuClass::Load || fu == FuClass::Amo))
+            return false;
+        if (m.memWrite != (fu == FuClass::Store || fu == FuClass::Amo))
+            return false;
+        if (m.isAmo != (fu == FuClass::Amo))
+            return false;
+        if ((m.memSize != 0) != (m.memRead || m.memWrite))
+            return false;
+        if (m.memSigned && !(fu == FuClass::Load && m.memSize < 4))
+            return false;
+        if (m.endsBlock != (fu == FuClass::Branch || fu == FuClass::Jump ||
+                            fu == FuClass::Xloop ||
+                            static_cast<Op>(i) == Op::HALT))
+            return false;
+        if ((m.handler == OpHandler::Xloop ||
+             m.handler == OpHandler::XloopDe) != isXloopAt(i))
+            return false;
+        if (m.readsRd &&
+            !(formats[i] == Format::X || formats[i] == Format::XI))
+            return false;
+    }
+    return true;
+}
+
+static_assert(tableConsistent(),
+              "op_meta.h metadata disagrees with the opcodes.h X-macro");
+static_assert(opMeta(Op::LW).memSize == 4 && opMeta(Op::LB).memSigned &&
+                  !opMeta(Op::LBU).memSigned,
+              "load width/sign metadata wrong");
+static_assert(opMeta(Op::XLOOP_UC).handler == OpHandler::Xloop &&
+                  opMeta(Op::XLOOP_ORM_DE).handler == OpHandler::XloopDe,
+              "xloop handler grouping wrong");
+static_assert(opMeta(Op::HALT).endsBlock && !opMeta(Op::CSRR).endsBlock,
+              "superblock termination flags wrong");
+
+} // namespace op_meta_detail
+
+} // namespace xloops
+
+#endif // XLOOPS_ISA_OP_META_H

@@ -5,7 +5,7 @@
 
 #include "asm/assembler.h"
 #include "common/log.h"
-#include "cpu/functional.h"
+#include "cpu/threaded.h"
 #include "system/capsule.h"
 
 namespace xloops {
@@ -161,12 +161,15 @@ runKernel(const Kernel &kernel, const SysConfig &cfg, ExecMode mode,
     }
     captureCheckpoint();
 
-    // Serial golden model on an identical memory image.
+    // Serial golden model on an identical memory image. The threaded
+    // executor is bit-equivalent to the legacy switch (proven by
+    // tests/test_threaded_exec.cc and the kernel equivalence sweep) and
+    // runs the golden pass several times faster.
     MainMemory golden;
     prog.loadInto(golden);
     if (kernel.setup)
         kernel.setup(golden, prog);
-    FunctionalExecutor exec(golden);
+    ThreadedExecutor exec(golden);
     run.xlDynInsts = exec.run(prog).dynInsts;
 
     run.passed = true;

@@ -22,48 +22,6 @@ MainMemory::pageFor(Addr addr)
     return page.get();
 }
 
-namespace {
-
-void
-checkAccess(Addr addr, unsigned size)
-{
-    if (size != 1 && size != 2 && size != 4)
-        panic(strf("bad access size ", size));
-    if (addr % size != 0)
-        fatal(strf("misaligned ", size, "-byte access at 0x", std::hex,
-                   addr));
-}
-
-} // namespace
-
-u32
-MainMemory::read(Addr addr, unsigned size)
-{
-    checkAccess(addr, size);
-    const u8 *page = pageFor(addr);
-    const Addr off = addr & pageMask;
-    u32 value = 0;
-    for (unsigned i = 0; i < size; i++)
-        value |= static_cast<u32>(page[off + i]) << (8 * i);
-    return value;
-}
-
-void
-MainMemory::write(Addr addr, unsigned size, u32 value)
-{
-    checkAccess(addr, size);
-    u8 *page = pageFor(addr);
-    const Addr off = addr & pageMask;
-    for (unsigned i = 0; i < size; i++) {
-        const u8 nb = static_cast<u8>(value >> (8 * i));
-        u8 &ob = page[off + i];
-        if (ob != nb) {
-            dig ^= byteContrib(addr + i, ob) ^ byteContrib(addr + i, nb);
-            ob = nb;
-        }
-    }
-}
-
 u32
 MainMemory::amoCompute(Op op, u32 old, u32 operand)
 {
@@ -127,6 +85,8 @@ void
 MainMemory::copyFrom(const MainMemory &other)
 {
     pages.clear();
+    cachedPageNum = ~u32{0};
+    cachedPage = nullptr;
     for (const auto &[pageNum, page] : other.pages) {
         auto copy = std::make_unique<u8[]>(pageSize);
         std::memcpy(copy.get(), page.get(), pageSize);
@@ -195,6 +155,8 @@ void
 MainMemory::loadState(const JsonValue &v)
 {
     pages.clear();
+    cachedPageNum = ~u32{0};
+    cachedPage = nullptr;
     dig = 0;
     for (const auto &[key, blob] : v.at("pages").members()) {
         const u32 pageNum = static_cast<u32>(parseU64(key));

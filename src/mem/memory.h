@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/log.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "isa/opcodes.h"
@@ -48,8 +49,40 @@ class MemIface
 class MainMemory : public MemIface
 {
   public:
-    u32 read(Addr addr, unsigned size) override;
-    void write(Addr addr, unsigned size, u32 value) override;
+    // read/write are defined inline (with a one-entry page-translation
+    // cache in front of the sparse page map) so callers holding a
+    // concrete MainMemory — the threaded interpreter's hot loop —
+    // devirtualize and inline the whole access. Callers going through
+    // MemIface still dispatch virtually to the same code.
+    u32
+    read(Addr addr, unsigned size) override
+    {
+        checkAccess(addr, size);
+        const u8 *page = lookupPage(addr);
+        const Addr off = addr & pageMask;
+        u32 value = 0;
+        for (unsigned i = 0; i < size; i++)
+            value |= static_cast<u32>(page[off + i]) << (8 * i);
+        return value;
+    }
+
+    void
+    write(Addr addr, unsigned size, u32 value) override
+    {
+        checkAccess(addr, size);
+        u8 *page = lookupPage(addr);
+        const Addr off = addr & pageMask;
+        for (unsigned i = 0; i < size; i++) {
+            const u8 nb = static_cast<u8>(value >> (8 * i));
+            u8 &ob = page[off + i];
+            if (ob != nb) {
+                dig ^= byteContrib(addr + i, ob) ^
+                       byteContrib(addr + i, nb);
+                ob = nb;
+            }
+        }
+    }
+
     u32 amo(Op op, Addr addr, u32 operand) override;
 
     /** Word helpers used by loaders, kernels, and tests. */
@@ -99,10 +132,38 @@ class MainMemory : public MemIface
                       : mix64((static_cast<u64>(addr) << 8) | b);
     }
 
+    static void
+    checkAccess(Addr addr, unsigned size)
+    {
+        if (size != 1 && size != 2 && size != 4)
+            panic(strf("bad access size ", size));
+        if (addr % size != 0)
+            fatal(strf("misaligned ", size, "-byte access at 0x",
+                       std::hex, addr));
+    }
+
+    /** One-entry page-translation cache over the sparse map. Page
+     *  arrays are pointer-stable across map growth; the cache is
+     *  dropped whenever the map itself is rebuilt (copyFrom /
+     *  loadState). */
+    u8 *
+    lookupPage(Addr addr)
+    {
+        const u32 pageNum = addr >> pageBits;
+        if (pageNum == cachedPageNum)
+            return cachedPage;
+        u8 *page = pageFor(addr);
+        cachedPageNum = pageNum;
+        cachedPage = page;
+        return page;
+    }
+
     u8 *pageFor(Addr addr);
 
     std::unordered_map<u32, std::unique_ptr<u8[]>> pages;
     u64 dig = 0;
+    u32 cachedPageNum = ~u32{0};
+    u8 *cachedPage = nullptr;
 };
 
 } // namespace xloops

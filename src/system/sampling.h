@@ -1,0 +1,136 @@
+/**
+ * @file
+ * SMARTS-style sampled cycle simulation.
+ *
+ * Full cycle-accurate simulation prices every instruction through the
+ * GPP timing model; sampled simulation buys back almost all of that
+ * wall-clock by executing the program on the threaded functional fast
+ * path (cpu/threaded.h) and dropping into cycle-accurate detail only
+ * inside periodically selected measurement windows — the systematic
+ * sampling regime of "SMARTS: Accelerating Microarchitecture
+ * Simulation via Rigorous Statistical Sampling" (Wunderlich et al.).
+ *
+ * One sampling unit is `period` dynamic instructions. Each period
+ * contains a single detailed region of `warmup + window` instructions
+ * placed at a random phase offset drawn once per run from the named
+ * RNG stream "sample.select" (so window placement is deterministic
+ * for a fixed seed and independent of every other stream). The warmup
+ * prefix runs through the timing model to re-warm caches and pipeline
+ * state after the functional gap but its cycles are excluded; the
+ * window suffix contributes one CPI observation. The estimate is the
+ * mean of the window CPIs with a normal-approximation confidence
+ * interval (z * s / sqrt(n)), floored at a documented minimum relative
+ * half-width — the sampling-resolution floor below which the interval
+ * would claim more precision than detailed warming can deliver.
+ *
+ * Functional architectural state is *exact*, not sampled: a sampled
+ * run retires every instruction of the program (fast-forwarded or
+ * detailed), so final registers, memory, and instruction counts are
+ * bit-identical to a pure functional run and kernel output validation
+ * still applies. Only cycle counts are estimated. (The one caveat is
+ * csrr: the cycle CSR reads the retired-instruction clock, as in the
+ * functional executor, rather than the partially-advanced timing
+ * clock — Table II kernels never read it.)
+ *
+ * Timing models traditional execution (xloop = increment-compare-
+ * branch on the configured GPP). Checkpoint seeding: restore() accepts
+ * an xloops-ckpt-1 document and resumes sampling from its memory,
+ * registers, pc, and instruction count — and always invalidates the
+ * executor's superblock cache, because the restored image may disagree
+ * with text the executor has already decoded.
+ */
+
+#ifndef XLOOPS_SYSTEM_SAMPLING_H
+#define XLOOPS_SYSTEM_SAMPLING_H
+
+#include <memory>
+#include <vector>
+
+#include "asm/program.h"
+#include "cpu/gpp.h"
+#include "cpu/threaded.h"
+#include "mem/memory.h"
+#include "system/config.h"
+
+namespace xloops {
+
+class JsonWriter;
+
+/** Sampling regime of one run. */
+struct SampleOptions
+{
+    u64 period = 10'000;   ///< instructions per sampling unit
+    u64 window = 500;      ///< measured instructions per window
+    u64 warmup = ~u64{0};  ///< detailed warmup before each window
+                           ///< (default ~0 = same as window)
+    u64 seed = 0;          ///< root seed for window placement
+    double z = 2.576;      ///< CI quantile (99% two-sided normal)
+    double minRelHalfWidth = 0.02;  ///< resolution floor (fraction of
+                                    ///< the estimate)
+    u64 maxInsts = 500'000'000;     ///< total-instruction safety valve
+};
+
+/** Outcome of one sampled run. */
+struct SampleResult
+{
+    u64 totalInsts = 0;     ///< every instruction retired
+    u64 ffInsts = 0;        ///< fast-forwarded functionally
+    u64 warmupInsts = 0;    ///< detailed, cycles excluded
+    u64 measuredInsts = 0;  ///< detailed, inside full windows
+    Cycle measuredCycles = 0;
+    u64 windows = 0;        ///< full windows measured
+    u64 phase = 0;          ///< detailed-region offset within a period
+    double cpiEst = 0.0;
+    double cpiHalfWidth = 0.0;  ///< CI half-width around cpiEst
+    double cpiStddev = 0.0;     ///< sample stddev of window CPIs
+    Cycle estCycles = 0;        ///< round(cpiEst * totalInsts)
+    std::vector<double> windowCpi;
+    bool halted = false;
+};
+
+/**
+ * A sampled simulation: threaded functional fast-forward + periodic
+ * cycle-accurate windows on the configured GPP model. Mirrors the
+ * XloopsSystem surface (construct, loadProgram, run) closely enough
+ * that callers can switch between full and sampled runs.
+ */
+class SampledSimulation
+{
+  public:
+    SampledSimulation(const SysConfig &config, const SampleOptions &options);
+
+    MainMemory &memory() { return mem; }
+    ThreadedExecutor &executor() { return exec; }
+
+    /** Copy program text+data into memory. */
+    void loadProgram(const Program &prog);
+
+    /**
+     * Seed from an xloops-ckpt-1 document: registers, pc, memory, and
+     * instruction count are restored (the timing state is not — the
+     * next window's warmup rebuilds it, which is the point of detailed
+     * warming) and the superblock cache is invalidated. Validates the
+     * schema and program hash.
+     */
+    void restore(const std::string &checkpointText, const Program &prog);
+
+    /** Run @p prog from entry (or the restored position) to halt. */
+    SampleResult run(const Program &prog);
+
+    /** Emit the "xloops-sample-1" stats document for @p r. */
+    void writeJson(JsonWriter &w, const SampleResult &r) const;
+
+  private:
+    u64 stepDetailed(const DecodedProgram &dec, u64 budget);
+
+    SysConfig cfg;
+    SampleOptions opts;
+    MainMemory mem;
+    ThreadedExecutor exec;
+    std::unique_ptr<GppModel> gpp;
+    ThreadedExecutor::Cursor cur;
+};
+
+} // namespace xloops
+
+#endif // XLOOPS_SYSTEM_SAMPLING_H

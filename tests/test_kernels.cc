@@ -7,9 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <sstream>
 
 #include "asm/assembler.h"
+#include "common/fault.h"
+#include "common/json.h"
 #include "common/log.h"
+#include "cpu/functional.h"
+#include "cpu/threaded.h"
 #include "kernels/kernel.h"
 
 namespace xloops {
@@ -139,6 +144,90 @@ TEST(GpIsaTransform, DynInstRatioNearOne)
         EXPECT_LT(ratio, 1.10) << name;
     }
 }
+
+// --------------------------------------------------------------------
+// Threaded-executor whole-kernel equivalence sweep
+// --------------------------------------------------------------------
+
+// The exact serialization a functional StatGroup gets inside an
+// "xloops-stats-1" document (StatGroup::writeJson wrapped in an
+// object), so "byte-identical stats section" is literal.
+std::string
+statsSection(StatGroup &stats)
+{
+    std::ostringstream os;
+    JsonWriter w(os, /*pretty=*/true);
+    w.beginObject();
+    stats.writeJson(w);
+    w.endObject();
+    return os.str();
+}
+
+class ThreadedEquivalence
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+// Every Table II kernel, legacy switch vs. threaded dispatch, on
+// identical memory images: final architectural state and the
+// functional stats section must be byte-identical.
+TEST_P(ThreadedEquivalence, MatchesLegacyExecutorBitForBit)
+{
+    const Kernel &k = kernelByName(GetParam());
+    for (const bool gpBinary : {false, true}) {
+        const Program prog = assemble(
+            gpBinary ? serializeToGpIsa(k.source) : k.source);
+
+        MainMemory legacyMem;
+        MainMemory threadedMem;
+        for (MainMemory *m : {&legacyMem, &threadedMem}) {
+            prog.loadInto(*m);
+            if (k.setup)
+                k.setup(*m, prog);
+        }
+
+        FunctionalExecutor legacy(legacyMem);
+        ThreadedExecutor threaded(threadedMem);
+        const FuncResult lr = legacy.run(prog);
+        const FuncResult tr = threaded.run(prog);
+
+        EXPECT_EQ(lr.dynInsts, tr.dynInsts) << k.name;
+        EXPECT_EQ(lr.halted, tr.halted) << k.name;
+        for (unsigned r = 0; r < numArchRegs; r++) {
+            EXPECT_EQ(legacy.regFile().get(static_cast<RegId>(r)),
+                      threaded.regFile().get(static_cast<RegId>(r)))
+                << k.name << " r" << r;
+        }
+        EXPECT_EQ(legacyMem.digest(), threadedMem.digest()) << k.name;
+        EXPECT_EQ(statsSection(legacy.stats()),
+                  statsSection(threaded.stats()))
+            << k.name;
+    }
+}
+
+// The timing-model paths (runKernel validates against the threaded
+// golden model now): a lockstep pass under timing-fault injection must
+// still validate every ordered kernel — the threaded golden image is
+// what the end-of-run checkers compare against.
+TEST(ThreadedGolden, LockstepUnderFaultInjectionStillValidates)
+{
+    RunOptions opts;
+    opts.lockstep = true;
+    RunHooks hooks;
+    hooks.runOptions = &opts;
+    SysConfig cfg = configs::ioX();
+    cfg.lpsu.faults = FaultConfig::uniform(/*seed=*/7, /*rate=*/0.05);
+    for (const char *name : {"adpcm-or", "dynprog-om", "mm-orm"}) {
+        const KernelRun run = runKernel(kernelByName(name), cfg,
+                                        ExecMode::Specialized, false,
+                                        hooks);
+        EXPECT_TRUE(run.passed) << name << ": " << run.error;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(TableII, ThreadedEquivalence,
+                         ::testing::ValuesIn(tableIIKernelNames()),
+                         sanitize);
 
 TEST(KernelSpeedups, UcKernelsGainOnInOrderHost)
 {

@@ -13,7 +13,10 @@
 #include "asm/assembler.h"
 #include "asm/program.h"
 #include "common/log.h"
+#include "cpu/functional.h"
+#include "cpu/threaded.h"
 #include "kernels/kernel.h"
+#include "system/sampling.h"
 #include "system/system.h"
 
 namespace xloops {
@@ -104,6 +107,125 @@ TEST(Predecode, LockstepRunsPassPerPattern)
                                         ExecMode::Specialized, false,
                                         hooks);
         EXPECT_TRUE(run.passed) << name << ": " << run.error;
+    }
+}
+
+// --------------------------------------------------------------------
+// Superblock-cache staleness regressions (threaded executor)
+// --------------------------------------------------------------------
+
+// Swapping in a different program at the same text base must rebind
+// the superblock cache: if a stale block from the first program ever
+// executed, r1 would still read the first program's constant.
+TEST(SuperblockCache, ProgramSwapAtSameBaseNeverRunsStaleBlocks)
+{
+    const Program a = assemble("  addi r1, r0, 1\n  halt\n");
+    const Program b = assemble("  addi r1, r0, 2\n  halt\n");
+    ASSERT_EQ(a.textBase, b.textBase);
+    ASSERT_EQ(a.entry, b.entry);
+
+    MainMemory mem;
+    a.loadInto(mem);
+    ThreadedExecutor exec(mem);
+    exec.run(a);
+    ASSERT_EQ(exec.regFile().get(1), 1u);
+    ASSERT_GT(exec.cachedBlocks(), 0u);
+    const u64 gen = exec.cacheGeneration();
+
+    b.loadInto(mem);
+    exec.regFile() = RegFile{};
+    exec.run(b);
+    EXPECT_EQ(exec.regFile().get(1), 2u);
+    EXPECT_GT(exec.cacheGeneration(), gen);
+}
+
+// Reloading the program image (a self-referential program may have
+// overwritten its own data section during the first run) plus an
+// explicit invalidate() must replay the run exactly, rebuilding every
+// block from scratch.
+TEST(SuperblockCache, ReloadAndInvalidateReplaysExactly)
+{
+    const Kernel &k = kernelByName("rgb2cmyk-uc");
+    const Program prog = assemble(k.source);
+
+    MainMemory mem;
+    prog.loadInto(mem);
+    k.setup(mem, prog);
+    ThreadedExecutor exec(mem);
+    const FuncResult first = exec.run(prog);
+    const u64 firstDigest = mem.digest();
+    const u64 gen = exec.cacheGeneration();
+    ASSERT_GT(exec.cachedBlocks(), 0u);
+
+    prog.loadInto(mem);
+    k.setup(mem, prog);
+    exec.invalidate();
+    EXPECT_EQ(exec.cachedBlocks(), 0u);
+    EXPECT_GT(exec.cacheGeneration(), gen);
+    exec.regFile() = RegFile{};
+    const FuncResult second = exec.run(prog);
+
+    EXPECT_EQ(second.dynInsts, first.dynInsts);
+    EXPECT_EQ(mem.digest(), firstDigest);
+    EXPECT_GT(exec.cachedBlocks(), 0u);
+}
+
+// Checkpoint restore must drop every cached superblock — the restored
+// image may disagree with text the executor already decoded — and the
+// resumed sampled run must land on exactly the architectural state of
+// an uninterrupted serial run.
+TEST(SuperblockCache, RestoreInvalidatesAndResumesExactly)
+{
+    const Kernel &k = kernelByName("rgb2cmyk-uc");
+    const Program prog = assemble(k.source);
+
+    // Full-system run that emits checkpoints; keep the first one.
+    std::string ckpt;
+    RunOptions opts;
+    opts.checkpointEvery = 2000;
+    opts.checkpointSink = [&](u64, const std::string &json) {
+        if (ckpt.empty())
+            ckpt = json;
+    };
+    XloopsSystem sys(configs::io());
+    sys.loadProgram(prog);
+    k.setup(sys.memory(), prog);
+    sys.run(prog, ExecMode::Traditional, 500'000'000, opts);
+    ASSERT_FALSE(ckpt.empty());
+
+    // Make the sampled simulation's executor cache hot — and stale
+    // with respect to the checkpoint — before restoring.
+    SampleOptions sopts;
+    sopts.period = 1000;
+    sopts.window = 50;
+    sopts.seed = 3;
+    SampledSimulation samp(configs::io(), sopts);
+    const Program decoy = assemble("  addi r1, r0, 7\n  halt\n");
+    decoy.loadInto(samp.memory());
+    ThreadedExecutor::Cursor cur;
+    cur.pc = decoy.entry;
+    samp.executor().execute(decoy, cur, 2);
+    ASSERT_GT(samp.executor().cachedBlocks(), 0u);
+
+    samp.restore(ckpt, prog);
+    EXPECT_EQ(samp.executor().cachedBlocks(), 0u);
+
+    const SampleResult r = samp.run(prog);
+    EXPECT_TRUE(r.halted);
+
+    // Uninterrupted serial reference.
+    MainMemory golden;
+    prog.loadInto(golden);
+    k.setup(golden, prog);
+    FunctionalExecutor fe(golden);
+    const FuncResult ref = fe.run(prog);
+
+    EXPECT_EQ(r.totalInsts, ref.dynInsts);
+    EXPECT_EQ(samp.memory().digest(), golden.digest());
+    for (unsigned reg = 0; reg < numArchRegs; reg++) {
+        EXPECT_EQ(samp.executor().regFile().get(static_cast<RegId>(reg)),
+                  fe.regFile().get(static_cast<RegId>(reg)))
+            << "r" << reg;
     }
 }
 

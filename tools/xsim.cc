@@ -50,8 +50,10 @@
 #include "common/trace.h"
 #include "energy/energy.h"
 #include "kernels/kernel.h"
+#include "cpu/threaded.h"
 #include "system/capsule.h"
 #include "system/report.h"
+#include "system/sampling.h"
 #include "system/sweep.h"
 
 using namespace xloops;
@@ -110,6 +112,14 @@ const Flag flagTable[] = {
     {"--checkpoint-prefix", "<pfx>",
      "checkpoint file prefix (default ckpt => ckpt-<inst>.json)"},
     {"--restore", "<file>", "resume from a checkpoint file"},
+    {"--sample-period", "<n>",
+     "SMARTS sampled cycle simulation: instructions per sampling unit "
+     "(0 = full simulation; requires -m T)"},
+    {"--sample-window", "<n>",
+     "measured instructions per detailed window (default 500)"},
+    {"--sample-warmup", "<n>",
+     "detailed warmup before each window (default: the window size)"},
+    {"--sample-seed", "<n>", "seed for sampled window placement"},
     {"--capsule", "<file>",
      "write a self-contained replay capsule when the run dies"},
     {"--replay", "<file>",
@@ -204,6 +214,11 @@ main(int argc, char **argv)
     std::string restorePath;
     std::string capsulePath;
     std::string replayPath;
+    u64 samplePeriod = 0;
+    u64 sampleWindow = 0;
+    u64 sampleWarmup = 0;
+    bool haveSampleWarmup = false;
+    u64 sampleSeed = 0;
 
     // Live outside the try so the SimError catch can write a capsule.
     CapsuleContext capCtx;
@@ -258,6 +273,15 @@ main(int argc, char **argv)
                 checkpointPrefix = next();
             else if (arg == "--restore")
                 restorePath = next();
+            else if (arg == "--sample-period")
+                samplePeriod = std::strtoull(next().c_str(), nullptr, 0);
+            else if (arg == "--sample-window")
+                sampleWindow = std::strtoull(next().c_str(), nullptr, 0);
+            else if (arg == "--sample-warmup") {
+                sampleWarmup = std::strtoull(next().c_str(), nullptr, 0);
+                haveSampleWarmup = true;
+            } else if (arg == "--sample-seed")
+                sampleSeed = std::strtoull(next().c_str(), nullptr, 0);
             else if (arg == "--capsule")
                 capsulePath = next();
             else if (arg == "--replay")
@@ -283,6 +307,114 @@ main(int argc, char **argv)
 
         if (!replayPath.empty())
             return replayCapsule(replayPath);
+
+        // Sampled cycle simulation: threaded functional fast-forward
+        // with periodic cycle-accurate windows; --stats-json then
+        // writes the "xloops-sample-1" report. Architectural state is
+        // exact (every instruction retires), so kernel validation
+        // still applies; only cycle counts are estimated.
+        if (samplePeriod != 0) {
+            if (modeName != "T") {
+                fatal("sampled simulation models traditional "
+                      "execution; use -m T");
+            }
+            if (lockstep || checkpointEvery != 0 || trace ||
+                !tracePath.empty() || !capsulePath.empty() ||
+                injectSeed != 0) {
+                fatal("sampled runs support only -c, -m T, "
+                      "-k/<program>, --sample-*, --restore, --jobs, "
+                      "and --stats-json");
+            }
+            if (kernelName == "all" ||
+                kernelName.find(',') != std::string::npos)
+                fatal("sampled runs take a single kernel");
+
+            SampleOptions sopts;
+            sopts.period = samplePeriod;
+            if (sampleWindow != 0)
+                sopts.window = sampleWindow;
+            if (haveSampleWarmup)
+                sopts.warmup = sampleWarmup;
+            sopts.seed = sampleSeed;
+
+            const SysConfig sampleCfg = configs::byName(cfgName);
+            const Kernel *kernel =
+                kernelName.empty() ? nullptr : &kernelByName(kernelName);
+            if (kernel == nullptr && path.empty()) {
+                printUsage(stderr);
+                fatal("no program given");
+            }
+            const Program prog =
+                assemble(kernel ? kernel->source : readFile(path));
+
+            SampledSimulation samp(sampleCfg, sopts);
+            samp.loadProgram(prog);
+            if (kernel && kernel->setup)
+                kernel->setup(samp.memory(), prog);
+            if (!restorePath.empty())
+                samp.restore(readFile(restorePath), prog);
+            const SampleResult r = samp.run(prog);
+
+            if (kernel) {
+                // Validate against the serial golden model exactly as
+                // a full run would.
+                MainMemory golden;
+                prog.loadInto(golden);
+                if (kernel->setup)
+                    kernel->setup(golden, prog);
+                ThreadedExecutor goldenExec(golden);
+                goldenExec.run(prog);
+                bool passed = true;
+                std::string why;
+                if (kernel->deterministic) {
+                    for (const auto &[symbol, words] : kernel->outputs) {
+                        const Addr base = prog.symbol(symbol);
+                        for (unsigned i = 0; i < words && passed; i++) {
+                            if (samp.memory().readWord(base + 4 * i) !=
+                                golden.readWord(base + 4 * i)) {
+                                passed = false;
+                                why = strf(symbol, "[", i,
+                                           "] diverged from the serial "
+                                           "golden run");
+                            }
+                        }
+                    }
+                }
+                if (passed && kernel->check &&
+                    !kernel->check(samp.memory(), prog, why))
+                    passed = false;
+                std::printf("sampled kernel %s on %s mode T: %s\n",
+                            kernelName.c_str(), sampleCfg.name.c_str(),
+                            passed ? "VALIDATED" : why.c_str());
+                if (!passed)
+                    checkerExit = 2;
+            }
+
+            std::printf("total insts       %llu (ff %llu, warmup %llu, "
+                        "measured %llu)\n",
+                        static_cast<unsigned long long>(r.totalInsts),
+                        static_cast<unsigned long long>(r.ffInsts),
+                        static_cast<unsigned long long>(r.warmupInsts),
+                        static_cast<unsigned long long>(r.measuredInsts));
+            std::printf("windows           %llu (phase %llu)\n",
+                        static_cast<unsigned long long>(r.windows),
+                        static_cast<unsigned long long>(r.phase));
+            std::printf("cpi estimate      %.6f +/- %.6f\n", r.cpiEst,
+                        r.cpiHalfWidth);
+            std::printf("est cycles        %llu\n",
+                        static_cast<unsigned long long>(r.estCycles));
+
+            if (!statsJsonPath.empty()) {
+                std::ofstream out(statsJsonPath);
+                if (!out)
+                    fatal("cannot write " + statsJsonPath);
+                JsonWriter w(out, /*pretty=*/true);
+                samp.writeJson(w, r);
+                out << "\n";
+                std::printf("stats: %s\n", statsJsonPath.c_str());
+            }
+            return checkerExit;
+        }
 
         // Multi-kernel sweep mode: "-k k1,k2,..." or "-k all" runs
         // every named kernel on (config, mode) across --jobs workers
