@@ -276,6 +276,63 @@ CodeGen::evalInto(const ExprPtr &expr, const std::string &reg)
     panic("unhandled binary operator");
 }
 
+/**
+ * Atomic RMW lowering: inside an xloop.ua body, a store of the form
+ *   a[idx] = a[idx] op e     (op in {+, &, |, ^, min, max})
+ * lowers to one amo instruction, so unordered lanes update the cell
+ * atomically — the lw / op / sw sequence a plain store would emit
+ * loses updates when two lanes hit the same cell. Returns false when
+ * the store is not such a read-modify-write.
+ */
+bool
+CodeGen::genAmoStore(const Stmt &stmt)
+{
+    if (!stmt.value || stmt.value->kind != Expr::Kind::Bin)
+        return false;
+    const char *mnemonic = nullptr;
+    switch (stmt.value->op) {
+      case BinOp::Add: mnemonic = "amoadd"; break;
+      case BinOp::And: mnemonic = "amoand"; break;
+      case BinOp::Or:  mnemonic = "amoor"; break;
+      case BinOp::Xor: mnemonic = "amoxor"; break;
+      case BinOp::Min: mnemonic = "amomin"; break;
+      case BinOp::Max: mnemonic = "amomax"; break;
+      default: return false;
+    }
+    auto readsCell = [&](const ExprPtr &e) {
+        return e->kind == Expr::Kind::Load && e->array == stmt.array &&
+               exprEquals(e->index, stmt.index);
+    };
+    ExprPtr operand;
+    if (readsCell(stmt.value->lhs))
+        operand = stmt.value->rhs;
+    else if (readsCell(stmt.value->rhs))
+        operand = stmt.value->lhs;
+    else
+        return false;
+    // The other operand must not read the updated array at all — its
+    // value would depend on unordered neighbor updates.
+    std::vector<std::pair<std::string, ExprPtr>> loads;
+    operand->collectLoads(loads);
+    for (const auto &[array, index] : loads)
+        if (array == stmt.array)
+            return false;
+
+    const std::string val = evalExpr(operand);
+    const bool vTemp = isTempReg(val);
+    const std::string addr = addressOf(stmt.array, stmt.index);
+    const bool aTemp = isTempReg(addr);
+    const std::string old = tempReg();
+    emit(std::string(mnemonic) + " " + old + ", " + val + ", (" +
+         addr + ")");
+    releaseTemp();
+    if (aTemp)
+        releaseTemp();
+    if (vTemp)
+        releaseTemp();
+    return true;
+}
+
 void
 CodeGen::genStmt(const Stmt &stmt)
 {
@@ -284,6 +341,8 @@ CodeGen::genStmt(const Stmt &stmt)
         evalInto(stmt.value, scalarReg(stmt.name));
         return;
       case Stmt::Kind::StoreArray: {
+        if (inAtomicBody && genAmoStore(stmt))
+            return;
         const std::string value = evalExpr(stmt.value);
         const bool vTemp = isTempReg(value);
         const std::string addr = addressOf(stmt.array, stmt.index);
@@ -369,6 +428,7 @@ CodeGen::genLoop(const Loop &loop)
     const auto savedMivs = activeMivs;
     const auto savedIv = activeIv;
     const bool savedIn = inXloopBody;
+    const bool savedAtomic = inAtomicBody;
     const auto savedExit = activeExitFlag;
     activeExitFlag = exitFlag;
 
@@ -418,6 +478,7 @@ CodeGen::genLoop(const Loop &loop)
     if (!sel.serial) {
         activeIv = loop.iv;
         inXloopBody = true;
+        inAtomicBody = sel.pattern == LoopPattern::UA;
         for (const auto &m : myMivs)
             activeMivs.push_back(m);
     }
@@ -457,6 +518,7 @@ CodeGen::genLoop(const Loop &loop)
     activeMivs = savedMivs;
     activeIv = savedIv;
     inXloopBody = savedIn;
+    inAtomicBody = savedAtomic;
     activeExitFlag = savedExit;
 }
 

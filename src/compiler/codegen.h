@@ -67,6 +67,7 @@ class CodeGen
     void evalInto(const ExprPtr &expr, const std::string &reg);
     void genStmts(const std::vector<Stmt> &body);
     void genStmt(const Stmt &stmt);
+    bool genAmoStore(const Stmt &stmt);
     void genLoop(const Loop &loop);
     std::string addressOf(const std::string &array, const ExprPtr &index);
 
@@ -85,6 +86,9 @@ class CodeGen
     std::vector<PointerMiv> activeMivs;
     std::string activeIv;
     bool inXloopBody = false;
+    // Inside an xloop.ua body: read-modify-write stores lower to amo
+    // instructions so unordered lanes cannot lose updates.
+    bool inAtomicBody = false;
     // Exit-flag register of the innermost data-dependent-exit loop.
     std::string activeExitFlag;
 };

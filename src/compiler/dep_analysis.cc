@@ -54,17 +54,23 @@ testPair(const std::string &array, const ExprPtr &w, const ExprPtr &r,
         return pair;
     }
 
-    // Strong SIV: both sides a*iv + c with the same coefficient.
+    // Strong SIV: both sides a*iv + c with the same coefficient. The
+    // subtraction is done in 64 bits: overflow-adjacent offsets (e.g.
+    // +2^30 against -2^30) must not wrap into a bogus small distance
+    // — or into signed-overflow UB (see DataDepEdge.OverflowAdjacent*
+    // in tests/test_dde.cc).
     if (aw->coeff == ar->coeff && aw->coeff != 0 && aw->constOffset &&
         ar->constOffset) {
-        const i32 diff = ar->constValue - aw->constValue;
+        const i64 diff = static_cast<i64>(ar->constValue) -
+                         static_cast<i64>(aw->constValue);
         if (diff % aw->coeff != 0) {
             pair.verdict = MemDepVerdict::Independent;
         } else if (diff == 0) {
             pair.verdict = MemDepVerdict::IntraIteration;
         } else {
+            const i64 dist = diff / aw->coeff;
             pair.verdict = MemDepVerdict::CarriedDistance;
-            pair.distance = diff / aw->coeff;
+            pair.distance = static_cast<i32>(dist);
         }
         return pair;
     }

@@ -206,4 +206,25 @@ affineIn(const ExprPtr &expr, const std::string &iv)
     return std::nullopt;
 }
 
+bool
+exprEquals(const ExprPtr &a, const ExprPtr &b)
+{
+    if (a == b)
+        return true;
+    if (!a || !b || a->kind != b->kind)
+        return false;
+    switch (a->kind) {
+      case Expr::Kind::Const:
+        return a->cval == b->cval;
+      case Expr::Kind::Var:
+        return a->var == b->var;
+      case Expr::Kind::Load:
+        return a->array == b->array && exprEquals(a->index, b->index);
+      case Expr::Kind::Bin:
+        return a->op == b->op && exprEquals(a->lhs, b->lhs) &&
+               exprEquals(a->rhs, b->rhs);
+    }
+    return false;
+}
+
 } // namespace xloops

@@ -80,6 +80,9 @@ struct AffineForm
 std::optional<AffineForm> affineIn(const ExprPtr &expr,
                                    const std::string &iv);
 
+/** Structural equality (same tree shape, names, constants, ops). */
+bool exprEquals(const ExprPtr &a, const ExprPtr &b);
+
 } // namespace xloops
 
 #endif // XLOOPS_COMPILER_EXPR_H

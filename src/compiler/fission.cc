@@ -1,0 +1,192 @@
+#include "compiler/fission.h"
+
+#include <map>
+#include <numeric>
+
+#include "compiler/pattern_select.h"
+
+namespace xloops {
+
+namespace {
+
+/** Scalar and array footprint of one top-level statement. */
+struct Footprint
+{
+    std::set<std::string> scalarRead;
+    std::set<std::string> scalarWrite;
+    std::set<std::string> arrayRead;
+    std::set<std::string> arrayWrite;
+};
+
+Footprint
+footprintOf(const Stmt &stmt)
+{
+    std::vector<Stmt> one;
+    one.push_back(stmt);
+    Footprint fp;
+    const RwSets rw = scalarRw(one);
+    fp.scalarRead = rw.readAnywhere;
+    fp.scalarWrite = rw.written;
+    std::vector<std::pair<std::string, ExprPtr>> accs;
+    collectArrayWrites(one, accs);
+    for (const auto &[array, index] : accs)
+        fp.arrayWrite.insert(array);
+    accs.clear();
+    collectArrayReads(one, accs);
+    for (const auto &[array, index] : accs)
+        fp.arrayRead.insert(array);
+    return fp;
+}
+
+/** True when the two statements touch a common entity with at least
+ *  one side writing — a dependence that pins them to one fragment. */
+bool
+conflicts(const Footprint &a, const Footprint &b)
+{
+    auto hits = [](const std::set<std::string> &w,
+                   const std::set<std::string> &rw) {
+        for (const auto &name : w)
+            if (rw.count(name))
+                return true;
+        return false;
+    };
+    return hits(a.scalarWrite, b.scalarWrite) ||
+           hits(a.scalarWrite, b.scalarRead) ||
+           hits(b.scalarWrite, a.scalarRead) ||
+           hits(a.arrayWrite, b.arrayWrite) ||
+           hits(a.arrayWrite, b.arrayRead) ||
+           hits(b.arrayWrite, a.arrayRead);
+}
+
+struct UnionFind
+{
+    std::vector<size_t> parent;
+
+    explicit UnionFind(size_t n) : parent(n)
+    {
+        std::iota(parent.begin(), parent.end(), size_t{0});
+    }
+
+    size_t find(size_t x)
+    {
+        while (parent[x] != x)
+            x = parent[x] = parent[parent[x]];
+        return x;
+    }
+
+    void unite(size_t a, size_t b) { parent[find(a)] = find(b); }
+};
+
+bool
+containsNested(const std::vector<Stmt> &body)
+{
+    for (const Stmt &s : body) {
+        if (s.kind == Stmt::Kind::Nested)
+            return true;
+        if (s.kind == Stmt::Kind::If &&
+            (containsNested(s.thenBody) || containsNested(s.elseBody)))
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<Loop>
+fissionLoop(const Loop &loop)
+{
+    // Bail on anything whose semantics couple the whole body: serial
+    // loops gain nothing; an ExitWhen cancels every statement after
+    // it; nested loops and written ivs/bounds entangle the iteration
+    // space itself.
+    if (loop.pragma == Pragma::None || loop.body.size() < 2)
+        return {};
+    if (hasExitWhen(loop.body) || containsNested(loop.body))
+        return {};
+    const RwSets rw = scalarRw(loop.body);
+    if (rw.written.count(loop.iv))
+        return {};
+    if (loop.upper->kind == Expr::Kind::Var &&
+        rw.written.count(loop.upper->var))
+        return {};  // dynamic bound: the bound writer feeds everyone
+
+    const size_t n = loop.body.size();
+    std::vector<Footprint> fps;
+    fps.reserve(n);
+    for (const Stmt &s : loop.body)
+        fps.push_back(footprintOf(s));
+
+    UnionFind uf(n);
+    for (size_t i = 0; i < n; i++)
+        for (size_t j = i + 1; j < n; j++)
+            if (conflicts(fps[i], fps[j]))
+                uf.unite(i, j);
+
+    // Group statements by component, components ordered by their
+    // first statement so output preserves program order.
+    std::map<size_t, size_t> groupOf;  // root -> fragment index
+    std::vector<std::vector<Stmt>> fragments;
+    for (size_t i = 0; i < n; i++) {
+        const size_t root = uf.find(i);
+        auto it = groupOf.find(root);
+        if (it == groupOf.end()) {
+            it = groupOf.emplace(root, fragments.size()).first;
+            fragments.emplace_back();
+        }
+        fragments[it->second].push_back(loop.body[i]);
+    }
+    if (fragments.size() < 2)
+        return {};
+
+    std::vector<Loop> out;
+    out.reserve(fragments.size());
+    for (auto &frag : fragments) {
+        Loop piece;
+        piece.iv = loop.iv;
+        piece.lower = loop.lower;
+        piece.upper = loop.upper;
+        piece.pragma = loop.pragma;
+        piece.hintSpecialize = loop.hintSpecialize;
+        piece.body = std::move(frag);
+        out.push_back(std::move(piece));
+    }
+
+    // Only worth the extra loop overhead when some fragment escapes
+    // to a less restrictive encoding than the unsplit loop forces.
+    const std::string whole = selectPattern(loop).describe();
+    for (const Loop &piece : out)
+        if (selectPattern(piece).describe() != whole)
+            return out;
+    return {};
+}
+
+void
+applyFission(std::vector<Stmt> &topLevel)
+{
+    std::vector<Stmt> result;
+    for (Stmt &s : topLevel) {
+        switch (s.kind) {
+          case Stmt::Kind::If:
+            applyFission(s.thenBody);
+            applyFission(s.elseBody);
+            break;
+          case Stmt::Kind::Nested: {
+            Loop &loop = s.nested.front();
+            applyFission(loop.body);  // innermost first
+            std::vector<Loop> pieces = fissionLoop(loop);
+            if (!pieces.empty()) {
+                for (Loop &piece : pieces)
+                    result.push_back(nested(std::move(piece)));
+                continue;
+            }
+            break;
+          }
+          default:
+            break;
+        }
+        result.push_back(std::move(s));
+    }
+    topLevel = std::move(result);
+}
+
+} // namespace xloops

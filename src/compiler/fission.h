@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Loop fission prepass: split a mixed-pattern loop body into
+ * independent statement groups so each group can pick its own xloop
+ * encoding. A body that mixes, say, an independent map with an
+ * accumulation would otherwise be forced into the most restrictive
+ * pattern the union demands (xloop.or for the whole loop); after
+ * fission the map half runs as xloop.uc and only the accumulation
+ * pays for ordering.
+ *
+ * Legality is intentionally conservative: statements are grouped with
+ * union-find over shared entities (scalars and arrays) where at least
+ * one side writes — groups then touch no common written state, so
+ * distributing the loop preserves serial semantics regardless of
+ * emission order. Loops with data-dependent exits, nested loops,
+ * dynamic bounds, or induction-variable writes are never split.
+ */
+
+#ifndef XLOOPS_COMPILER_FISSION_H
+#define XLOOPS_COMPILER_FISSION_H
+
+#include "compiler/ir.h"
+
+namespace xloops {
+
+/**
+ * Try to split @p loop into independent single-pattern loops.
+ *
+ * Returns the replacement loops (two or more, same iteration space
+ * and pragma, statements partitioned in original order) when fission
+ * is both legal and profitable — i.e. at least one fragment selects a
+ * different encoding than the unsplit loop would. Returns an empty
+ * vector when the loop should be left alone.
+ */
+std::vector<Loop> fissionLoop(const Loop &loop);
+
+/**
+ * Recursive prepass: apply fissionLoop to every loop reachable from
+ * @p topLevel (including loops nested inside ifs and other loops),
+ * splicing replacements in place.
+ */
+void applyFission(std::vector<Stmt> &topLevel);
+
+} // namespace xloops
+
+#endif // XLOOPS_COMPILER_FISSION_H

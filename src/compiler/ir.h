@@ -16,13 +16,17 @@
 
 namespace xloops {
 
-/** Programmer annotation on a loop (paper Section II-B). */
+/** Programmer annotation on a loop (paper Section II-B, plus the
+ *  auto-parallelizing extension: `auto` asks the compiler to pick the
+ *  least restrictive serial-equivalent encoding itself). */
 enum class Pragma
 {
     None,       ///< plain serial loop
     Unordered,  ///< #pragma xloops unordered
     Ordered,    ///< #pragma xloops ordered
     Atomic,     ///< #pragma xloops atomic
+    Auto,       ///< #pragma xloops auto (compiler decides; see
+                ///< selectPattern's speculative-DOACROSS rules)
 };
 
 struct Stmt;

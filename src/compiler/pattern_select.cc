@@ -33,6 +33,21 @@ LoopSelection::opcode() const
     panic("unknown pattern");
 }
 
+std::string
+LoopSelection::describe() const
+{
+    if (serial)
+        return "serial";
+    std::string name = patternName(pattern);
+    if (dynamicBound)
+        name += ".db";
+    if (dataDepExit)
+        name += ".de";
+    if (speculative)
+        name += "?";
+    return name;
+}
+
 LoopSelection
 selectPattern(const Loop &loop)
 {
@@ -40,7 +55,7 @@ selectPattern(const Loop &loop)
     sel.dynamicBound = boundUpdateAnalysis(loop);
     sel.dataDepExit = hasExitWhen(loop.body);
     if (sel.dataDepExit && loop.pragma != Pragma::Ordered &&
-        loop.pragma != Pragma::None) {
+        loop.pragma != Pragma::Auto && loop.pragma != Pragma::None) {
         fatal("data-dependent exits require an ordered (or serial) "
               "loop: speculative cancellation needs buffered stores");
     }
@@ -56,15 +71,24 @@ selectPattern(const Loop &loop)
         sel.pattern = LoopPattern::UA;
         return sel;
       case Pragma::Ordered:
+      case Pragma::Auto:
         break;
     }
+    sel.autoSelected = loop.pragma == Pragma::Auto;
 
-    // ordered: the programmer need not say how the dependence is
-    // communicated; the compiler works it out.
+    // ordered / auto: the programmer need not say how the dependence
+    // is communicated; the compiler works it out.
     const RegDepResult regs = regDepAnalysis(loop);
     const MemDepResult mems = memDepAnalysis(loop);
     sel.cirs = regs.cirs;
     sel.carriedMemDep = mems.hasCarriedDep;
+    bool provenDistance = false;
+    for (const MemDepPair &p : mems.pairs) {
+        if (p.verdict == MemDepVerdict::AssumedCarried)
+            sel.inconclusive = true;
+        if (p.verdict == MemDepVerdict::CarriedDistance)
+            provenDistance = true;
+    }
     const bool viaRegs = !regs.cirs.empty();
     if (viaRegs && mems.hasCarriedDep)
         sel.pattern = LoopPattern::ORM;
@@ -74,6 +98,23 @@ selectPattern(const Loop &loop)
         sel.pattern = LoopPattern::OM;
     else
         sel.pattern = LoopPattern::UC;  // least restrictive encoding
+
+    // Speculative DOACROSS: an auto loop whose memory ordering rests
+    // only on inconclusive tests (no proven carried distance) runs
+    // speculatively — the LPSU's dynamic store-address ordering is
+    // the conflict detection the static analysis could not provide.
+    if (sel.autoSelected && mems.hasCarriedDep && sel.inconclusive &&
+        !provenDistance) {
+        sel.speculative = true;
+    }
+
+    // An auto loop with a dynamic bound must commit the bound update
+    // in order (an unordered .db is worklist semantics): promote uc
+    // to om so the LMU samples the bound at in-order commit.
+    if (sel.autoSelected && sel.dynamicBound &&
+        sel.pattern == LoopPattern::UC) {
+        sel.pattern = LoopPattern::OM;
+    }
 
     if (sel.dataDepExit) {
         // *.de needs memory ordering (cancellation = discard LSQs).

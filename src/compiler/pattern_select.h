@@ -12,6 +12,23 @@
  *   ordered + neither    -> xloop.uc  (least restrictive)
  *   bound updated        -> *.db variant
  *   no pragma            -> serial loop (no xloop)
+ *
+ * The `auto` pragma (the auto-parallelizing frontend's request) runs
+ * the same analyses but must preserve serial semantics without any
+ * programmer assertion to lean on:
+ *
+ *   auto + proven nothing       -> xloop.uc
+ *   auto + reg / mem / both     -> or / om / orm, as for `ordered`
+ *   auto + inconclusive tests   -> om/orm, flagged `speculative`:
+ *       the static ZIV/SIV tests could not prove independence
+ *       (irregular subscripts, symbolic offsets, MIV), so the loop is
+ *       run as a speculative DOACROSS — lanes execute ahead and the
+ *       LPSU's dynamic store-address ordering provides the conflict
+ *       detection the static analysis could not.
+ *   auto + dynamic bound        -> ordered variant (*.db with uc
+ *       promoted to om): an unordered bound update is worklist
+ *       semantics, not serial-equivalent, so `auto` never picks it.
+ *   auto never selects ua (atomicity is a programmer assertion).
  */
 
 #ifndef XLOOPS_COMPILER_PATTERN_SELECT_H
@@ -32,8 +49,24 @@ struct LoopSelection
     std::vector<std::string> cirs;
     bool carriedMemDep = false;
 
+    /** Any subscript pair was AssumedCarried: the static ZIV/SIV
+     *  tests were inconclusive (set for ordered and auto loops). */
+    bool inconclusive = false;
+
+    /** Auto-selected memory ordering rests *only* on inconclusive
+     *  evidence — a speculative DOACROSS (no proven carried distance;
+     *  the LPSU's dynamic ordering is the safety net). */
+    bool speculative = false;
+
+    /** The selection came from Pragma::Auto. */
+    bool autoSelected = false;
+
     /** The xloop opcode implementing this selection. */
     Op opcode() const;
+
+    /** Compact human name: "serial", "uc", "or.db", "om.de",
+     *  "om?" (speculative om), ... — the oracle-test vocabulary. */
+    std::string describe() const;
 };
 
 /** Run all analysis passes and select the encoding for @p loop. */

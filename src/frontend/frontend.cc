@@ -1,0 +1,92 @@
+#include "frontend/frontend.h"
+
+#include "asm/assembler.h"
+#include "compiler/fission.h"
+
+namespace xloops {
+
+namespace {
+
+void
+walkLoops(const std::vector<Stmt> &body, unsigned depth,
+          std::vector<LoopReport> &out)
+{
+    for (const Stmt &s : body) {
+        switch (s.kind) {
+          case Stmt::Kind::Nested: {
+            const Loop &loop = s.nested.front();
+            const LoopSelection sel = selectPattern(loop);
+            LoopReport r;
+            r.iv = loop.iv;
+            r.depth = depth;
+            r.pragma = loop.pragma;
+            r.selection = sel.describe();
+            r.cirs = sel.cirs;
+            r.speculative = sel.speculative;
+            r.inconclusive = sel.inconclusive;
+            out.push_back(std::move(r));
+            walkLoops(loop.body, depth + 1, out);
+            break;
+          }
+          case Stmt::Kind::If:
+            walkLoops(s.thenBody, depth, out);
+            walkLoops(s.elseBody, depth, out);
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+size_t
+countLoops(const std::vector<Stmt> &body)
+{
+    size_t n = 0;
+    for (const Stmt &s : body) {
+        if (s.kind == Stmt::Kind::Nested)
+            n += 1 + countLoops(s.nested.front().body);
+        else if (s.kind == Stmt::Kind::If)
+            n += countLoops(s.thenBody) + countLoops(s.elseBody);
+    }
+    return n;
+}
+
+} // namespace
+
+std::vector<LoopReport>
+reportLoops(const std::vector<Stmt> &topLevel)
+{
+    std::vector<LoopReport> out;
+    walkLoops(topLevel, 0, out);
+    return out;
+}
+
+CompiledModule
+compileModule(const FrontendModule &mod, const FrontendOptions &opts)
+{
+    CompiledModule out;
+    out.module = mod;
+    if (opts.fission) {
+        const size_t before = countLoops(out.module.topLevel);
+        applyFission(out.module.topLevel);
+        out.fissionApplied =
+            countLoops(out.module.topLevel) != before;
+    }
+    out.loops = reportLoops(out.module.topLevel);
+
+    CodeGen cg;
+    cg.lsrEnabled(opts.lsr);
+    for (const ArrayDeclInfo &a : out.module.arrays)
+        cg.declareArray(a.name, a.words, a.init);
+    out.assembly = cg.compile(out.module.topLevel);
+    out.program = assemble(out.assembly);
+    return out;
+}
+
+CompiledModule
+compileSource(const std::string &source, const FrontendOptions &opts)
+{
+    return compileModule(parseModule(source), opts);
+}
+
+} // namespace xloops

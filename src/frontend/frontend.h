@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The xl frontend driver: source text -> parse -> optional loop
+ * fission -> pattern selection -> assembly -> assembled Program, with
+ * a per-loop report of what the analysis decided (the `xfc --report`
+ * surface and the fuzzer's analyzer-verdict oracle).
+ */
+
+#ifndef XLOOPS_FRONTEND_FRONTEND_H
+#define XLOOPS_FRONTEND_FRONTEND_H
+
+#include "compiler/codegen.h"
+#include "frontend/parser.h"
+
+namespace xloops {
+
+/** Frontend pipeline knobs. */
+struct FrontendOptions
+{
+    bool fission = false;  ///< run the loop-fission prepass
+    bool lsr = true;       ///< pointer-MIV loop strength reduction
+};
+
+/** What pattern selection decided for one loop (pre-order walk of
+ *  the post-fission module; depth 0 = top level). */
+struct LoopReport
+{
+    std::string iv;
+    unsigned depth = 0;
+    Pragma pragma = Pragma::None;
+    std::string selection;   ///< LoopSelection::describe()
+    std::vector<std::string> cirs;
+    bool speculative = false;
+    bool inconclusive = false;
+};
+
+/** A fully lowered module. */
+struct CompiledModule
+{
+    FrontendModule module;   ///< post-fission IR (what was lowered)
+    std::vector<LoopReport> loops;
+    bool fissionApplied = false;  ///< fission split at least one loop
+    std::string assembly;
+    Program program;
+};
+
+/** Pre-order LoopReports for @p topLevel (no lowering; usable on any
+ *  IR, fissioned or not). */
+std::vector<LoopReport> reportLoops(const std::vector<Stmt> &topLevel);
+
+/** Lower an already-parsed module. Throws FatalError (from pattern
+ *  selection or codegen) on programs the backend rejects. */
+CompiledModule compileModule(const FrontendModule &mod,
+                             const FrontendOptions &opts = {});
+
+/** parseModule + compileModule. */
+CompiledModule compileSource(const std::string &source,
+                             const FrontendOptions &opts = {});
+
+} // namespace xloops
+
+#endif // XLOOPS_FRONTEND_FRONTEND_H

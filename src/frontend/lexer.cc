@@ -1,0 +1,142 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+
+namespace xloops {
+
+namespace {
+
+/** Two-character punctuators, tried before single characters. */
+const char *const twoCharPuncts[] = {
+    "&&", "||", "<<", ">>", "<=", ">=", "==", "!=", "++",
+};
+
+bool
+singleCharPunct(char c)
+{
+    switch (c) {
+      case '(': case ')': case '{': case '}': case '[': case ']':
+      case ';': case ',': case '=': case '<': case '>': case '+':
+      case '-': case '*': case '/': case '%': case '&': case '|':
+      case '^': case '!': case '#':
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &source)
+{
+    std::vector<Token> out;
+    unsigned line = 1;
+    unsigned col = 1;
+    size_t i = 0;
+    const size_t n = source.size();
+
+    auto advance = [&](size_t count) {
+        for (size_t k = 0; k < count; k++) {
+            if (source[i] == '\n') {
+                line++;
+                col = 1;
+            } else {
+                col++;
+            }
+            i++;
+        }
+    };
+
+    while (i < n) {
+        const char c = source[i];
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            advance(1);
+            continue;
+        }
+        if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+            while (i < n && source[i] != '\n')
+                advance(1);
+            continue;
+        }
+
+        Token tok;
+        tok.line = line;
+        tok.col = col;
+
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            size_t j = i;
+            while (j < n &&
+                   (std::isalnum(static_cast<unsigned char>(source[j])) ||
+                    source[j] == '_'))
+                j++;
+            tok.kind = Token::Kind::Ident;
+            tok.text = source.substr(i, j - i);
+            advance(j - i);
+            out.push_back(std::move(tok));
+            continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t j = i;
+            i64 value = 0;
+            bool overflow = false;
+            while (j < n &&
+                   std::isdigit(static_cast<unsigned char>(source[j]))) {
+                value = value * 10 + (source[j] - '0');
+                if (value > i64{1} << 40)
+                    overflow = true;  // clamp; reject below
+                j++;
+            }
+            if (overflow || value > 0x7fffffffLL) {
+                throw FrontendError(
+                    "integer literal out of i32 range: " +
+                        source.substr(i, j - i),
+                    line, col);
+            }
+            tok.kind = Token::Kind::Number;
+            tok.text = source.substr(i, j - i);
+            tok.value = value;
+            advance(j - i);
+            out.push_back(std::move(tok));
+            continue;
+        }
+
+        bool matched = false;
+        if (i + 1 < n) {
+            const std::string two = source.substr(i, 2);
+            for (const char *p : twoCharPuncts) {
+                if (two == p) {
+                    tok.kind = Token::Kind::Punct;
+                    tok.text = two;
+                    advance(2);
+                    out.push_back(std::move(tok));
+                    matched = true;
+                    break;
+                }
+            }
+        }
+        if (matched)
+            continue;
+
+        if (singleCharPunct(c)) {
+            tok.kind = Token::Kind::Punct;
+            tok.text = std::string(1, c);
+            advance(1);
+            out.push_back(std::move(tok));
+            continue;
+        }
+
+        throw FrontendError(strf("unexpected character '", c, "'"),
+                            line, col);
+    }
+
+    Token end;
+    end.kind = Token::Kind::End;
+    end.line = line;
+    end.col = col;
+    out.push_back(end);
+    return out;
+}
+
+} // namespace xloops

@@ -1,0 +1,204 @@
+#include "frontend/render.h"
+
+#include <sstream>
+
+namespace xloops {
+
+namespace {
+
+const char *
+opSpelling(BinOp op)
+{
+    switch (op) {
+      case BinOp::Add: return "+";
+      case BinOp::Sub: return "-";
+      case BinOp::Mul: return "*";
+      case BinOp::Div: return "/";
+      case BinOp::Rem: return "%";
+      case BinOp::And: return "&";
+      case BinOp::Or:  return "|";
+      case BinOp::Xor: return "^";
+      case BinOp::Shl: return "<<";
+      case BinOp::Shr: return ">>";
+      case BinOp::Lt:  return "<";
+      case BinOp::Le:  return "<=";
+      case BinOp::Gt:  return ">";
+      case BinOp::Ge:  return ">=";
+      case BinOp::Eq:  return "==";
+      case BinOp::Ne:  return "!=";
+      case BinOp::Min: return "min";
+      case BinOp::Max: return "max";
+    }
+    return "?";
+}
+
+void
+renderExprTo(const ExprPtr &e, std::ostream &out)
+{
+    switch (e->kind) {
+      case Expr::Kind::Const:
+        out << e->cval;
+        break;
+      case Expr::Kind::Var:
+        out << e->var;
+        break;
+      case Expr::Kind::Load:
+        out << e->array << "[";
+        renderExprTo(e->index, out);
+        out << "]";
+        break;
+      case Expr::Kind::Bin:
+        if (e->op == BinOp::Min || e->op == BinOp::Max) {
+            out << opSpelling(e->op) << "(";
+            renderExprTo(e->lhs, out);
+            out << ", ";
+            renderExprTo(e->rhs, out);
+            out << ")";
+        } else {
+            out << "(";
+            renderExprTo(e->lhs, out);
+            out << " " << opSpelling(e->op) << " ";
+            renderExprTo(e->rhs, out);
+            out << ")";
+        }
+        break;
+    }
+}
+
+class ModuleRenderer
+{
+  public:
+    std::string
+    run(const FrontendModule &mod)
+    {
+        for (const ArrayDeclInfo &a : mod.arrays) {
+            out << "array " << a.name << "[" << a.words << "]";
+            if (!a.init.empty()) {
+                out << " = { ";
+                for (size_t i = 0; i < a.init.size(); i++)
+                    out << (i ? ", " : "") << a.init[i];
+                out << " }";
+            }
+            out << ";\n";
+        }
+        if (!mod.arrays.empty())
+            out << "\n";
+        renderStmts(mod.topLevel);
+        return out.str();
+    }
+
+  private:
+    void
+    indentLine()
+    {
+        for (unsigned i = 0; i < depth; i++)
+            out << "    ";
+    }
+
+    void
+    renderStmts(const std::vector<Stmt> &body)
+    {
+        for (const Stmt &s : body)
+            renderStmt(s);
+    }
+
+    void
+    renderStmt(const Stmt &s)
+    {
+        switch (s.kind) {
+          case Stmt::Kind::AssignScalar:
+            indentLine();
+            out << s.name << " = ";
+            renderExprTo(s.value, out);
+            out << ";\n";
+            break;
+          case Stmt::Kind::StoreArray:
+            indentLine();
+            out << s.array << "[";
+            renderExprTo(s.index, out);
+            out << "] = ";
+            renderExprTo(s.value, out);
+            out << ";\n";
+            break;
+          case Stmt::Kind::If:
+            indentLine();
+            out << "if (";
+            renderExprTo(s.cond, out);
+            out << ") {\n";
+            depth++;
+            renderStmts(s.thenBody);
+            depth--;
+            indentLine();
+            out << "}";
+            if (!s.elseBody.empty()) {
+                out << " else {\n";
+                depth++;
+                renderStmts(s.elseBody);
+                depth--;
+                indentLine();
+                out << "}";
+            }
+            out << "\n";
+            break;
+          case Stmt::Kind::ExitWhen:
+            indentLine();
+            out << "break when (";
+            renderExprTo(s.cond, out);
+            out << ");\n";
+            break;
+          case Stmt::Kind::Nested:
+            renderLoop(s.nested.front());
+            break;
+        }
+    }
+
+    void
+    renderLoop(const Loop &loop)
+    {
+        const char *kind = nullptr;
+        switch (loop.pragma) {
+          case Pragma::None: break;
+          case Pragma::Unordered: kind = "unordered"; break;
+          case Pragma::Ordered: kind = "ordered"; break;
+          case Pragma::Atomic: kind = "atomic"; break;
+          case Pragma::Auto: kind = "auto"; break;
+        }
+        if (kind) {
+            indentLine();
+            out << "#pragma xloops " << kind
+                << (loop.hintSpecialize ? "" : " nohint") << "\n";
+        }
+        indentLine();
+        out << "for (" << loop.iv << " = ";
+        renderExprTo(loop.lower, out);
+        out << "; " << loop.iv << " < ";
+        renderExprTo(loop.upper, out);
+        out << "; " << loop.iv << "++) {\n";
+        depth++;
+        renderStmts(loop.body);
+        depth--;
+        indentLine();
+        out << "}\n";
+    }
+
+    std::ostringstream out;
+    unsigned depth = 0;
+};
+
+} // namespace
+
+std::string
+renderExpr(const ExprPtr &expr)
+{
+    std::ostringstream out;
+    renderExprTo(expr, out);
+    return out.str();
+}
+
+std::string
+renderModule(const FrontendModule &mod)
+{
+    return ModuleRenderer().run(mod);
+}
+
+} // namespace xloops

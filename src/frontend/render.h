@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Render a FrontendModule (or a bare expression) back to xl source.
+ * The output is fully parenthesized and always re-parses to a
+ * structurally identical module — the round-trip property the fuzzer
+ * and tests lean on (a generated module is rendered to text, parsed
+ * back, and must analyze identically).
+ */
+
+#ifndef XLOOPS_FRONTEND_RENDER_H
+#define XLOOPS_FRONTEND_RENDER_H
+
+#include "frontend/parser.h"
+
+namespace xloops {
+
+/** xl source for @p expr (fully parenthesized). */
+std::string renderExpr(const ExprPtr &expr);
+
+/** xl source for a whole module. */
+std::string renderModule(const FrontendModule &mod);
+
+} // namespace xloops
+
+#endif // XLOOPS_FRONTEND_RENDER_H

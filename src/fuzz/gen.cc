@@ -1,0 +1,436 @@
+#include "fuzz/gen.h"
+
+#include "common/rng.h"
+#include "frontend/render.h"
+
+namespace xloops {
+
+namespace {
+
+const std::vector<std::string> kRecipes = {
+    "indep",     "regdep",  "memdep",   "mixed",
+    "gather",    "indirect", "histogram", "dynbound",
+    "dde",       "fission", "tripcount", "nested",
+};
+
+/**
+ * One generation run. Every random draw comes from a single
+ * xorshift64* stream seeded by mix64(seed), so the same seed yields
+ * the same program everywhere.
+ */
+class Gen
+{
+  public:
+    explicit Gen(u64 seed) : rng(mix64(seed ? seed : 0x5eed))
+    {
+        out.seed = seed;
+    }
+
+    GenProgram
+    run()
+    {
+        trip = rng.nextRange(2, 12);
+        out.recipe = kRecipes[rng.nextBelow(
+            static_cast<u32>(kRecipes.size()))];
+        out.name = "gen-" + out.recipe + "-" + std::to_string(out.seed);
+
+        // Shared input array, sized for every offset any recipe uses.
+        declArray("A", static_cast<unsigned>(trip) + 12, -8, 31);
+        paramName = "p0";
+        let(paramName, cst(rng.nextRange(-16, 31)));
+
+        if (out.recipe == "indep")          buildIndep();
+        else if (out.recipe == "regdep")    buildRegdep();
+        else if (out.recipe == "memdep")    buildMemdep();
+        else if (out.recipe == "mixed")     buildMixed();
+        else if (out.recipe == "gather")    buildGather();
+        else if (out.recipe == "indirect")  buildIndirect();
+        else if (out.recipe == "histogram") buildHistogram();
+        else if (out.recipe == "dynbound")  buildDynbound();
+        else if (out.recipe == "dde")       buildDde();
+        else if (out.recipe == "fission")   buildFission();
+        else if (out.recipe == "tripcount") buildTripcount();
+        else                                buildNested();
+
+        // Occasionally append an unrelated independent loop; skipped
+        // for the register-hungry recipes (fission splits into extra
+        // loops; nested already runs three).
+        if (out.recipe != "fission" && out.recipe != "nested" &&
+            rng.nextBelow(4) == 0)
+            extraLoop();
+
+        out.source = renderModule(out.module);
+        return std::move(out);
+    }
+
+  private:
+    // --- building blocks ------------------------------------------
+
+    void
+    declArray(const std::string &name, unsigned words, i32 lo, i32 hi)
+    {
+        ArrayDeclInfo decl;
+        decl.name = name;
+        decl.words = words;
+        for (unsigned i = 0; i < words; i++)
+            decl.init.push_back(rng.nextRange(lo, hi));
+        out.module.arrays.push_back(std::move(decl));
+    }
+
+    void
+    declZeroArray(const std::string &name, unsigned words)
+    {
+        ArrayDeclInfo decl;
+        decl.name = name;
+        decl.words = words;
+        out.module.arrays.push_back(std::move(decl));
+    }
+
+    void
+    let(const std::string &name, ExprPtr value)
+    {
+        out.module.topLevel.push_back(assign(name, std::move(value)));
+    }
+
+    Loop
+    newLoop(const std::string &iv, ExprPtr upper, Pragma pragma)
+    {
+        Loop loop;
+        loop.iv = iv;
+        loop.lower = cst(0);
+        loop.upper = std::move(upper);
+        loop.pragma = pragma;
+        loop.hintSpecialize = rng.nextBelow(8) != 0;  // rare nohint
+        return loop;
+    }
+
+    void
+    pushLoop(Loop loop, const std::string &truth)
+    {
+        out.module.topLevel.push_back(nested(std::move(loop)));
+        out.truths.push_back(truth);
+    }
+
+    Pragma
+    orderedOrAuto()
+    {
+        return rng.nextBelow(2) ? Pragma::Auto : Pragma::Ordered;
+    }
+
+    /** Read-only filler expression: constants, the iv, the parameter,
+     *  and bounded-offset loads of the read-only input array — never
+     *  anything a recipe writes, so filler cannot perturb truth. */
+    ExprPtr
+    value(const std::string &iv, unsigned depth)
+    {
+        if (depth > 0 && rng.nextBelow(2) == 0) {
+            static const BinOp ops[] = {
+                BinOp::Add, BinOp::Add, BinOp::Sub, BinOp::Xor,
+                BinOp::And, BinOp::Or,  BinOp::Min, BinOp::Max,
+            };
+            const BinOp op = ops[rng.nextBelow(8)];
+            return bin(op, value(iv, depth - 1), value(iv, depth - 1));
+        }
+        switch (rng.nextBelow(5)) {
+          case 0: return cst(rng.nextRange(-32, 63));
+          case 1: return var(iv);
+          case 2: return var(paramName);
+          case 3: return mul(var(iv), cst(rng.nextRange(1, 4)));
+          default:
+            return ld("A", rng.nextBelow(2)
+                               ? var(iv)
+                               : add(var(iv), cst(1)));
+        }
+    }
+
+    // --- recipes --------------------------------------------------
+
+    void
+    buildIndep()
+    {
+        declZeroArray("B", static_cast<unsigned>(trip) + 4);
+        const Pragma pr =
+            rng.nextBelow(2) ? Pragma::Auto : Pragma::Unordered;
+        Loop loop = newLoop("i", cst(trip), pr);
+        if (rng.nextBelow(2)) {
+            loop.body.push_back(
+                ifThen(bin(BinOp::Gt, ld("A", var("i")), cst(0)),
+                       {store("B", var("i"), value("i", 2))},
+                       {store("B", var("i"), value("i", 1))}));
+        } else {
+            loop.body.push_back(store("B", var("i"), value("i", 2)));
+        }
+        pushLoop(std::move(loop), "uc");
+    }
+
+    void
+    buildRegdep()
+    {
+        declZeroArray("B", static_cast<unsigned>(trip) + 4);
+        let("s", cst(rng.nextRange(0, 8)));
+        static const BinOp accOps[] = {BinOp::Add, BinOp::Add,
+                                       BinOp::Xor, BinOp::Min,
+                                       BinOp::Max};
+        Loop loop = newLoop("i", cst(trip), orderedOrAuto());
+        loop.body.push_back(assign(
+            "s", bin(accOps[rng.nextBelow(5)], var("s"),
+                     value("i", 1))));
+        if (rng.nextBelow(2))
+            loop.body.push_back(store("B", var("i"), var("s")));
+        pushLoop(std::move(loop), "or");
+    }
+
+    void
+    buildMemdep()
+    {
+        const i32 d = rng.nextRange(1, 3);
+        const Pragma pr = orderedOrAuto();
+        if (rng.nextBelow(2)) {
+            // Forward: B[i + d] = B[i] + v, carried flow distance d.
+            declArray("B", static_cast<unsigned>(trip + d) + 4, -8, 15);
+            Loop loop = newLoop("i", cst(trip), pr);
+            loop.body.push_back(
+                store("B", add(var("i"), cst(d)),
+                      add(ld("B", var("i")), value("i", 1))));
+            pushLoop(std::move(loop), "om");
+        } else {
+            // Reversed stride: write B[M - i], read B[M + d - i]
+            // (coefficient -1, still a proven constant distance).
+            const i32 m = trip + d;
+            declArray("B", static_cast<unsigned>(m + d) + 4, -8, 15);
+            Loop loop = newLoop("i", cst(trip), pr);
+            loop.body.push_back(
+                store("B", sub(cst(m), var("i")),
+                      add(ld("B", sub(cst(m + d), var("i"))),
+                          value("i", 1))));
+            pushLoop(std::move(loop), "om");
+        }
+    }
+
+    void
+    buildMixed()
+    {
+        const i32 d = rng.nextRange(1, 3);
+        declArray("B", static_cast<unsigned>(trip + d) + 4, -8, 15);
+        let("s", cst(0));
+        Loop loop = newLoop("i", cst(trip), orderedOrAuto());
+        loop.body.push_back(
+            assign("s", add(var("s"), ld("B", var("i")))));
+        loop.body.push_back(store("B", add(var("i"), cst(d)),
+                                  add(var("s"), value("i", 1))));
+        pushLoop(std::move(loop), "orm");
+    }
+
+    void
+    buildGather()
+    {
+        declZeroArray("B", static_cast<unsigned>(trip) + 4);
+        ArrayDeclInfo idx;
+        idx.name = "C";
+        idx.words = static_cast<unsigned>(trip) + 2;
+        for (unsigned i = 0; i < idx.words; i++)
+            idx.init.push_back(rng.nextRange(0, trip + 11));  // into A
+        out.module.arrays.push_back(std::move(idx));
+        const Pragma pr =
+            rng.nextBelow(2) ? Pragma::Auto : Pragma::Unordered;
+        Loop loop = newLoop("i", cst(trip), pr);
+        loop.body.push_back(
+            store("B", var("i"),
+                  add(ld("A", ld("C", var("i"))), value("i", 1))));
+        pushLoop(std::move(loop), "uc");
+    }
+
+    void
+    buildIndirect()
+    {
+        const unsigned bWords = static_cast<unsigned>(trip) + 4;
+        declArray("B", bWords, -8, 15);
+        ArrayDeclInfo idx;
+        idx.name = "C";
+        idx.words = static_cast<unsigned>(trip) + 2;
+        for (unsigned i = 0; i < idx.words; i++)
+            idx.init.push_back(
+                rng.nextRange(0, static_cast<i32>(bWords) - 1));
+        out.module.arrays.push_back(std::move(idx));
+        const Pragma pr = orderedOrAuto();
+        Loop loop = newLoop("i", cst(trip), pr);
+        // Scatter read-modify-write through C: the subscript is a
+        // load, so the SIV tests are inconclusive — an `auto` loop
+        // here is the canonical speculative DOACROSS.
+        loop.body.push_back(
+            store("B", ld("C", var("i")),
+                  add(ld("B", ld("C", var("i"))), value("i", 1))));
+        pushLoop(std::move(loop), pr == Pragma::Auto ? "om?" : "om");
+    }
+
+    void
+    buildHistogram()
+    {
+        declZeroArray("H", 8);
+        Loop loop = newLoop("i", cst(trip), Pragma::Atomic);
+        const ExprPtr slot = bin(BinOp::And, ld("A", var("i")), cst(7));
+        // Commutative update only (+ constant or + A[i]): unordered
+        // atomic execution must stay byte-identical to serial.
+        const ExprPtr weight =
+            rng.nextBelow(2) ? cst(1) : ld("A", var("i"));
+        loop.body.push_back(
+            store("H", slot, add(ld("H", slot), weight)));
+        pushLoop(std::move(loop), "ua");
+    }
+
+    void
+    buildDynbound()
+    {
+        // The LMU merges .db bound writes with a max (the worklist
+        // idiom of Figure 1(e)), so a body may only *raise* the
+        // bound: a decrement is honored by serial execution but
+        // ignored by the max-merge, which is exactly the divergence
+        // the fuzzer's first run caught. The monotone race-free form
+        // n = max(n, min(i + 2, cap)) reaches the same executed-set
+        // fixpoint in any iteration order, so every array stays
+        // serial-equivalent and the loop terminates at cap.
+        const i32 cap = trip + 3;
+        declZeroArray("B", static_cast<unsigned>(cap) + 2);
+        let("n", cst(trip));
+        const Pragma pr = orderedOrAuto();
+        Loop loop = newLoop("i", var("n"), pr);
+        std::string truth;
+        if (pr == Pragma::Auto && rng.nextBelow(2)) {
+            // No carried deps at all: auto must still promote the
+            // dynamic bound to an ordered commit (uc.db would be
+            // worklist semantics, not serial-equivalent).
+            loop.body.push_back(store("B", var("i"), value("i", 1)));
+            truth = "om.db";
+        } else {
+            let("s", cst(0));
+            loop.body.push_back(
+                assign("s", add(var("s"), ld("A", var("i")))));
+            loop.body.push_back(store("B", var("i"), var("s")));
+            truth = "or.db";
+        }
+        loop.body.push_back(ifThen(
+            bin(BinOp::Eq,
+                bin(BinOp::And, ld("A", var("i")), cst(1)), cst(1)),
+            {assign("n",
+                    bin(BinOp::Max, var("n"),
+                        bin(BinOp::Min, add(var("i"), cst(2)),
+                            cst(cap))))},
+            {}));
+        pushLoop(std::move(loop), truth);
+    }
+
+    void
+    buildDde()
+    {
+        declZeroArray("B", static_cast<unsigned>(trip) + 4);
+        const Pragma pr = orderedOrAuto();
+        const i32 threshold = rng.nextRange(3, 40);
+        Loop loop = newLoop("i", cst(trip), pr);
+        if (rng.nextBelow(2)) {
+            // Accumulating search: CIR + exit -> orm.de.
+            let("s", cst(0));
+            loop.body.push_back(assign(
+                "s", add(var("s"),
+                         add(bin(BinOp::And, ld("A", var("i")), cst(7)),
+                             cst(1)))));
+            loop.body.push_back(store("B", var("i"), var("s")));
+            loop.body.push_back(
+                exitWhen(bin(BinOp::Gt, var("s"), cst(threshold))));
+            pushLoop(std::move(loop), "orm.de");
+        } else {
+            // Pure scan: no carried deps, exit forces om.de.
+            loop.body.push_back(store("B", var("i"), value("i", 1)));
+            loop.body.push_back(exitWhen(
+                bin(BinOp::Gt, ld("A", var("i")), cst(threshold))));
+            pushLoop(std::move(loop), "om.de");
+        }
+    }
+
+    void
+    buildFission()
+    {
+        declZeroArray("B", static_cast<unsigned>(trip) + 4);
+        declZeroArray("C", static_cast<unsigned>(trip) + 4);
+        let("s", cst(0));
+        Loop loop = newLoop("i", cst(trip), orderedOrAuto());
+        loop.body.push_back(store("B", var("i"), value("i", 1)));
+        loop.body.push_back(
+            assign("s", add(var("s"), ld("A", var("i")))));
+        loop.body.push_back(store("C", var("i"), var("s")));
+        pushLoop(std::move(loop), "or");
+        out.useFission = true;
+        out.fissionTruths = {"uc", "or"};
+    }
+
+    void
+    buildTripcount()
+    {
+        // Zero- and single-trip loops over a normal body.
+        trip = static_cast<i32>(rng.nextBelow(2));
+        if (rng.nextBelow(2))
+            buildIndep();
+        else
+            buildRegdep();
+    }
+
+    void
+    buildNested()
+    {
+        const i32 inner = rng.nextRange(2, 6);
+        declZeroArray("B", static_cast<unsigned>(trip) + 4);
+        let("s", cst(0));
+        const Pragma pr = orderedOrAuto();
+        Loop outer = newLoop("i", cst(trip), pr);
+        Loop innerLoop = newLoop("j", cst(inner), Pragma::None);
+        innerLoop.hintSpecialize = true;
+        std::string truth;
+        if (rng.nextBelow(2)) {
+            // Inner serial loop stores through its own iv: opaque to
+            // the outer SIV tests -> assumed carried (speculative
+            // under auto).
+            declZeroArray("D", static_cast<unsigned>(inner) + 2);
+            innerLoop.body.push_back(
+                assign("s", add(var("s"), ld("A", var("j")))));
+            innerLoop.body.push_back(store("D", var("j"), var("s")));
+            truth = pr == Pragma::Auto ? "orm?" : "orm";
+        } else {
+            innerLoop.body.push_back(
+                assign("s", add(var("s"), ld("A", var("j")))));
+            truth = "or";
+        }
+        outer.body.push_back(nested(std::move(innerLoop)));
+        outer.body.push_back(store("B", var("i"), var("s")));
+        pushLoop(std::move(outer), truth);
+        out.truths.push_back("serial");  // the inner loop, pre-order
+    }
+
+    void
+    extraLoop()
+    {
+        declZeroArray("D", 12);
+        Loop loop = newLoop("k", cst(6), Pragma::Unordered);
+        loop.body.push_back(store("D", var("k"), value("k", 1)));
+        pushLoop(std::move(loop), "uc");
+    }
+
+    Rng rng;
+    GenProgram out;
+    std::string paramName;
+    i32 trip = 4;
+};
+
+} // namespace
+
+GenProgram
+generateProgram(u64 seed)
+{
+    return Gen(seed).run();
+}
+
+const std::vector<std::string> &
+recipeNames()
+{
+    return kRecipes;
+}
+
+} // namespace xloops

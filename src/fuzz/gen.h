@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Generative loop-nest fuzzing: produce random xl programs whose
+ * dependence structure is known *by construction* — each recipe
+ * builds a loop whose correct pattern-selection verdict is determined
+ * by how the recipe wired its reads and writes, never by running the
+ * analyzer. The harness (fuzz/harness.h) then checks two properties:
+ *
+ *   1. analyzer ground truth: selectPattern on every generated loop
+ *      reproduces the recipe's expected verdict exactly;
+ *   2. differential execution: the compiled program produces
+ *      byte-identical array state in traditional and specialized
+ *      mode, with the lockstep checker armed and timing faults
+ *      injected.
+ *
+ * Generated programs are in-bounds by construction (subscripts are
+ * offset-bounded, indirect index arrays are initialized in range) so
+ * array aliasing can never silently invalidate a recipe's truth, and
+ * atomic (ua) bodies only use commutative updates so unordered
+ * execution stays byte-identical to serial.
+ */
+
+#ifndef XLOOPS_FUZZ_GEN_H
+#define XLOOPS_FUZZ_GEN_H
+
+#include "frontend/parser.h"
+
+namespace xloops {
+
+/** One generated program plus its by-construction ground truth. */
+struct GenProgram
+{
+    u64 seed = 0;
+    std::string name;     ///< "gen-<recipe>-<seed>"
+    std::string recipe;
+    FrontendModule module;
+    std::string source;   ///< renderModule(module)
+
+    /** Expected LoopSelection::describe() for every loop, pre-order
+     *  (matches reportLoops on the unfissioned module). */
+    std::vector<std::string> truths;
+
+    /** This program is a fission candidate: compiling with the
+     *  fission prepass must yield exactly fissionTruths. */
+    bool useFission = false;
+    std::vector<std::string> fissionTruths;
+};
+
+/** Deterministically generate the program for @p seed (same seed,
+ *  same program, on every platform). */
+GenProgram generateProgram(u64 seed);
+
+/** All recipe names (for reporting / coverage accounting). */
+const std::vector<std::string> &recipeNames();
+
+} // namespace xloops
+
+#endif // XLOOPS_FUZZ_GEN_H

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The differential fuzz property. One generated (or corpus) program
+ * is checked in phases:
+ *
+ *   parse          the rendered source re-parses
+ *   truth          analyzer verdicts == by-construction ground truth
+ *   compile        the backend lowers and assembles the module
+ *   trad / spec    traditional and specialized runs complete, each
+ *                  under the lockstep checker; the specialized run
+ *                  also takes seeded timing-fault injection
+ *   compare        every declared array is byte-identical between
+ *                  the two runs
+ *   fission-*      the same, for the fission-prepass build of
+ *                  fission-candidate programs (specialized fissioned
+ *                  output is compared against the unfissioned
+ *                  traditional reference)
+ *
+ * Failures carry the phase name so the shrinker can pin "the same
+ * failure" while minimizing, and a SimError during a run can be
+ * written out as a replayable divergence capsule.
+ */
+
+#ifndef XLOOPS_FUZZ_HARNESS_H
+#define XLOOPS_FUZZ_HARNESS_H
+
+#include "fuzz/gen.h"
+
+namespace xloops {
+
+/** Knobs for one property check. */
+struct FuzzOptions
+{
+    std::string configName = "io+x";
+    double injectRate = 0.05;  ///< uniform timing-fault rate
+    u64 injectSeed = 0;        ///< 0: derive from the program seed
+    bool lockstep = true;
+    bool checkTruth = true;    ///< phase `truth` (off while shrinking
+                               ///< execution failures)
+    bool checkFission = true;  ///< fission phases for candidates
+    u64 maxInsts = 2'000'000;
+    std::string capsuleDir;    ///< non-empty: write capsules on
+                               ///< SimError during a run
+};
+
+/** One phase failure. */
+struct FuzzFailure
+{
+    std::string phase;
+    std::string detail;
+};
+
+/** All failures of one program (empty == property held). */
+struct FuzzVerdict
+{
+    std::vector<FuzzFailure> failures;
+
+    bool ok() const { return failures.empty(); }
+    std::string firstPhase() const
+    {
+        return failures.empty() ? "" : failures.front().phase;
+    }
+};
+
+/** Run every phase against @p program. Never throws: all expected
+ *  error classes (FrontendError, FatalError, SimError) become
+ *  failures; only simulator-bug PanicErrors propagate. */
+FuzzVerdict checkProgram(const GenProgram &program,
+                         const FuzzOptions &opts);
+
+/**
+ * A corpus file: xl source annotated with `//!` directives —
+ *   //! expect: <describe list>           analyzer oracle (required)
+ *   //! options: fission                  also check the fission build
+ *   //! fission-expect: <describe list>   post-fission oracle
+ *   //! seed: <n>                         fault-injection seed
+ */
+struct CorpusCase
+{
+    std::string path;
+    std::string source;
+    std::vector<std::string> expect;
+    bool fission = false;
+    std::vector<std::string> fissionExpect;
+    u64 seed = 1;
+};
+
+/** Load a corpus file; throws FatalError on unreadable files or
+ *  missing/garbled directives. */
+CorpusCase loadCorpusFile(const std::string &path);
+
+/** Replay one corpus case byte-identically: truth phase against its
+ *  `expect` directives, then the differential run. */
+FuzzVerdict checkCorpusCase(const CorpusCase &c, const FuzzOptions &opts);
+
+} // namespace xloops
+
+#endif // XLOOPS_FUZZ_HARNESS_H

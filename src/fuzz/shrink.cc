@@ -1,0 +1,235 @@
+#include "fuzz/shrink.h"
+
+#include <set>
+
+#include "frontend/render.h"
+
+namespace xloops {
+
+namespace {
+
+/**
+ * Pre-order enumeration of every statement list in a module: the top
+ * level, then (recursively, in statement order) each If branch and
+ * each loop body. The order is purely structural, so the n-th list of
+ * a copied module is the same list as the n-th of the original.
+ */
+void
+collectLists(std::vector<Stmt> &body, std::vector<std::vector<Stmt> *> &out)
+{
+    out.push_back(&body);
+    for (Stmt &s : body) {
+        switch (s.kind) {
+          case Stmt::Kind::If:
+            collectLists(s.thenBody, out);
+            collectLists(s.elseBody, out);
+            break;
+          case Stmt::Kind::Nested:
+            collectLists(s.nested.front().body, out);
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+std::vector<std::vector<Stmt> *>
+allLists(FrontendModule &mod)
+{
+    std::vector<std::vector<Stmt> *> out;
+    collectLists(mod.topLevel, out);
+    return out;
+}
+
+/** Single-step simplifications of one expression. */
+void
+exprVariants(const ExprPtr &e, std::vector<ExprPtr> &out)
+{
+    if (!e)
+        return;
+    if (e->kind == Expr::Kind::Bin) {
+        out.push_back(e->lhs);
+        out.push_back(e->rhs);
+    }
+    if (e->kind == Expr::Kind::Load)
+        out.push_back(e->index);
+    if (e->kind != Expr::Kind::Const) {
+        out.push_back(cst(0));
+        out.push_back(cst(1));
+    }
+}
+
+/** Array names referenced anywhere (loads, stores, loop bounds). */
+void
+referencedArrays(const std::vector<Stmt> &body, std::set<std::string> &out)
+{
+    auto fromExpr = [&out](const ExprPtr &e) {
+        if (!e)
+            return;
+        std::vector<std::pair<std::string, ExprPtr>> loads;
+        e->collectLoads(loads);
+        for (const auto &[array, index] : loads)
+            out.insert(array);
+    };
+    for (const Stmt &s : body) {
+        fromExpr(s.index);
+        fromExpr(s.value);
+        fromExpr(s.cond);
+        if (s.kind == Stmt::Kind::StoreArray)
+            out.insert(s.array);
+        referencedArrays(s.thenBody, out);
+        referencedArrays(s.elseBody, out);
+        if (s.kind == Stmt::Kind::Nested) {
+            const Loop &loop = s.nested.front();
+            fromExpr(loop.lower);
+            fromExpr(loop.upper);
+            referencedArrays(loop.body, out);
+        }
+    }
+}
+
+/** Push a copy of @p mod with list @p li / stmt @p si rewritten by
+ *  @p mutate (which may signal "no candidate" by returning false). */
+template <typename Fn>
+void
+withStmt(const FrontendModule &mod, size_t li, size_t si, Fn &&mutate,
+         std::vector<FrontendModule> &out)
+{
+    FrontendModule copy = mod;
+    auto lists = allLists(copy);
+    if (mutate((*lists[li])[si], *lists[li], si))
+        out.push_back(std::move(copy));
+}
+
+} // namespace
+
+std::vector<FrontendModule>
+shrinkCandidates(const FrontendModule &mod)
+{
+    std::vector<FrontendModule> out;
+
+    // Structural counts come from a throwaway copy (allLists needs a
+    // mutable module); indices are stable across copies.
+    FrontendModule probe = mod;
+    const auto probeLists = allLists(probe);
+
+    for (size_t li = 0; li < probeLists.size(); li++) {
+        for (size_t si = 0; si < probeLists[li]->size(); si++) {
+            const Stmt &orig = (*probeLists[li])[si];
+
+            // 1. Delete the statement outright (biggest cut first).
+            withStmt(mod, li, si,
+                     [](Stmt &, std::vector<Stmt> &list, size_t i) {
+                         list.erase(list.begin() +
+                                    static_cast<long>(i));
+                         return true;
+                     },
+                     out);
+
+            // 2. Inline an if's branches in its place.
+            if (orig.kind == Stmt::Kind::If) {
+                for (const bool takeThen : {true, false}) {
+                    withStmt(mod, li, si,
+                             [takeThen](Stmt &s, std::vector<Stmt> &list,
+                                        size_t i) {
+                                 std::vector<Stmt> branch = takeThen
+                                                                ? s.thenBody
+                                                                : s.elseBody;
+                                 list.erase(list.begin() +
+                                            static_cast<long>(i));
+                                 list.insert(list.begin() +
+                                                 static_cast<long>(i),
+                                             branch.begin(), branch.end());
+                                 return true;
+                             },
+                             out);
+                }
+            }
+
+            // 3. Shrink a constant trip count.
+            if (orig.kind == Stmt::Kind::Nested) {
+                const Loop &loop = orig.nested.front();
+                if (loop.upper->kind == Expr::Kind::Const &&
+                    loop.upper->cval > 1) {
+                    for (const i32 next : {loop.upper->cval / 2, 1}) {
+                        if (next == loop.upper->cval)
+                            continue;
+                        withStmt(mod, li, si,
+                                 [next](Stmt &s, std::vector<Stmt> &,
+                                        size_t) {
+                                     s.nested.front().upper = cst(next);
+                                     return true;
+                                 },
+                                 out);
+                    }
+                }
+            }
+
+            // 4. Prune expressions in place.
+            auto pruneField = [&](ExprPtr Stmt::*field) {
+                std::vector<ExprPtr> variants;
+                exprVariants(orig.*field, variants);
+                for (const ExprPtr &v : variants) {
+                    withStmt(mod, li, si,
+                             [&v, field](Stmt &s, std::vector<Stmt> &,
+                                         size_t) {
+                                 s.*field = v;
+                                 return true;
+                             },
+                             out);
+                }
+            };
+            pruneField(&Stmt::value);
+            pruneField(&Stmt::index);
+            pruneField(&Stmt::cond);
+        }
+    }
+
+    // 5. Drop array initializers (arrays become zero-filled).
+    for (size_t ai = 0; ai < mod.arrays.size(); ai++) {
+        if (!mod.arrays[ai].init.empty()) {
+            FrontendModule copy = mod;
+            copy.arrays[ai].init.clear();
+            out.push_back(std::move(copy));
+        }
+    }
+
+    // 6. Remove arrays nothing references.
+    std::set<std::string> used;
+    referencedArrays(mod.topLevel, used);
+    for (size_t ai = 0; ai < mod.arrays.size(); ai++) {
+        if (!used.count(mod.arrays[ai].name)) {
+            FrontendModule copy = mod;
+            copy.arrays.erase(copy.arrays.begin() +
+                              static_cast<long>(ai));
+            out.push_back(std::move(copy));
+        }
+    }
+
+    return out;
+}
+
+GenProgram
+shrinkProgram(const GenProgram &program, const FailPredicate &stillFails,
+              unsigned maxSteps)
+{
+    GenProgram cur = program;
+    for (unsigned step = 0; step < maxSteps; step++) {
+        bool improved = false;
+        for (FrontendModule &cand : shrinkCandidates(cur.module)) {
+            GenProgram next = cur;
+            next.module = std::move(cand);
+            next.source = renderModule(next.module);
+            if (stillFails(next)) {
+                cur = std::move(next);
+                improved = true;
+                break;
+            }
+        }
+        if (!improved)
+            break;
+    }
+    return cur;
+}
+
+} // namespace xloops

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Greedy structural shrinking of failing fuzz programs. Given a
+ * failure predicate, repeatedly tries single simplifying edits —
+ * delete a statement, inline an if branch, halve a trip count, prune
+ * an expression, drop an initializer or an unreferenced array — and
+ * keeps any edit under which the program still fails, iterating to a
+ * fixpoint. The result is a local minimum: no single remaining edit
+ * preserves the failure.
+ *
+ * The predicate sees a fully re-rendered GenProgram (module + source)
+ * and decides "still the same failure"; the caller encodes what
+ * "same" means (same divergence phase, same wrong analyzer verdict).
+ */
+
+#ifndef XLOOPS_FUZZ_SHRINK_H
+#define XLOOPS_FUZZ_SHRINK_H
+
+#include <functional>
+
+#include "fuzz/gen.h"
+
+namespace xloops {
+
+/** Returns true when the candidate still exhibits the failure being
+ *  minimized. Must be deterministic. */
+using FailPredicate = std::function<bool(const GenProgram &)>;
+
+/** All single-edit simplifications of @p mod (each one module copy). */
+std::vector<FrontendModule> shrinkCandidates(const FrontendModule &mod);
+
+/**
+ * Shrink @p program to a fixpoint under @p stillFails. @p maxSteps
+ * bounds accepted edits (each round scans all candidates and keeps
+ * the first that still fails). The input program must itself satisfy
+ * the predicate; the returned program always does.
+ */
+GenProgram shrinkProgram(const GenProgram &program,
+                         const FailPredicate &stillFails,
+                         unsigned maxSteps = 300);
+
+} // namespace xloops
+
+#endif // XLOOPS_FUZZ_SHRINK_H

@@ -8,6 +8,7 @@
 #include "asm/assembler.h"
 #include "common/log.h"
 #include "compiler/codegen.h"
+#include "compiler/fission.h"
 #include "cpu/functional.h"
 #include "system/system.h"
 
@@ -640,6 +641,170 @@ TEST(CodeGen, SerialLoopWithExitWhenRunsCorrectly)
     sys.loadProgram(bin2);
     sys.run(bin2, ExecMode::Traditional);
     EXPECT_EQ(sys.memory().readWord(bin2.symbol("out")), 42u);
+}
+
+// --- auto pragma / speculative DOACROSS ----------------------------------
+
+Loop
+autoLoop(std::vector<Stmt> body)
+{
+    Loop loop;
+    loop.iv = "i";
+    loop.lower = cst(0);
+    loop.upper = var("n");
+    loop.pragma = Pragma::Auto;
+    loop.body = std::move(body);
+    return loop;
+}
+
+TEST(AutoSelect, NoDependencesIsUc)
+{
+    const LoopSelection sel = selectPattern(autoLoop(
+        {store("out", var("i"), add(ld("a", var("i")), cst(1)))}));
+    EXPECT_EQ(sel.pattern, LoopPattern::UC);
+    EXPECT_FALSE(sel.speculative);
+    EXPECT_TRUE(sel.autoSelected);
+    EXPECT_EQ(sel.describe(), "uc");
+}
+
+TEST(AutoSelect, InconclusiveMemDepIsSpeculativeOm)
+{
+    // out[idx[i]] += 1: the subscript is not affine in i, so every
+    // test is inconclusive -> speculative DOACROSS ("om?"): the
+    // LPSU's dynamic store ordering supplies the conflict detection
+    // the static analysis could not.
+    const LoopSelection sel = selectPattern(autoLoop(
+        {store("out", ld("idx", var("i")),
+               add(ld("out", ld("idx", var("i"))), cst(1)))}));
+    EXPECT_EQ(sel.pattern, LoopPattern::OM);
+    EXPECT_TRUE(sel.speculative);
+    EXPECT_TRUE(sel.inconclusive);
+    EXPECT_EQ(sel.describe(), "om?");
+}
+
+TEST(AutoSelect, ProvenDistanceIsNotSpeculative)
+{
+    // out[i+2] = out[i]: a *proven* carried distance needs no
+    // speculation — the LMU enforces the distance directly.
+    const LoopSelection sel = selectPattern(autoLoop(
+        {store("out", add(var("i"), cst(2)),
+               add(ld("out", var("i")), cst(1)))}));
+    EXPECT_EQ(sel.pattern, LoopPattern::OM);
+    EXPECT_FALSE(sel.speculative);
+    EXPECT_EQ(sel.describe(), "om");
+}
+
+TEST(AutoSelect, OrderedPragmaNeverSpeculates)
+{
+    // The same inconclusive body under an explicit ordered pragma:
+    // the programmer asked for ordered semantics, no "?" suffix.
+    Loop loop = autoLoop(
+        {store("out", ld("idx", var("i")),
+               add(ld("out", ld("idx", var("i"))), cst(1)))});
+    loop.pragma = Pragma::Ordered;
+    const LoopSelection sel = selectPattern(loop);
+    EXPECT_EQ(sel.pattern, LoopPattern::OM);
+    EXPECT_FALSE(sel.speculative);
+    EXPECT_EQ(sel.describe(), "om");
+}
+
+TEST(AutoSelect, DynamicBoundPromotesUcToOm)
+{
+    // A dependence-free auto body that raises its own bound: uc.db
+    // would be worklist semantics, so auto promotes to om.db and the
+    // LMU samples the bound at in-order commit.
+    const LoopSelection sel = selectPattern(autoLoop(
+        {store("out", var("i"), var("i")),
+         assign("n", add(var("n"), cst(1)))}));
+    EXPECT_TRUE(sel.dynamicBound);
+    EXPECT_EQ(sel.pattern, LoopPattern::OM);
+    EXPECT_EQ(sel.describe(), "om.db");
+    EXPECT_EQ(sel.opcode(), Op::XLOOP_OM_DB);
+}
+
+// --- loop fission --------------------------------------------------------
+
+TEST(Fission, SplitsIndependentStoreFromAccumulation)
+{
+    // { b[i] = a[i]*3; s += a[i]; c[i] = s } — the b-store shares no
+    // written entity with the accumulation chain, so fission yields
+    // a uc fragment and an or fragment, in original statement order.
+    Loop loop = mkLoop(
+        {store("b", var("i"), mul(ld("a", var("i")), cst(3))),
+         assign("s", add(var("s"), ld("a", var("i")))),
+         store("c", var("i"), var("s"))});
+    const std::vector<Loop> pieces = fissionLoop(loop);
+    ASSERT_EQ(pieces.size(), 2u);
+    EXPECT_EQ(pieces[0].body.size(), 1u);
+    EXPECT_EQ(selectPattern(pieces[0]).describe(), "uc");
+    EXPECT_EQ(pieces[1].body.size(), 2u);
+    EXPECT_EQ(selectPattern(pieces[1]).describe(), "or");
+}
+
+TEST(Fission, UnprofitableWhenAllFragmentsKeepThePattern)
+{
+    // Two independent elementwise stores: both fragments would be
+    // "uc", same as the whole — fission must decline.
+    Loop loop = mkLoop(
+        {store("b", var("i"), ld("a", var("i"))),
+         store("c", var("i"), ld("a", var("i")))});
+    loop.pragma = Pragma::Unordered;
+    EXPECT_TRUE(fissionLoop(loop).empty());
+}
+
+TEST(Fission, SharedWrittenScalarKeepsStatementsTogether)
+{
+    // Both stores read the written scalar s: one component, no split.
+    Loop loop = mkLoop(
+        {assign("s", add(var("s"), ld("a", var("i")))),
+         store("b", var("i"), var("s")),
+         store("c", var("i"), var("s"))});
+    EXPECT_TRUE(fissionLoop(loop).empty());
+}
+
+TEST(Fission, BailsOnUnsafeShapes)
+{
+    // Serial loop: never fissioned.
+    Loop serial = mkLoop(
+        {store("b", var("i"), ld("a", var("i"))),
+         assign("s", add(var("s"), cst(1)))});
+    serial.pragma = Pragma::None;
+    EXPECT_TRUE(fissionLoop(serial).empty());
+
+    // Data-dependent exit: splitting would change which iterations
+    // the later fragment runs.
+    Loop dde = mkLoop(
+        {store("b", var("i"), ld("a", var("i"))),
+         assign("s", add(var("s"), cst(1)))});
+    dde.body.push_back(exitWhen(bin(BinOp::Gt, var("s"), cst(9))));
+    EXPECT_TRUE(fissionLoop(dde).empty());
+
+    // Dynamic bound: fragment trip counts would diverge.
+    Loop db = mkLoop(
+        {store("b", var("i"), ld("a", var("i"))),
+         assign("s", add(var("s"), cst(1))),
+         assign("n", add(var("n"), cst(1)))});
+    EXPECT_TRUE(fissionLoop(db).empty());
+
+    // Single statement: nothing to split.
+    Loop one = mkLoop({store("b", var("i"), ld("a", var("i")))});
+    EXPECT_TRUE(fissionLoop(one).empty());
+}
+
+TEST(Fission, ApplyFissionRewritesTopLevelInPlace)
+{
+    std::vector<Stmt> top;
+    top.push_back(assign("s", cst(0)));
+    top.push_back(nested(mkLoop(
+        {store("b", var("i"), mul(ld("a", var("i")), cst(3))),
+         assign("s", add(var("s"), ld("a", var("i")))),
+         store("c", var("i"), var("s"))})));
+    applyFission(top);
+    ASSERT_EQ(top.size(), 3u);
+    EXPECT_EQ(top[1].kind, Stmt::Kind::Nested);
+    EXPECT_EQ(top[2].kind, Stmt::Kind::Nested);
+    EXPECT_EQ(selectPattern(top[1].nested.front()).describe(), "uc");
+    EXPECT_EQ(selectPattern(top[2].nested.front()).describe(), "or");
 }
 
 } // namespace

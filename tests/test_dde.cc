@@ -9,7 +9,9 @@
 
 #include "asm/assembler.h"
 #include "common/log.h"
+#include "compiler/codegen.h"
 #include "cpu/functional.h"
+#include "fuzz/harness.h"
 #include "system/system.h"
 
 namespace xloops {
@@ -198,6 +200,134 @@ TEST(DataDepExit, IsaPredicates)
     EXPECT_FALSE(isDynamicBoundOp(Op::XLOOP_OM_DE));
     EXPECT_EQ(xloopPattern(Op::XLOOP_OM_DE), LoopPattern::OM);
     EXPECT_EQ(xloopPattern(Op::XLOOP_ORM_DE), LoopPattern::ORM);
+}
+
+// --- dependence-analysis edge cases --------------------------------------
+// Inputs at the boundary of the subscript tests: negative strides,
+// coupled (different-coefficient) subscripts, zero- and single-trip
+// loops, and constant offsets large enough that the strong-SIV
+// distance arithmetic would wrap in 32 bits.
+
+Loop
+edgeLoop(std::vector<Stmt> body)
+{
+    Loop loop;
+    loop.iv = "i";
+    loop.lower = cst(0);
+    loop.upper = var("n");
+    loop.pragma = Pragma::Ordered;
+    loop.body = std::move(body);
+    return loop;
+}
+
+TEST(DataDepEdge, NegativeStrideCarriedDistance)
+{
+    // out[10-i] = out[12-i] + 1: both subscripts have coefficient -1;
+    // read offset 12, write offset 10 -> distance (12-10)/-1 = -2.
+    const MemDepResult r = memDepAnalysis(edgeLoop(
+        {store("out", sub(cst(10), var("i")),
+               add(ld("out", sub(cst(12), var("i"))), cst(1)))}));
+    EXPECT_TRUE(r.hasCarriedDep);
+    bool sawDist = false;
+    for (const auto &p : r.pairs) {
+        if (p.verdict == MemDepVerdict::CarriedDistance) {
+            sawDist = true;
+            EXPECT_EQ(p.distance, -2);
+        }
+    }
+    EXPECT_TRUE(sawDist);
+}
+
+TEST(DataDepEdge, NegativeStrideSameCellIsIntraIteration)
+{
+    // out[10-i] = out[10-i] + 1: distance 0 under a reversed stride.
+    const MemDepResult r = memDepAnalysis(edgeLoop(
+        {store("out", sub(cst(10), var("i")),
+               add(ld("out", sub(cst(10), var("i"))), cst(1)))}));
+    EXPECT_FALSE(r.hasCarriedDep);
+    bool sawIntra = false;
+    for (const auto &p : r.pairs)
+        if (p.verdict == MemDepVerdict::IntraIteration)
+            sawIntra = true;
+    EXPECT_TRUE(sawIntra);
+}
+
+TEST(DataDepEdge, CoupledSubscriptsAssumedCarried)
+{
+    // write out[i], read out[2i]: coefficients differ, so the strong
+    // SIV test does not apply and the pair must stay AssumedCarried —
+    // the subscripts do alias (i = 0), so Independent would be wrong.
+    const MemDepResult r = memDepAnalysis(edgeLoop(
+        {store("out", var("i"),
+               ld("out", mul(var("i"), cst(2))))}));
+    EXPECT_TRUE(r.hasCarriedDep);
+    bool sawAssumed = false;
+    for (const auto &p : r.pairs)
+        if (p.verdict == MemDepVerdict::AssumedCarried)
+            sawAssumed = true;
+    EXPECT_TRUE(sawAssumed);
+}
+
+TEST(DataDepEdge, OverflowAdjacentCarriedDistance)
+{
+    // write out[3i - 1073741825], read out[3i + 1073741824]: the true
+    // offset difference 2147483649 = 3 * 715827883 is divisible by 3;
+    // computed in 32 bits it wraps to -2147483647, which is NOT, and
+    // the pair would be misclassified as Independent. The i64
+    // arithmetic in the strong-SIV test must call it carried.
+    const MemDepResult r = memDepAnalysis(edgeLoop(
+        {store("out",
+               add(mul(var("i"), cst(3)), cst(-1073741825)),
+               ld("out",
+                  add(mul(var("i"), cst(3)), cst(1073741824))))}));
+    bool sawCarried = false;
+    for (const auto &p : r.pairs)
+        if (p.verdict == MemDepVerdict::CarriedDistance)
+            sawCarried = true;
+    EXPECT_TRUE(sawCarried);
+    EXPECT_TRUE(r.hasCarriedDep);
+}
+
+TEST(DataDepEdge, OverflowAdjacentIndependent)
+{
+    // write out[3i - 1073741825], read out[3i + 1073741825]: the true
+    // difference 2147483650 has residue 1 mod 3 -> Independent; the
+    // 32-bit wrap -2147483646 IS divisible by 3 and would fabricate a
+    // bogus carried distance.
+    const MemDepResult r = memDepAnalysis(edgeLoop(
+        {store("out",
+               add(mul(var("i"), cst(3)), cst(-1073741825)),
+               ld("out",
+                  add(mul(var("i"), cst(3)), cst(1073741825))))}));
+    for (const auto &p : r.pairs)
+        EXPECT_NE(p.verdict, MemDepVerdict::CarriedDistance);
+}
+
+TEST(DataDepEdge, ZeroAndSingleTripLoopsExecuteIdentically)
+{
+    // Trip counts 0 and 1 are the degenerate ends of every xloop
+    // encoding: the specialized run must still match the traditional
+    // one byte-identically (and trip 0 must not run the body at all).
+    for (const char *header : {"i = 0; i < 0", "i = 0; i < 1",
+                               "i = 3; i < 3"}) {
+        const std::string src =
+            "array B[4] = {9, 9, 9, 9};\n"
+            "let s = 1;\n"
+            "#pragma xloops ordered\n"
+            "for (" + std::string(header) + "; i++) {\n"
+            "    s = s + B[i];\n"
+            "    B[i] = s;\n"
+            "}\n";
+        GenProgram p;
+        p.name = "trip-edge";
+        p.source = src;
+        FuzzOptions opts;
+        opts.checkTruth = false;
+        const FuzzVerdict v = checkProgram(p, opts);
+        EXPECT_TRUE(v.ok())
+            << header << ": " << v.firstPhase() << " "
+            << (v.failures.empty() ? "" : v.failures[0].detail);
+    }
 }
 
 } // namespace

@@ -149,6 +149,15 @@ printUsage(std::FILE *out)
                  "capsule written)\n");
 }
 
+/** A contradictory or malformed command line: show what would have
+ *  been legal, then fail (FatalError => exit 1). */
+[[noreturn]] void
+usageError(const std::string &msg)
+{
+    printUsage(stderr);
+    fatal(msg);
+}
+
 std::string
 readFile(const std::string &path)
 {
@@ -215,10 +224,13 @@ main(int argc, char **argv)
     std::string capsulePath;
     std::string replayPath;
     u64 samplePeriod = 0;
+    bool haveSamplePeriod = false;
     u64 sampleWindow = 0;
+    bool haveSampleWindow = false;
     u64 sampleWarmup = 0;
     bool haveSampleWarmup = false;
     u64 sampleSeed = 0;
+    bool haveSampleSeed = false;
 
     // Live outside the try so the SimError catch can write a capsule.
     CapsuleContext capCtx;
@@ -273,15 +285,19 @@ main(int argc, char **argv)
                 checkpointPrefix = next();
             else if (arg == "--restore")
                 restorePath = next();
-            else if (arg == "--sample-period")
+            else if (arg == "--sample-period") {
                 samplePeriod = std::strtoull(next().c_str(), nullptr, 0);
-            else if (arg == "--sample-window")
+                haveSamplePeriod = true;
+            } else if (arg == "--sample-window") {
                 sampleWindow = std::strtoull(next().c_str(), nullptr, 0);
-            else if (arg == "--sample-warmup") {
+                haveSampleWindow = true;
+            } else if (arg == "--sample-warmup") {
                 sampleWarmup = std::strtoull(next().c_str(), nullptr, 0);
                 haveSampleWarmup = true;
-            } else if (arg == "--sample-seed")
+            } else if (arg == "--sample-seed") {
                 sampleSeed = std::strtoull(next().c_str(), nullptr, 0);
+                haveSampleSeed = true;
+            }
             else if (arg == "--capsule")
                 capsulePath = next();
             else if (arg == "--replay")
@@ -305,8 +321,22 @@ main(int argc, char **argv)
             }
         }
 
+        // --replay rebuilds the entire run from the capsule; any
+        // other flag on the same command line would be silently
+        // ignored, which reads like it took effect. Refuse instead.
+        if (!replayPath.empty() && argc != 3)
+            usageError("--replay takes only the capsule file; drop "
+                       "the other options");
         if (!replayPath.empty())
             return replayCapsule(replayPath);
+
+        // Orphan sampling knobs: without --sample-period they would
+        // silently do nothing.
+        if (!haveSamplePeriod &&
+            (haveSampleWindow || haveSampleWarmup || haveSampleSeed)) {
+            usageError("--sample-window/--sample-warmup/--sample-seed "
+                       "need --sample-period");
+        }
 
         // Sampled cycle simulation: threaded functional fast-forward
         // with periodic cycle-accurate windows; --stats-json then
@@ -315,19 +345,19 @@ main(int argc, char **argv)
         // still applies; only cycle counts are estimated.
         if (samplePeriod != 0) {
             if (modeName != "T") {
-                fatal("sampled simulation models traditional "
-                      "execution; use -m T");
+                usageError("sampled simulation models traditional "
+                           "execution; use -m T");
             }
             if (lockstep || checkpointEvery != 0 || trace ||
                 !tracePath.empty() || !capsulePath.empty() ||
-                injectSeed != 0) {
-                fatal("sampled runs support only -c, -m T, "
-                      "-k/<program>, --sample-*, --restore, --jobs, "
-                      "and --stats-json");
+                injectSeed != 0 || haveWatchdog) {
+                usageError("sampled runs support only -c, -m T, "
+                           "-k/<program>, --sample-*, --restore, "
+                           "--jobs, and --stats-json");
             }
             if (kernelName == "all" ||
                 kernelName.find(',') != std::string::npos)
-                fatal("sampled runs take a single kernel");
+                usageError("sampled runs take a single kernel");
 
             SampleOptions sopts;
             sopts.period = samplePeriod;
